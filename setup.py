@@ -1,0 +1,14 @@
+"""Setuptools shim (the metadata lives in pyproject.toml).
+
+Kept so that the package can be installed in environments whose pip/setuptools
+combination lacks wheel support for PEP 660 editable installs.
+"""
+from setuptools import setup, find_packages
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

@@ -1,0 +1,46 @@
+"""repro: an executable reproduction of
+"Formal Specification of Networks-on-Chips: Deadlock and Evacuation"
+(Verbeek & Schmaltz, DATE 2010).
+
+The package is organised as the paper is:
+
+* :mod:`repro.core` -- the generic GeNoC framework: configurations, the
+  three constituent interfaces, the interpreter, the proof obligations
+  (C-1)-(C-5) and the three global theorems (correctness, deadlock freedom,
+  evacuation).
+* :mod:`repro.network` -- the network model substrate (ports, buffers,
+  topologies).
+* :mod:`repro.hermes` -- the HERMES 2D-mesh instantiation (XY routing,
+  wormhole switching, the ``Exy_dep`` dependency graph, the flows proof).
+* :mod:`repro.routing`, :mod:`repro.switching` -- libraries of routing
+  functions and switching policies (baselines and extensions).
+* :mod:`repro.checking` -- the formal-checking substrate (graph algorithms,
+  a CDCL SAT solver, explicit-state model checking).
+* :mod:`repro.simulation` -- workload generators, simulator and metrics.
+* :mod:`repro.ringnoc` -- a second (ring) instantiation.
+* :mod:`repro.reporting` -- the Table I analogue.
+
+Quickstart::
+
+    from repro.hermes import build_hermes_instance
+    from repro.simulation import uniform_random_traffic, Simulator
+
+    instance = build_hermes_instance(4, 4, buffer_capacity=2)
+    workload = uniform_random_traffic(instance, num_messages=32, seed=7)
+    result = Simulator(instance).run(workload)
+    print(result.summary())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "network",
+    "hermes",
+    "routing",
+    "switching",
+    "checking",
+    "simulation",
+    "ringnoc",
+    "reporting",
+]

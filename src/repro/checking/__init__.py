@@ -1,0 +1,87 @@
+"""Formal-checking substrate.
+
+The paper discharges its proof obligations in the ACL2 theorem prover; the
+reproduction hint suggests NuSMV/Z3 style automated checking.  Neither is
+available offline, so this package implements the needed checking machinery
+from scratch:
+
+* :mod:`repro.checking.graphs` -- cycle detection (DFS), strongly connected
+  components (Tarjan), topological sorting: the classical linear-time checks
+  the paper mentions for fixed-size instances (Section VII) and the related
+  Taktak et al. approach (Section VIII).
+* :mod:`repro.checking.bool_expr`, :mod:`repro.checking.cnf`,
+  :mod:`repro.checking.tseitin`, :mod:`repro.checking.dimacs`,
+  :mod:`repro.checking.sat` -- a boolean-expression AST, CNF machinery and a
+  DPLL/CDCL SAT solver (the stand-in for Z3).
+* :mod:`repro.checking.encodings` -- SAT encodings of graph acyclicity.
+* :mod:`repro.checking.ts`, :mod:`repro.checking.bmc` -- explicit-state
+  transition systems and reachability analysis (the stand-in for NuSMV),
+  used to validate Theorem 1 empirically by exhaustive exploration of small
+  NoC state spaces.
+"""
+
+from repro.checking.graphs import (
+    DirectedGraph,
+    find_cycle_dfs,
+    has_cycle,
+    is_acyclic,
+    strongly_connected_components,
+    topological_sort,
+    CycleSearchResult,
+)
+from repro.checking.bool_expr import Var, Not, And, Or, Implies, Iff, TRUE, FALSE
+from repro.checking.cnf import CNF, Clause
+from repro.checking.sat import SatSolver, SatResult, solve_cnf
+from repro.checking.encodings import (
+    encode_acyclicity,
+    is_acyclic_by_sat,
+)
+from repro.checking.ts import TransitionSystem, ReachabilityResult
+
+# The configuration-space explorer depends on repro.core, which in turn uses
+# the graph algorithms of this package; importing it lazily avoids a circular
+# import while keeping ``repro.checking.ConfigurationSpace`` addressable.
+_BMC_EXPORTS = {
+    "ConfigurationSpace",
+    "explore_configuration_space",
+    "count_reachable_states",
+    "DeadlockSearchResult",
+}
+
+
+def __getattr__(name):
+    if name in _BMC_EXPORTS:
+        from repro.checking import bmc
+
+        return getattr(bmc, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "DirectedGraph",
+    "find_cycle_dfs",
+    "has_cycle",
+    "is_acyclic",
+    "strongly_connected_components",
+    "topological_sort",
+    "CycleSearchResult",
+    "Var",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "Iff",
+    "TRUE",
+    "FALSE",
+    "CNF",
+    "Clause",
+    "SatSolver",
+    "SatResult",
+    "solve_cnf",
+    "encode_acyclicity",
+    "is_acyclic_by_sat",
+    "TransitionSystem",
+    "ReachabilityResult",
+    "ConfigurationSpace",
+    "explore_configuration_space",
+    "DeadlockSearchResult",
+]

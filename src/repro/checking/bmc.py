@@ -1,0 +1,163 @@
+"""Exhaustive exploration of NoC configuration spaces.
+
+This module turns a :class:`~repro.core.instance.NoCInstance` plus a concrete
+workload into an explicit-state transition system whose transitions are
+"one chosen message advances by one hop" (all interleavings), and searches it
+for reachable deadlock states.  It is the empirical, model-checking
+counterpart of Theorem 1:
+
+* for the HERMES/XY instantiation the dependency graph is acyclic and the
+  search finds **no** reachable deadlock (for any interleaving);
+* for the deliberately cyclic baselines (unrestricted adaptive routing, a
+  dateline-free ring) the search exhibits a reachable deadlock state.
+
+State spaces grow quickly, so this is meant for small meshes and small
+workloads -- exactly the fixed-instance check the paper contrasts with its
+parametric ACL2 proof.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.checking.ts import ReachabilityResult, TransitionSystem
+from repro.core.configuration import (
+    Configuration,
+    NOT_INJECTED,
+    TravelProgress,
+)
+from repro.core.instance import NoCInstance
+from repro.core.state import NetworkState
+from repro.core.travel import Travel
+from repro.switching.base import SingleTravelStepper
+
+#: A hashable encoding of a configuration: per travel (sorted by id), the
+#: tuple of flit positions along its route.
+StateKey = Tuple[Tuple[int, Tuple[int, ...]], ...]
+
+
+class ConfigurationSpace:
+    """The reachable configuration space of a workload on an instance."""
+
+    def __init__(self, instance: NoCInstance, travels: Sequence[Travel],
+                 capacity: int = 1) -> None:
+        if not isinstance(instance.switching, SingleTravelStepper):
+            raise TypeError(
+                "configuration-space exploration needs a switching policy "
+                "that supports single-travel steps")
+        self.instance = instance
+        self.capacity = capacity
+        config = instance.initial_configuration(travels, capacity=capacity)
+        config = instance.routing.route_configuration(config)
+        self._routed_travels: Dict[int, Travel] = {
+            travel.travel_id: travel for travel in config.travels}
+        self.initial_configuration = config
+
+    # -- encoding -----------------------------------------------------------------
+    def encode(self, config: Configuration) -> StateKey:
+        entries: List[Tuple[int, Tuple[int, ...]]] = []
+        for travel_id in sorted(self._routed_travels):
+            record = config.progress.get(travel_id)
+            travel = self._routed_travels[travel_id]
+            if record is None:
+                # Travel already collected into A in some ancestor state.
+                positions = tuple([len(travel.route or ())] * travel.num_flits)
+            else:
+                positions = tuple(record.positions)
+            entries.append((travel_id, positions))
+        return tuple(entries)
+
+    def decode(self, state: StateKey) -> Configuration:
+        network = NetworkState.empty(self.instance.topology,
+                                     capacity=self.capacity,
+                                     capacities=self.instance.capacities)
+        pending: List[Travel] = []
+        arrived: List[Travel] = []
+        progress: Dict[int, TravelProgress] = {}
+        for travel_id, positions in state:
+            travel = self._routed_travels[travel_id]
+            record = TravelProgress(travel=travel, positions=list(positions))
+            if record.is_arrived:
+                arrived.append(travel)
+                continue
+            pending.append(travel)
+            progress[travel_id] = record
+            flits = travel.flits()
+            for index, position in enumerate(positions):
+                if NOT_INJECTED < position < record.ejected_position:
+                    network.accept_flit(record.route[position], flits[index])
+        return Configuration(travels=pending, state=network, arrived=arrived,
+                             progress=progress)
+
+    # -- transition relation ----------------------------------------------------------
+    def successors(self, state: StateKey) -> List[StateKey]:
+        config = self.decode(state)
+        switching = self.instance.switching
+        assert isinstance(switching, SingleTravelStepper)
+        result: List[StateKey] = []
+        for travel in config.travels:
+            successor = switching.advance_travel(config, travel.travel_id)
+            if successor is not None:
+                result.append(self.encode(successor))
+        return result
+
+    def is_final(self, state: StateKey) -> bool:
+        return all(all(pos == len(self._routed_travels[tid].route or ())
+                       for pos in positions)
+                   for tid, positions in state)
+
+    def transition_system(self) -> TransitionSystem[StateKey]:
+        return TransitionSystem(
+            initial_states=[self.encode(self.initial_configuration)],
+            successors=self.successors)
+
+
+@dataclass
+class DeadlockSearchResult:
+    """Result of searching a configuration space for reachable deadlocks."""
+
+    explored: int
+    complete: bool
+    deadlock_found: bool
+    witness_state: Optional[StateKey] = None
+    witness_configuration: Optional[Configuration] = None
+    path_length: int = 0
+
+    def __str__(self) -> str:
+        verdict = "deadlock reachable" if self.deadlock_found \
+            else "no reachable deadlock"
+        completeness = "exhaustive" if self.complete else "bounded"
+        return f"{verdict} ({completeness}, {self.explored} states explored)"
+
+
+def explore_configuration_space(instance: NoCInstance,
+                                travels: Sequence[Travel],
+                                capacity: int = 1,
+                                max_states: int = 200_000,
+                                ) -> DeadlockSearchResult:
+    """Search every interleaving of a workload for a reachable deadlock."""
+    space = ConfigurationSpace(instance, travels, capacity=capacity)
+    system = space.transition_system()
+    result: ReachabilityResult[StateKey] = system.find_terminal_state(
+        space.is_final, max_states=max_states)
+    witness_config = None
+    if result.witness is not None:
+        witness_config = space.decode(result.witness)
+    return DeadlockSearchResult(
+        explored=result.explored,
+        complete=result.complete,
+        deadlock_found=result.witness is not None,
+        witness_state=result.witness,
+        witness_configuration=witness_config,
+        path_length=len(result.path))
+
+
+def count_reachable_states(instance: NoCInstance, travels: Sequence[Travel],
+                           capacity: int = 1,
+                           max_states: int = 200_000) -> Tuple[int, bool]:
+    """Size of the reachable configuration space (and completeness flag)."""
+    space = ConfigurationSpace(instance, travels, capacity=capacity)
+    states, complete = space.transition_system().reachable_states(
+        max_states=max_states)
+    return len(states), complete

@@ -1,0 +1,209 @@
+"""A small boolean-expression AST.
+
+Used to build the acyclicity encodings of :mod:`repro.checking.encodings`
+before converting them to CNF via the Tseitin transformation
+(:mod:`repro.checking.tseitin`).  Expressions are immutable and hashable, so
+structurally identical sub-expressions share Tseitin variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Mapping, Tuple, Union
+
+
+class BoolExpr:
+    """Base class of boolean expressions."""
+
+    def variables(self) -> FrozenSet[str]:
+        raise NotImplementedError
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        raise NotImplementedError
+
+    # -- operator sugar ----------------------------------------------------------
+    def __and__(self, other: "BoolExpr") -> "BoolExpr":
+        return And(self, other)
+
+    def __or__(self, other: "BoolExpr") -> "BoolExpr":
+        return Or(self, other)
+
+    def __invert__(self) -> "BoolExpr":
+        return Not(self)
+
+    def implies(self, other: "BoolExpr") -> "BoolExpr":
+        return Implies(self, other)
+
+    def iff(self, other: "BoolExpr") -> "BoolExpr":
+        return Iff(self, other)
+
+
+@dataclass(frozen=True)
+class Const(BoolExpr):
+    """A boolean constant."""
+
+    value: bool
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return self.value
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+TRUE = Const(True)
+FALSE = Const(False)
+
+
+@dataclass(frozen=True)
+class Var(BoolExpr):
+    """A propositional variable, identified by name."""
+
+    name: str
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return bool(assignment[self.name])
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Not(BoolExpr):
+    operand: BoolExpr
+
+    def variables(self) -> FrozenSet[str]:
+        return self.operand.variables()
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return not self.operand.evaluate(assignment)
+
+    def __str__(self) -> str:
+        return f"~({self.operand})"
+
+
+class _NaryExpr(BoolExpr):
+    """Base for And/Or with any number of operands (at least one)."""
+
+    operands: Tuple[BoolExpr, ...]
+
+    def __init__(self, *operands: BoolExpr) -> None:
+        flattened = []
+        for operand in operands:
+            if isinstance(operand, type(self)):
+                flattened.extend(operand.operands)
+            else:
+                flattened.append(operand)
+        if not flattened:
+            raise ValueError("And/Or need at least one operand")
+        object.__setattr__(self, "operands", tuple(flattened))
+
+    def variables(self) -> FrozenSet[str]:
+        result: FrozenSet[str] = frozenset()
+        for operand in self.operands:
+            result = result | operand.variables()
+        return result
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.operands == other.operands
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.operands))
+
+
+class And(_NaryExpr):
+    """Conjunction of one or more operands."""
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return all(operand.evaluate(assignment) for operand in self.operands)
+
+    def __str__(self) -> str:
+        return "(" + " & ".join(str(op) for op in self.operands) + ")"
+
+
+class Or(_NaryExpr):
+    """Disjunction of one or more operands."""
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return any(operand.evaluate(assignment) for operand in self.operands)
+
+    def __str__(self) -> str:
+        return "(" + " | ".join(str(op) for op in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Implies(BoolExpr):
+    antecedent: BoolExpr
+    consequent: BoolExpr
+
+    def variables(self) -> FrozenSet[str]:
+        return self.antecedent.variables() | self.consequent.variables()
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return ((not self.antecedent.evaluate(assignment))
+                or self.consequent.evaluate(assignment))
+
+    def __str__(self) -> str:
+        return f"({self.antecedent} -> {self.consequent})"
+
+
+@dataclass(frozen=True)
+class Iff(BoolExpr):
+    left: BoolExpr
+    right: BoolExpr
+
+    def variables(self) -> FrozenSet[str]:
+        return self.left.variables() | self.right.variables()
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return self.left.evaluate(assignment) == self.right.evaluate(assignment)
+
+    def __str__(self) -> str:
+        return f"({self.left} <-> {self.right})"
+
+
+def conjoin(expressions: Iterable[BoolExpr]) -> BoolExpr:
+    """Conjunction of an iterable of expressions (TRUE when empty)."""
+    expressions = list(expressions)
+    if not expressions:
+        return TRUE
+    if len(expressions) == 1:
+        return expressions[0]
+    return And(*expressions)
+
+
+def disjoin(expressions: Iterable[BoolExpr]) -> BoolExpr:
+    """Disjunction of an iterable of expressions (FALSE when empty)."""
+    expressions = list(expressions)
+    if not expressions:
+        return FALSE
+    if len(expressions) == 1:
+        return expressions[0]
+    return Or(*expressions)
+
+
+def all_assignments(variables: Iterable[str]):
+    """Yield every assignment over ``variables`` (used by brute-force checks)."""
+    names = sorted(set(variables))
+    total = 1 << len(names)
+    for bits in range(total):
+        yield {name: bool((bits >> index) & 1)
+               for index, name in enumerate(names)}
+
+
+def is_tautology_brute_force(expression: BoolExpr) -> bool:
+    """Brute-force tautology check (exponential; small expressions only)."""
+    return all(expression.evaluate(assignment)
+               for assignment in all_assignments(expression.variables()))
+
+
+def is_satisfiable_brute_force(expression: BoolExpr) -> bool:
+    """Brute-force satisfiability check (exponential; small expressions only)."""
+    return any(expression.evaluate(assignment)
+               for assignment in all_assignments(expression.variables()))

@@ -1,0 +1,136 @@
+"""CNF formulas with integer literals (DIMACS convention).
+
+A literal is a non-zero integer: ``v`` for the positive literal of variable
+``v`` and ``-v`` for its negation.  :class:`CNF` also keeps an optional
+mapping from variable numbers back to human-readable names so that models of
+the acyclicity encodings can be decoded into port orderings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+Literal = int
+Clause = Tuple[Literal, ...]
+
+
+class CNF:
+    """A formula in conjunctive normal form."""
+
+    def __init__(self) -> None:
+        self.clauses: List[Clause] = []
+        self._num_vars = 0
+        self._names: Dict[int, str] = {}
+        self._by_name: Dict[str, int] = {}
+
+    # -- variables ---------------------------------------------------------------
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self.clauses)
+
+    def new_var(self, name: Optional[str] = None) -> int:
+        """Allocate a fresh variable, optionally giving it a name."""
+        self._num_vars += 1
+        var = self._num_vars
+        if name is not None:
+            if name in self._by_name:
+                raise ValueError(f"variable name {name!r} already used")
+            self._names[var] = name
+            self._by_name[name] = var
+        return var
+
+    def var(self, name: str) -> int:
+        """The variable with the given name, allocating it if necessary."""
+        if name in self._by_name:
+            return self._by_name[name]
+        return self.new_var(name)
+
+    def name_of(self, var: int) -> Optional[str]:
+        return self._names.get(abs(var))
+
+    def named_variables(self) -> Dict[str, int]:
+        return dict(self._by_name)
+
+    # -- clauses --------------------------------------------------------------------
+    def add_clause(self, literals: Iterable[Literal]) -> None:
+        clause = tuple(literals)
+        if not clause:
+            # An empty clause makes the formula trivially unsatisfiable; we
+            # keep it so the solver reports UNSAT rather than silently
+            # dropping it.
+            self.clauses.append(clause)
+            return
+        for literal in clause:
+            if literal == 0:
+                raise ValueError("0 is not a valid literal")
+            if abs(literal) > self._num_vars:
+                self._num_vars = abs(literal)
+        self.clauses.append(clause)
+
+    def add_clauses(self, clauses: Iterable[Iterable[Literal]]) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def add_unit(self, literal: Literal) -> None:
+        self.add_clause((literal,))
+
+    # -- evaluation --------------------------------------------------------------------
+    def evaluate(self, assignment: Mapping[int, bool]) -> bool:
+        """Evaluate under a total assignment (variable -> bool)."""
+        for clause in self.clauses:
+            if not any(self._literal_value(literal, assignment)
+                       for literal in clause):
+                return False
+        return True
+
+    @staticmethod
+    def _literal_value(literal: Literal, assignment: Mapping[int, bool]) -> bool:
+        value = assignment[abs(literal)]
+        return value if literal > 0 else not value
+
+    def variables(self) -> Set[int]:
+        return {abs(literal) for clause in self.clauses for literal in clause}
+
+    def copy(self) -> "CNF":
+        clone = CNF()
+        clone.clauses = list(self.clauses)
+        clone._num_vars = self._num_vars
+        clone._names = dict(self._names)
+        clone._by_name = dict(self._by_name)
+        return clone
+
+    def __str__(self) -> str:
+        return (f"CNF({self.num_vars} variables, "
+                f"{self.num_clauses} clauses)")
+
+
+# ---------------------------------------------------------------------------
+# Common clause patterns
+# ---------------------------------------------------------------------------
+
+def at_most_one(literals: Sequence[Literal]) -> List[Clause]:
+    """Pairwise at-most-one encoding."""
+    clauses: List[Clause] = []
+    for i in range(len(literals)):
+        for j in range(i + 1, len(literals)):
+            clauses.append((-literals[i], -literals[j]))
+    return clauses
+
+
+def at_least_one(literals: Sequence[Literal]) -> List[Clause]:
+    return [tuple(literals)]
+
+
+def exactly_one(literals: Sequence[Literal]) -> List[Clause]:
+    return at_least_one(literals) + at_most_one(literals)
+
+
+def implies_clause(antecedents: Sequence[Literal],
+                   consequent: Literal) -> Clause:
+    """``a1 & ... & an -> c`` as a single clause."""
+    return tuple(-a for a in antecedents) + (consequent,)

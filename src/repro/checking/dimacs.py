@@ -1,0 +1,62 @@
+"""DIMACS CNF reader/writer.
+
+Allows the acyclicity encodings to be exported for external solvers and the
+test suite to round-trip formulas.
+"""
+
+from __future__ import annotations
+
+from typing import List, TextIO
+
+from repro.checking.cnf import CNF
+
+
+def write_dimacs(cnf: CNF, stream: TextIO, comments: List[str] = None) -> None:
+    """Write ``cnf`` to ``stream`` in DIMACS format."""
+    for comment in comments or []:
+        stream.write(f"c {comment}\n")
+    for name, var in sorted(cnf.named_variables().items()):
+        stream.write(f"c var {var} = {name}\n")
+    stream.write(f"p cnf {cnf.num_vars} {cnf.num_clauses}\n")
+    for clause in cnf.clauses:
+        stream.write(" ".join(str(literal) for literal in clause) + " 0\n")
+
+
+def dimacs_string(cnf: CNF, comments: List[str] = None) -> str:
+    """Return the DIMACS text of ``cnf``."""
+    import io
+
+    buffer = io.StringIO()
+    write_dimacs(cnf, buffer, comments=comments)
+    return buffer.getvalue()
+
+
+def read_dimacs(stream: TextIO) -> CNF:
+    """Parse a DIMACS CNF file."""
+    cnf = CNF()
+    declared_vars = None
+    for raw_line in stream:
+        line = raw_line.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            fields = line.split()
+            if len(fields) != 4 or fields[1] != "cnf":
+                raise ValueError(f"malformed problem line: {line!r}")
+            declared_vars = int(fields[2])
+            continue
+        literals = [int(token) for token in line.split()]
+        if literals and literals[-1] == 0:
+            literals = literals[:-1]
+        cnf.add_clause(literals)
+    if declared_vars is not None:
+        while cnf.num_vars < declared_vars:
+            cnf.new_var()
+    return cnf
+
+
+def parse_dimacs(text: str) -> CNF:
+    """Parse DIMACS text."""
+    import io
+
+    return read_dimacs(io.StringIO(text))

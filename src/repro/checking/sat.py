@@ -1,0 +1,373 @@
+"""A CDCL SAT solver (the offline stand-in for Z3).
+
+The solver implements the standard conflict-driven clause-learning loop:
+
+* two-watched-literal unit propagation,
+* first-UIP conflict analysis with clause learning and non-chronological
+  backjumping,
+* VSIDS-style activity-based decision heuristic with decay,
+* Luby-sequence restarts,
+* optional learned-clause deletion.
+
+It is deliberately written for clarity rather than raw speed; the formulas
+produced by the acyclicity encodings of :mod:`repro.checking.encodings` are
+small (thousands of clauses), and correctness is cross-checked against a
+brute-force evaluator in the test suite.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.checking.cnf import CNF, Clause, Literal
+
+
+@dataclass
+class SatResult:
+    """Outcome of a SAT call."""
+
+    satisfiable: bool
+    model: Optional[Dict[int, bool]] = None
+    #: Statistics of the search (decisions, propagations, conflicts, restarts).
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    def named_model(self, cnf: CNF) -> Dict[str, bool]:
+        """Decode the model using the CNF's variable names."""
+        if self.model is None:
+            raise ValueError("no model: formula is unsatisfiable")
+        named = {}
+        for var, value in self.model.items():
+            name = cnf.name_of(var)
+            if name is not None:
+                named[name] = value
+        return named
+
+
+class _ClauseRef:
+    """Mutable clause wrapper used internally by the solver."""
+
+    __slots__ = ("literals", "learned", "activity")
+
+    def __init__(self, literals: Sequence[Literal], learned: bool = False):
+        self.literals: List[Literal] = list(literals)
+        self.learned = learned
+        self.activity = 0.0
+
+
+class SatSolver:
+    """A CDCL solver over a fixed CNF."""
+
+    def __init__(self, cnf: CNF) -> None:
+        self._cnf = cnf
+        self._num_vars = cnf.num_vars
+        self._clauses: List[_ClauseRef] = []
+        self._watches: Dict[Literal, List[_ClauseRef]] = {}
+        # assignment[var] is True/False/None
+        self._assignment: List[Optional[bool]] = [None] * (self._num_vars + 1)
+        self._level: List[int] = [0] * (self._num_vars + 1)
+        self._reason: List[Optional[_ClauseRef]] = [None] * (self._num_vars + 1)
+        self._trail: List[Literal] = []
+        self._trail_limits: List[int] = []
+        self._activity: List[float] = [0.0] * (self._num_vars + 1)
+        self._activity_inc = 1.0
+        self._activity_decay = 0.95
+        self._stats = {"decisions": 0, "propagations": 0, "conflicts": 0,
+                       "restarts": 0, "learned": 0}
+        self._trivially_unsat = False
+        self._initialise_clauses()
+
+    # -- setup --------------------------------------------------------------------
+    def _initialise_clauses(self) -> None:
+        for clause in self._cnf.clauses:
+            if len(clause) == 0:
+                self._trivially_unsat = True
+                return
+            deduped = self._simplify_clause(clause)
+            if deduped is None:
+                continue  # tautological clause
+            if len(deduped) == 1:
+                literal = deduped[0]
+                value = self._value(literal)
+                if value is False:
+                    self._trivially_unsat = True
+                    return
+                if value is None:
+                    self._enqueue(literal, None)
+                continue
+            self._add_clause_ref(_ClauseRef(deduped))
+
+    @staticmethod
+    def _simplify_clause(clause: Clause) -> Optional[List[Literal]]:
+        seen = set()
+        result: List[Literal] = []
+        for literal in clause:
+            if -literal in seen:
+                return None
+            if literal not in seen:
+                seen.add(literal)
+                result.append(literal)
+        return result
+
+    def _add_clause_ref(self, ref: _ClauseRef) -> None:
+        self._clauses.append(ref)
+        self._watch(ref.literals[0], ref)
+        self._watch(ref.literals[1], ref)
+
+    def _watch(self, literal: Literal, ref: _ClauseRef) -> None:
+        self._watches.setdefault(literal, []).append(ref)
+
+    # -- assignment helpers ---------------------------------------------------------
+    def _value(self, literal: Literal) -> Optional[bool]:
+        value = self._assignment[abs(literal)]
+        if value is None:
+            return None
+        return value if literal > 0 else not value
+
+    @property
+    def _decision_level(self) -> int:
+        return len(self._trail_limits)
+
+    def _enqueue(self, literal: Literal, reason: Optional[_ClauseRef]) -> None:
+        var = abs(literal)
+        self._assignment[var] = literal > 0
+        self._level[var] = self._decision_level
+        self._reason[var] = reason
+        self._trail.append(literal)
+
+    # -- propagation -------------------------------------------------------------------
+    def _propagate(self, queue_start: int) -> Tuple[Optional[_ClauseRef], int]:
+        """Unit propagation from the trail position ``queue_start``.
+
+        Returns (conflict clause or None, new queue position).
+        """
+        head = queue_start
+        while head < len(self._trail):
+            literal = self._trail[head]
+            head += 1
+            self._stats["propagations"] += 1
+            false_literal = -literal
+            watch_list = self._watches.get(false_literal, [])
+            new_watch_list: List[_ClauseRef] = []
+            conflict: Optional[_ClauseRef] = None
+            index = 0
+            while index < len(watch_list):
+                ref = watch_list[index]
+                index += 1
+                literals = ref.literals
+                # Ensure the false literal is at position 1.
+                if literals[0] == false_literal:
+                    literals[0], literals[1] = literals[1], literals[0]
+                first = literals[0]
+                if self._value(first) is True:
+                    new_watch_list.append(ref)
+                    continue
+                # Look for a new literal to watch.
+                found = False
+                for position in range(2, len(literals)):
+                    candidate = literals[position]
+                    if self._value(candidate) is not False:
+                        literals[1], literals[position] = (literals[position],
+                                                           literals[1])
+                        self._watch(literals[1], ref)
+                        found = True
+                        break
+                if found:
+                    continue
+                # Clause is unit or conflicting.
+                new_watch_list.append(ref)
+                if self._value(first) is False:
+                    # Conflict: keep the remaining watchers and stop.
+                    new_watch_list.extend(watch_list[index:])
+                    conflict = ref
+                    break
+                self._enqueue(first, ref)
+            self._watches[false_literal] = new_watch_list
+            if conflict is not None:
+                return conflict, head
+        return None, head
+
+    # -- conflict analysis -----------------------------------------------------------------
+    def _analyse(self, conflict: _ClauseRef) -> Tuple[List[Literal], int]:
+        """First-UIP conflict analysis.
+
+        Returns the learned clause (asserting literal first) and the backjump
+        level.
+        """
+        learned: List[Literal] = []
+        seen = [False] * (self._num_vars + 1)
+        counter = 0
+        literal: Optional[Literal] = None
+        reason_literals = list(conflict.literals)
+        trail_index = len(self._trail) - 1
+
+        while True:
+            for reason_literal in reason_literals:
+                var = abs(reason_literal)
+                if seen[var] or self._level[var] == 0:
+                    continue
+                seen[var] = True
+                self._bump_activity(var)
+                if self._level[var] == self._decision_level:
+                    counter += 1
+                else:
+                    learned.append(reason_literal)
+            # Find the next literal on the trail to resolve on.
+            while True:
+                literal = self._trail[trail_index]
+                trail_index -= 1
+                if seen[abs(literal)]:
+                    break
+            counter -= 1
+            if counter == 0:
+                break
+            reason_ref = self._reason[abs(literal)]
+            assert reason_ref is not None
+            reason_literals = [lit for lit in reason_ref.literals
+                               if lit != literal]
+        assert literal is not None
+        learned.insert(0, -literal)
+
+        if len(learned) == 1:
+            backjump_level = 0
+        else:
+            levels = sorted((self._level[abs(lit)] for lit in learned[1:]),
+                            reverse=True)
+            backjump_level = levels[0]
+        return learned, backjump_level
+
+    def _bump_activity(self, var: int) -> None:
+        self._activity[var] += self._activity_inc
+        if self._activity[var] > 1e100:
+            for index in range(1, self._num_vars + 1):
+                self._activity[index] *= 1e-100
+            self._activity_inc *= 1e-100
+
+    def _decay_activity(self) -> None:
+        self._activity_inc /= self._activity_decay
+
+    # -- backtracking ------------------------------------------------------------------------
+    def _backjump(self, level: int) -> None:
+        if self._decision_level <= level:
+            return
+        limit = self._trail_limits[level]
+        for literal in self._trail[limit:]:
+            var = abs(literal)
+            self._assignment[var] = None
+            self._reason[var] = None
+        del self._trail[limit:]
+        del self._trail_limits[level:]
+
+    # -- decisions ----------------------------------------------------------------------------
+    def _pick_branch_variable(self) -> Optional[int]:
+        best_var = None
+        best_activity = -1.0
+        for var in range(1, self._num_vars + 1):
+            if self._assignment[var] is None and self._activity[var] > best_activity:
+                best_var = var
+                best_activity = self._activity[var]
+        return best_var
+
+    # -- restarts ------------------------------------------------------------------------------
+    @staticmethod
+    def _luby(index: int) -> int:
+        """The Luby restart sequence 1,1,2,1,1,2,4,... (1-indexed)."""
+        if index < 1:
+            return 1
+        while True:
+            k = index.bit_length()
+            if index == (1 << k) - 1:
+                return 1 << (k - 1)
+            index = index - (1 << (k - 1)) + 1
+
+    # -- main loop ----------------------------------------------------------------------------
+    def solve(self, assumptions: Iterable[Literal] = ()) -> SatResult:
+        """Decide satisfiability (optionally under unit assumptions)."""
+        if self._trivially_unsat:
+            return SatResult(satisfiable=False, stats=dict(self._stats))
+
+        for assumption in assumptions:
+            value = self._value(assumption)
+            if value is False:
+                return SatResult(satisfiable=False, stats=dict(self._stats))
+            if value is None:
+                self._enqueue(assumption, None)
+
+        conflict, queue_pos = self._propagate(0)
+        if conflict is not None:
+            return SatResult(satisfiable=False, stats=dict(self._stats))
+
+        restart_index = 1
+        conflicts_since_restart = 0
+        restart_limit = 32 * self._luby(restart_index)
+        base_trail_length = len(self._trail)
+
+        while True:
+            conflict, queue_pos = self._propagate(queue_pos)
+            if conflict is not None:
+                self._stats["conflicts"] += 1
+                conflicts_since_restart += 1
+                if self._decision_level == 0:
+                    return SatResult(satisfiable=False,
+                                     stats=dict(self._stats))
+                learned, backjump_level = self._analyse(conflict)
+                self._backjump(backjump_level)
+                queue_pos = len(self._trail)
+                if len(learned) == 1:
+                    self._enqueue(learned[0], None)
+                else:
+                    # Watch the asserting literal and a literal from the
+                    # backjump level so the watch invariant survives future
+                    # backtracking.
+                    for position in range(2, len(learned)):
+                        if (self._level[abs(learned[position])]
+                                >= self._level[abs(learned[1])]):
+                            learned[1], learned[position] = (
+                                learned[position], learned[1])
+                    ref = _ClauseRef(learned, learned=True)
+                    self._add_clause_ref(ref)
+                    self._stats["learned"] += 1
+                    self._enqueue(learned[0], ref)
+                self._decay_activity()
+                continue
+
+            if conflicts_since_restart >= restart_limit:
+                self._stats["restarts"] += 1
+                restart_index += 1
+                conflicts_since_restart = 0
+                restart_limit = 32 * self._luby(restart_index)
+                self._backjump(0)
+                queue_pos = base_trail_length
+
+            variable = self._pick_branch_variable()
+            if variable is None:
+                model = {var: bool(self._assignment[var])
+                         for var in range(1, self._num_vars + 1)}
+                # Defensive check: a complete assignment returned as a model
+                # must satisfy every original clause.
+                if not self._cnf.evaluate(model):  # pragma: no cover
+                    raise AssertionError(
+                        "internal SAT solver error: model does not satisfy CNF")
+                return SatResult(satisfiable=True, model=model,
+                                 stats=dict(self._stats))
+            self._stats["decisions"] += 1
+            self._trail_limits.append(len(self._trail))
+            self._enqueue(-variable, None)
+
+
+def solve_cnf(cnf: CNF, assumptions: Iterable[Literal] = ()) -> SatResult:
+    """Convenience wrapper: solve a CNF with a fresh solver instance."""
+    return SatSolver(cnf).solve(assumptions)
+
+
+def brute_force_satisfiable(cnf: CNF) -> bool:
+    """Exponential reference implementation used to validate the solver."""
+    variables = sorted(cnf.variables())
+    if not variables:
+        return all(len(clause) > 0 for clause in cnf.clauses) or not cnf.clauses
+    for bits in itertools.product([False, True], repeat=len(variables)):
+        assignment = dict(zip(variables, bits))
+        if cnf.evaluate(assignment):
+            return True
+    return False

@@ -1,0 +1,162 @@
+"""Explicit-state transition systems and reachability analysis.
+
+This is the library's stand-in for a model checker (NuSMV-style): a
+transition system is given by its initial states and a successor function;
+the analyses are breadth-first reachability, invariant checking (find a
+reachable state violating a predicate) and terminal-state search (find a
+reachable state with no successors -- the shape of a deadlock).
+
+States must be hashable; :mod:`repro.checking.bmc` builds the hashable
+encoding of NoC configurations on top of this module.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Generic,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    TypeVar,
+)
+
+S = TypeVar("S", bound=Hashable)
+
+
+@dataclass
+class ReachabilityResult(Generic[S]):
+    """Result of a reachability/invariant analysis."""
+
+    #: Number of distinct states visited.
+    explored: int
+    #: Whether the exploration was cut off by the state or depth bound.
+    complete: bool
+    #: A state satisfying the searched-for predicate, if one was found.
+    witness: Optional[S] = None
+    #: Path of states from an initial state to the witness (inclusive).
+    path: List[S] = field(default_factory=list)
+    #: Maximum depth reached.
+    depth: int = 0
+
+    @property
+    def found(self) -> bool:
+        return self.witness is not None
+
+
+class TransitionSystem(Generic[S]):
+    """An explicit-state transition system."""
+
+    def __init__(self, initial_states: Iterable[S],
+                 successors: Callable[[S], Iterable[S]]) -> None:
+        self._initial = list(initial_states)
+        self._successors = successors
+
+    @property
+    def initial_states(self) -> List[S]:
+        return list(self._initial)
+
+    def successors(self, state: S) -> List[S]:
+        return list(self._successors(state))
+
+    # -- analyses -------------------------------------------------------------------
+    def search(self, target: Callable[[S], bool],
+               max_states: int = 1_000_000,
+               max_depth: Optional[int] = None) -> ReachabilityResult[S]:
+        """Breadth-first search for a reachable state satisfying ``target``."""
+        visited: Set[S] = set()
+        parent: Dict[S, Optional[S]] = {}
+        queue: deque = deque()
+        depth_of: Dict[S, int] = {}
+        max_seen_depth = 0
+
+        for state in self._initial:
+            if state in visited:
+                continue
+            visited.add(state)
+            parent[state] = None
+            depth_of[state] = 0
+            queue.append(state)
+
+        complete = True
+        while queue:
+            state = queue.popleft()
+            max_seen_depth = max(max_seen_depth, depth_of[state])
+            if target(state):
+                return ReachabilityResult(
+                    explored=len(visited), complete=True, witness=state,
+                    path=self._reconstruct_path(parent, state),
+                    depth=depth_of[state])
+            if max_depth is not None and depth_of[state] >= max_depth:
+                complete = False
+                continue
+            for successor in self._successors(state):
+                if successor in visited:
+                    continue
+                if len(visited) >= max_states:
+                    complete = False
+                    break
+                visited.add(successor)
+                parent[successor] = state
+                depth_of[successor] = depth_of[state] + 1
+                queue.append(successor)
+        return ReachabilityResult(explored=len(visited), complete=complete,
+                                  witness=None, depth=max_seen_depth)
+
+    def reachable_states(self, max_states: int = 1_000_000) -> Tuple[Set[S], bool]:
+        """All reachable states (up to ``max_states``) and a completeness flag."""
+        visited: Set[S] = set()
+        queue: deque = deque()
+        for state in self._initial:
+            if state not in visited:
+                visited.add(state)
+                queue.append(state)
+        complete = True
+        while queue:
+            state = queue.popleft()
+            for successor in self._successors(state):
+                if successor in visited:
+                    continue
+                if len(visited) >= max_states:
+                    complete = False
+                    break
+                visited.add(successor)
+                queue.append(successor)
+        return visited, complete
+
+    def check_invariant(self, invariant: Callable[[S], bool],
+                        max_states: int = 1_000_000) -> ReachabilityResult[S]:
+        """Search for a reachable state *violating* ``invariant``."""
+        return self.search(lambda state: not invariant(state),
+                           max_states=max_states)
+
+    def find_terminal_state(self, is_final: Callable[[S], bool],
+                            max_states: int = 1_000_000) -> ReachabilityResult[S]:
+        """Search for a reachable state with no successors that is not final.
+
+        ``is_final`` marks states that are *allowed* to have no successors
+        (e.g. "all messages have arrived"); any other successor-less state is
+        a deadlock.
+        """
+        def is_bad_terminal(state: S) -> bool:
+            if is_final(state):
+                return False
+            return not any(True for _ in self._successors(state))
+
+        return self.search(is_bad_terminal, max_states=max_states)
+
+    @staticmethod
+    def _reconstruct_path(parent: Dict[S, Optional[S]], state: S) -> List[S]:
+        path = [state]
+        current = parent.get(state)
+        while current is not None:
+            path.append(current)
+            current = parent.get(current)
+        path.reverse()
+        return path

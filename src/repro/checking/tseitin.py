@@ -1,0 +1,115 @@
+"""Tseitin transformation from boolean expressions to CNF.
+
+The transformation introduces one fresh variable per distinct sub-expression
+and adds the defining clauses, producing an equisatisfiable CNF whose size is
+linear in the size of the expression.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.checking.bool_expr import (
+    And,
+    BoolExpr,
+    Const,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Var,
+)
+from repro.checking.cnf import CNF, Literal
+
+
+class TseitinEncoder:
+    """Encodes boolean expressions into a shared :class:`CNF` instance."""
+
+    def __init__(self, cnf: CNF = None) -> None:
+        self.cnf = cnf if cnf is not None else CNF()
+        self._cache: Dict[BoolExpr, Literal] = {}
+        self._true_literal: Literal = 0
+
+    # -- public API -------------------------------------------------------------
+    def assert_expr(self, expression: BoolExpr) -> None:
+        """Add clauses forcing ``expression`` to be true."""
+        literal = self.encode(expression)
+        self.cnf.add_unit(literal)
+
+    def encode(self, expression: BoolExpr) -> Literal:
+        """Return a literal equivalent to ``expression`` (adding clauses)."""
+        if expression in self._cache:
+            return self._cache[expression]
+        literal = self._encode_uncached(expression)
+        self._cache[expression] = literal
+        return literal
+
+    # -- encoding of each node type ------------------------------------------------
+    def _fresh(self, hint: str) -> Literal:
+        return self.cnf.new_var()
+
+    def _encode_uncached(self, expression: BoolExpr) -> Literal:
+        if isinstance(expression, Const):
+            return self._encode_const(expression)
+        if isinstance(expression, Var):
+            return self.cnf.var(expression.name)
+        if isinstance(expression, Not):
+            return -self.encode(expression.operand)
+        if isinstance(expression, And):
+            return self._encode_and(
+                [self.encode(op) for op in expression.operands])
+        if isinstance(expression, Or):
+            return self._encode_or(
+                [self.encode(op) for op in expression.operands])
+        if isinstance(expression, Implies):
+            return self._encode_or(
+                [-self.encode(expression.antecedent),
+                 self.encode(expression.consequent)])
+        if isinstance(expression, Iff):
+            left = self.encode(expression.left)
+            right = self.encode(expression.right)
+            return self._encode_iff(left, right)
+        raise TypeError(f"unknown expression type: {type(expression)!r}")
+
+    def _encode_const(self, expression: Const) -> Literal:
+        if self._true_literal == 0:
+            self._true_literal = self.cnf.new_var()
+            self.cnf.add_unit(self._true_literal)
+        return self._true_literal if expression.value else -self._true_literal
+
+    def _encode_and(self, literals) -> Literal:
+        if len(literals) == 1:
+            return literals[0]
+        output = self._fresh("and")
+        # output -> each literal
+        for literal in literals:
+            self.cnf.add_clause((-output, literal))
+        # all literals -> output
+        self.cnf.add_clause(tuple(-lit for lit in literals) + (output,))
+        return output
+
+    def _encode_or(self, literals) -> Literal:
+        if len(literals) == 1:
+            return literals[0]
+        output = self._fresh("or")
+        # each literal -> output
+        for literal in literals:
+            self.cnf.add_clause((-literal, output))
+        # output -> some literal
+        self.cnf.add_clause((-output,) + tuple(literals))
+        return output
+
+    def _encode_iff(self, left: Literal, right: Literal) -> Literal:
+        output = self._fresh("iff")
+        self.cnf.add_clause((-output, -left, right))
+        self.cnf.add_clause((-output, left, -right))
+        self.cnf.add_clause((output, left, right))
+        self.cnf.add_clause((output, -left, -right))
+        return output
+
+
+def to_cnf(expression: BoolExpr) -> CNF:
+    """Convert an expression to an equisatisfiable CNF (Tseitin)."""
+    encoder = TseitinEncoder()
+    encoder.assert_expr(expression)
+    return encoder.cnf

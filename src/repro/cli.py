@@ -1,0 +1,197 @@
+"""Command-line interface to the reproduction.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro verify --width 4 --height 4
+    python -m repro simulate --width 4 --height 4 --messages 32 --flits 4
+    python -m repro table1 --width 4 --height 4
+    python -m repro depgraph --width 2 --height 2 --dot fig3.dot
+    python -m repro deadlock --design clockwise-ring --size 4
+
+Each sub-command drives one part of the library's public API; the examples in
+``examples/`` show the same flows as scripts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.pipeline import verify_instance
+from repro.hermes import build_hermes_instance
+from repro.reporting import build_effort_table
+from repro.simulation import Simulator, uniform_random_traffic
+from repro.simulation.workloads import standard_suite
+
+
+def _add_mesh_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--width", type=int, default=4,
+                        help="mesh width (default 4)")
+    parser.add_argument("--height", type=int, default=4,
+                        help="mesh height (default 4)")
+    parser.add_argument("--buffers", type=int, default=2,
+                        help="1-flit buffers per port (default 2)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Formal Specification of Networks-on-"
+                    "Chips: Deadlock and Evacuation' (DATE 2010)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    verify = commands.add_parser(
+        "verify", help="discharge (C-1)..(C-5) and conclude the theorems")
+    _add_mesh_arguments(verify)
+
+    simulate = commands.add_parser(
+        "simulate", help="run GeNoC2D on a random workload")
+    _add_mesh_arguments(simulate)
+    simulate.add_argument("--messages", type=int, default=32)
+    simulate.add_argument("--flits", type=int, default=4)
+    simulate.add_argument("--seed", type=int, default=2010)
+
+    table1 = commands.add_parser(
+        "table1", help="print the Table I (verification effort) analogue")
+    _add_mesh_arguments(table1)
+
+    depgraph = commands.add_parser(
+        "depgraph", help="print Fig. 3 statistics / export the graph as DOT")
+    _add_mesh_arguments(depgraph)
+    depgraph.add_argument("--dot", type=str, default=None,
+                          help="write a Graphviz DOT file to this path")
+
+    deadlock = commands.add_parser(
+        "deadlock", help="demonstrate Theorem 1 on a deadlock-prone design")
+    deadlock.add_argument("--design", choices=["clockwise-ring", "zigzag-mesh"],
+                          default="clockwise-ring")
+    deadlock.add_argument("--size", type=int, default=4)
+
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Sub-command implementations
+# ---------------------------------------------------------------------------
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    instance = build_hermes_instance(args.width, args.height,
+                                     buffer_capacity=args.buffers)
+    workloads = [list(spec.travels)
+                 for spec in standard_suite(instance, num_flits=3)[:3]]
+    report = verify_instance(instance, workloads)
+    print(report.summary())
+    return 0 if report.verified else 1
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    instance = build_hermes_instance(args.width, args.height,
+                                     buffer_capacity=args.buffers)
+    workload = uniform_random_traffic(instance, num_messages=args.messages,
+                                      num_flits=args.flits, seed=args.seed)
+    result = Simulator(instance).run(workload)
+    print(result.summary())
+    for key, value in result.metrics.as_dict().items():
+        print(f"  {key}: {value}")
+    print(f"  CorrThm: {'holds' if result.correctness_ok else 'VIOLATED'}")
+    print(f"  EvacThm: {'holds' if result.evacuation_ok else 'VIOLATED'}")
+    return 0 if result.genoc_result.evacuated else 1
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    table = build_effort_table(args.width, args.height,
+                               buffer_capacity=args.buffers)
+    print(table.formatted())
+    return 0
+
+
+def _cmd_depgraph(args: argparse.Namespace) -> int:
+    from repro.core import check_acyclicity, graph_statistics
+    from repro.hermes import build_exy_graph
+    from repro.network.mesh import Mesh2D
+
+    mesh = Mesh2D(args.width, args.height)
+    graph = build_exy_graph(mesh)
+    print(f"Exy_dep of a {args.width}x{args.height} mesh:")
+    for key, value in graph_statistics(graph).items():
+        print(f"  {key}: {value}")
+    report = check_acyclicity(graph, methods=("dfs", "scc", "toposort"))
+    print(f"  acyclic: {report.acyclic}")
+    if args.dot:
+        from repro.reporting.dot import write_dot
+
+        write_dot(graph, args.dot,
+                  title=f"Exy_dep {args.width}x{args.height}")
+        print(f"  DOT written to {args.dot}")
+    return 0 if report.acyclic else 1
+
+
+def _cmd_deadlock(args: argparse.Namespace) -> int:
+    from repro.checking.bmc import explore_configuration_space
+    from repro.checking.graphs import find_cycle_dfs
+    from repro.core import (
+        check_c3_routing_induced,
+        routing_dependency_graph,
+        verify_witness_roundtrip,
+    )
+
+    if args.design == "clockwise-ring":
+        from repro.ringnoc import (
+            build_clockwise_ring_instance,
+            ring_witness_destination,
+        )
+
+        instance = build_clockwise_ring_instance(args.size)
+        witness_fn = ring_witness_destination(instance.topology)
+        size = args.size
+        travels = [instance.make_travel((i, 0), ((i + 2) % size, 0),
+                                        num_flits=3) for i in range(size)]
+    else:
+        from repro.hermes.ports import witness_destination
+        from repro.network.mesh import Mesh2D
+        from repro.routing.adaptive import ZigZagRouting
+
+        mesh = Mesh2D(args.size, args.size)
+        instance = build_hermes_instance(args.size, args.size,
+                                         routing=ZigZagRouting(mesh))
+
+        def witness_fn(source, target):
+            return witness_destination(source, target, mesh)
+
+        travels = []
+
+    c3 = check_c3_routing_induced(instance.routing)
+    print(f"(C-3) for {instance.routing.name()}: "
+          f"{'holds' if c3.holds else 'VIOLATED'}")
+    if c3.holds:
+        print("design is deadlock-free; nothing to demonstrate")
+        return 0
+    cycle = find_cycle_dfs(routing_dependency_graph(instance.routing)).cycle
+    print("dependency cycle: " + " -> ".join(str(p) for p in cycle))
+    roundtrip = verify_witness_roundtrip(cycle, instance.routing,
+                                         instance.switching, witness_fn,
+                                         capacity=1)
+    print(f"constructed configuration is a deadlock: {roundtrip.is_deadlock}")
+    if travels:
+        search = explore_configuration_space(instance, travels, capacity=1)
+        print(f"state-space search: {search}")
+    return 0
+
+
+_COMMANDS = {
+    "verify": _cmd_verify,
+    "simulate": _cmd_simulate,
+    "table1": _cmd_table1,
+    "depgraph": _cmd_depgraph,
+    "deadlock": _cmd_deadlock,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

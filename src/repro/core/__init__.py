@@ -1,0 +1,136 @@
+"""The generic GeNoC core: the paper's primary contribution.
+
+This package contains the parametric specification framework -- travels,
+configurations, the three constituent interfaces, the GeNoC interpreter, the
+port dependency graph machinery, the proof obligations (C-1)-(C-5), the
+three global theorems (correctness, deadlock freedom, evacuation) and the
+end-to-end verification pipeline of Fig. 2.
+"""
+
+from repro.core.configuration import (
+    Configuration,
+    NOT_INJECTED,
+    TravelProgress,
+    initial_configuration,
+)
+from repro.core.constituents import (
+    IdentityInjection,
+    InjectionMethod,
+    RoutingFunction,
+    SwitchingPolicy,
+)
+from repro.core.deadlock import (
+    DeadlockAnalysis,
+    analyse_deadlock,
+    is_deadlock,
+)
+from repro.core.dependency import (
+    AcyclicityReport,
+    DependencyGraphSpec,
+    ExplicitDependencySpec,
+    check_acyclicity,
+    graph_statistics,
+    routing_dependency_graph,
+)
+from repro.core.errors import (
+    GeNoCError,
+    InjectionError,
+    ObligationViolation,
+    RoutingError,
+    SpecificationError,
+    SwitchingError,
+)
+from repro.core.genoc import GeNoCEngine, GeNoCResult, StepRecord
+from repro.core.instance import NoCInstance
+from repro.core.measure import (
+    flit_hop_measure,
+    pending_travel_measure,
+    route_length_measure,
+)
+from repro.core.obligations import (
+    ObligationResult,
+    check_c1,
+    check_c2,
+    check_c3,
+    check_c3_routing_induced,
+    check_c4,
+    check_c5,
+)
+from repro.core.pipeline import (
+    VerificationReport,
+    discharge_obligations,
+    verify_instance,
+)
+from repro.core.state import NetworkState
+from repro.core.theorems import (
+    TheoremResult,
+    check_correctness,
+    check_deadlock_freedom,
+    check_evacuation,
+    check_no_reachable_deadlock,
+    derive_evacuation,
+)
+from repro.core.travel import Travel, fresh_travel_id, make_travel
+from repro.core.witness import (
+    DeadlockWitness,
+    WitnessRoundTrip,
+    cycle_to_deadlock_configuration,
+    verify_witness_roundtrip,
+)
+
+__all__ = [
+    "Configuration",
+    "NOT_INJECTED",
+    "TravelProgress",
+    "initial_configuration",
+    "IdentityInjection",
+    "InjectionMethod",
+    "RoutingFunction",
+    "SwitchingPolicy",
+    "DeadlockAnalysis",
+    "analyse_deadlock",
+    "is_deadlock",
+    "AcyclicityReport",
+    "DependencyGraphSpec",
+    "ExplicitDependencySpec",
+    "check_acyclicity",
+    "graph_statistics",
+    "routing_dependency_graph",
+    "GeNoCError",
+    "InjectionError",
+    "ObligationViolation",
+    "RoutingError",
+    "SpecificationError",
+    "SwitchingError",
+    "GeNoCEngine",
+    "GeNoCResult",
+    "StepRecord",
+    "NoCInstance",
+    "flit_hop_measure",
+    "pending_travel_measure",
+    "route_length_measure",
+    "ObligationResult",
+    "check_c1",
+    "check_c2",
+    "check_c3",
+    "check_c3_routing_induced",
+    "check_c4",
+    "check_c5",
+    "VerificationReport",
+    "discharge_obligations",
+    "verify_instance",
+    "NetworkState",
+    "TheoremResult",
+    "check_correctness",
+    "check_deadlock_freedom",
+    "check_evacuation",
+    "check_no_reachable_deadlock",
+    "derive_evacuation",
+    "Travel",
+    "fresh_travel_id",
+    "make_travel",
+    "DeadlockWitness",
+    "WitnessRoundTrip",
+    "cycle_to_deadlock_configuration",
+    "verify_witness_roundtrip",
+]

@@ -1,0 +1,179 @@
+"""The three generic GeNoC constituents: Injection, Routing, Switching.
+
+The GeNoC methodology (paper Section III) does not give the constituents a
+definition; it only characterises them by proof obligations.  These abstract
+base classes are the Python counterpart of that genericity: the engine in
+:mod:`repro.core.genoc`, the obligation checkers in
+:mod:`repro.core.obligations` and the theorem checkers in
+:mod:`repro.core.theorems` are written purely against these interfaces.
+
+Concrete instantiations live in :mod:`repro.hermes` (the paper's case
+study), :mod:`repro.routing`, :mod:`repro.switching` and
+:mod:`repro.spidergon`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.configuration import Configuration, TravelProgress
+from repro.core.errors import RoutingError
+from repro.core.travel import Travel
+from repro.network.port import Port
+from repro.network.topology import Topology
+
+
+class InjectionMethod(abc.ABC):
+    """``I : Σ -> Σ`` -- decides which travels are injected into the network."""
+
+    @abc.abstractmethod
+    def inject(self, config: Configuration) -> Configuration:
+        """Return the configuration after injection."""
+
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class RoutingFunction(abc.ABC):
+    """``R : P x P -> P`` -- the port-level routing function.
+
+    The primitive is :meth:`next_hops`, mapping a current port and a
+    destination port to the set of possible next hops (a singleton for
+    deterministic routing functions such as XY).  The generalisation to
+    configurations (``R : Σ -> Σ``) is provided by
+    :meth:`route_configuration`, which pre-computes one route per travel.
+    """
+
+    #: Safety bound on route length, as a multiple of the port count.
+    MAX_ROUTE_FACTOR = 4
+
+    @abc.abstractmethod
+    def next_hops(self, current: Port, destination: Port) -> List[Port]:
+        """All ports the routing function may route to next."""
+
+    @abc.abstractmethod
+    def reachable(self, source: Port, destination: Port) -> bool:
+        """The ``s R d`` predicate: is ``destination`` reachable from ``source``?"""
+
+    @property
+    @abc.abstractmethod
+    def topology(self) -> Topology:
+        """The topology this routing function is defined over."""
+
+    # -- derived behaviour ----------------------------------------------------
+    @property
+    def is_deterministic(self) -> bool:
+        """Deterministic routing functions return at most one next hop.
+
+        The paper's deadlock condition (Theorem 1) applies to deterministic
+        routing; adaptive extensions override this property.
+        """
+        return True
+
+    def next_hop(self, current: Port, destination: Port) -> Port:
+        """The unique next hop of a deterministic routing function."""
+        hops = self.next_hops(current, destination)
+        if not hops:
+            raise RoutingError(
+                f"no next hop from {current} towards {destination}")
+        if len(hops) > 1 and self.is_deterministic:
+            raise RoutingError(
+                f"deterministic routing returned {len(hops)} hops at {current}")
+        return hops[0]
+
+    def destinations(self) -> List[Port]:
+        """All valid destination ports (default: every local out-port)."""
+        return self.topology.local_out_ports()
+
+    def compute_route(self, source: Port, destination: Port,
+                      max_hops: Optional[int] = None) -> List[Port]:
+        """Compute the full route from ``source`` to ``destination``.
+
+        The route includes both endpoints.  Raises :class:`RoutingError` if
+        the routing function does not reach the destination within the hop
+        bound (which, for a correct deterministic routing function, never
+        happens for reachable destinations).
+        """
+        if max_hops is None:
+            max_hops = self.MAX_ROUTE_FACTOR * max(self.topology.port_count, 4)
+        route = [source]
+        current = source
+        while current != destination:
+            if len(route) > max_hops:
+                raise RoutingError(
+                    f"route from {source} to {destination} exceeds "
+                    f"{max_hops} hops: routing does not terminate")
+            current = self.next_hop(current, destination)
+            if not self.topology.has_port(current):
+                raise RoutingError(
+                    f"routing produced non-existent port {current}")
+            route.append(current)
+        return route
+
+    def route_configuration(self, config: Configuration) -> Configuration:
+        """``R : Σ -> Σ`` -- pre-compute the route of every pending travel."""
+        routed: List[Travel] = []
+        for travel in config.travels:
+            if travel.has_route:
+                routed.append(travel)
+                continue
+            if not self.reachable(travel.source, travel.destination):
+                raise RoutingError(
+                    f"destination {travel.destination} is not reachable "
+                    f"from {travel.source}")
+            route = self.compute_route(travel.source, travel.destination)
+            routed.append(travel.with_route(route))
+        progress = dict(config.progress)
+        for travel in routed:
+            if travel.travel_id not in progress:
+                progress[travel.travel_id] = TravelProgress.initial(travel)
+        return Configuration(travels=routed, state=config.state,
+                             arrived=config.arrived, progress=progress)
+
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class SwitchingPolicy(abc.ABC):
+    """``S : Σ -> Σ`` -- advances every message by at most one hop."""
+
+    @abc.abstractmethod
+    def step(self, config: Configuration) -> Configuration:
+        """One switching step.
+
+        Every message that can make progress advances by at most one hop;
+        travels whose flits have all been ejected move from ``T`` to ``A``.
+        """
+
+    @abc.abstractmethod
+    def can_progress(self, config: Configuration) -> bool:
+        """``¬Ω(σ)`` -- is there any message that can make progress?"""
+
+    def measure(self, config: Configuration) -> int:
+        """Default termination measure (may be overridden).
+
+        The default is the refined flit-hop measure, which strictly
+        decreases on every non-deadlocked step of the policies shipped with
+        this library.
+        """
+        from repro.core.measure import flit_hop_measure
+        return flit_hop_measure(config)
+
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class IdentityInjection(InjectionMethod):
+    """``Iid`` -- the identity injection method of the paper (Section V.2).
+
+    All messages are assumed to have been injected at time 0, so the
+    injection method is the identity function.  This trivially satisfies
+    obligation (C-4).
+    """
+
+    def inject(self, config: Configuration) -> Configuration:
+        return config
+
+    def name(self) -> str:
+        return "Iid"

@@ -1,0 +1,181 @@
+"""The deadlock predicate ``Ω`` and deadlock-configuration analysis.
+
+A deadlock-configuration (paper Section III-B) is a configuration in which
+no message can make progress.  The predicate itself is delegated to the
+switching policy (:meth:`repro.core.constituents.SwitchingPolicy.can_progress`);
+this module adds the analysis used by the *necessity* direction of
+Theorem 1: from a deadlock configuration, extract the set ``P`` of
+unavailable ports, show that the next hop of every blocked message lies in
+``P`` and derive a cycle among the ports of ``P``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.configuration import Configuration, NOT_INJECTED
+from repro.core.constituents import SwitchingPolicy
+from repro.network.port import Port
+
+
+def is_deadlock(config: Configuration, switching: SwitchingPolicy) -> bool:
+    """``Ω(σ)``: there are pending messages and none of them can progress."""
+    if config.is_finished():
+        return False
+    return not switching.can_progress(config)
+
+
+@dataclass
+class BlockedMessage:
+    """A pending message that cannot currently advance.
+
+    ``current`` is the port holding its header flit (or ``None`` if the
+    header has not been injected yet) and ``wanted`` the port it needs next.
+    """
+
+    travel_id: int
+    current: Optional[Port]
+    wanted: Optional[Port]
+
+
+@dataclass
+class DeadlockAnalysis:
+    """Result of analysing a (potential) deadlock configuration."""
+
+    is_deadlock: bool
+    blocked: List[BlockedMessage] = field(default_factory=list)
+    unavailable_ports: List[Port] = field(default_factory=list)
+    #: The "knot" edges: for every blocked message holding port ``p`` and
+    #: wanting port ``q``, the pair ``(p, q)``.
+    wait_edges: List[Tuple[Port, Port]] = field(default_factory=list)
+    cycle: Optional[List[Port]] = None
+
+    @property
+    def has_cycle(self) -> bool:
+        return bool(self.cycle)
+
+
+def analyse_deadlock(config: Configuration,
+                     switching: SwitchingPolicy) -> DeadlockAnalysis:
+    """Analyse ``config`` and, if it is deadlocked, extract a wait-for cycle.
+
+    The construction mirrors the necessity proof of Theorem 1 (Section
+    IV-A): the witness set is the set of unavailable ports; for each blocked
+    message holding port ``p`` and needing port ``q``, ``q`` must be
+    unavailable (otherwise the message could move, contradicting the
+    deadlock), so every vertex of the wait-for graph restricted to
+    unavailable ports has an outgoing edge, and any finite graph in which
+    every vertex has a successor contains a cycle.
+    """
+    deadlocked = is_deadlock(config, switching)
+    analysis = DeadlockAnalysis(is_deadlock=deadlocked)
+    if not deadlocked:
+        return analysis
+
+    analysis.unavailable_ports = config.state.unavailable_ports()
+    unavailable: Set[Port] = set(analysis.unavailable_ports)
+
+    # Build the successor map of the paper's necessity argument: for every
+    # blocked message, the ports its worm occupies form a path along its
+    # route (all of them unavailable), and the header's next hop -- also
+    # unavailable, otherwise the message could move -- continues the path
+    # into the worm of another message.  Every dependency edge of this map is
+    # an edge of the port dependency graph (by obligation (C-1)), so a cycle
+    # in it is a cycle of the dependency graph.
+    successor: Dict[Port, Port] = {}
+    for travel in config.travels:
+        record = config.progress.get(travel.travel_id)
+        if record is None:
+            continue
+        head = record.header_position
+        route = record.route
+        if head == record.ejected_position:
+            continue
+        if head == NOT_INJECTED:
+            wanted = route[0]
+            current = None
+        elif head == len(route) - 1:
+            # Header at the destination: ejection is always possible, so this
+            # message cannot be part of a deadlock knot.
+            continue
+        else:
+            current = route[head]
+            wanted = route[head + 1]
+        analysis.blocked.append(
+            BlockedMessage(travel_id=travel.travel_id, current=current,
+                           wanted=wanted))
+        if current is None or wanted is None:
+            continue
+        analysis.wait_edges.append((current, wanted))
+        occupied = record.occupied_route_indices()
+        for earlier, later in zip(occupied, occupied[1:]):
+            if later == earlier + 1:
+                source, target = route[earlier], route[later]
+                if source in unavailable and target in unavailable:
+                    successor.setdefault(source, target)
+        if current in unavailable and wanted in unavailable:
+            successor.setdefault(current, wanted)
+
+    analysis.cycle = _find_cycle_in_functional_graph(successor)
+    return analysis
+
+
+def _find_cycle_in_functional_graph(successor: Dict[Port, Port]
+                                    ) -> Optional[List[Port]]:
+    """Find a cycle in a graph where each vertex has at most one successor.
+
+    In a deadlock, every unavailable port holding a blocked header has an
+    unavailable successor, so following successors from any such port must
+    eventually revisit a port (the graph is finite).  Returns the cycle as a
+    list of ports (without repeating the first port at the end), or ``None``
+    if the graph has no cycle.
+    """
+    visited_globally: Set[Port] = set()
+    for start in successor:
+        if start in visited_globally:
+            continue
+        path: List[Port] = []
+        index_of: Dict[Port, int] = {}
+        current: Optional[Port] = start
+        while current is not None and current not in visited_globally:
+            if current in index_of:
+                return path[index_of[current]:]
+            index_of[current] = len(path)
+            path.append(current)
+            current = successor.get(current)
+        visited_globally.update(path)
+    return None
+
+
+def count_blocked_messages(config: Configuration,
+                           switching: SwitchingPolicy) -> int:
+    """Number of pending messages that cannot advance right now.
+
+    Unlike :func:`is_deadlock`, this is meaningful for non-deadlocked
+    configurations too and is used by the simulation metrics (a congestion
+    indicator).
+    """
+    analysis_total = 0
+    for travel in config.travels:
+        record = config.progress.get(travel.travel_id)
+        if record is None:
+            continue
+        if not _can_travel_progress(config, record):
+            analysis_total += 1
+    return analysis_total
+
+
+def _can_travel_progress(config: Configuration, record) -> bool:
+    """Can the header of the given travel move (inject, advance or eject)?"""
+    head = record.header_position
+    route = record.route
+    if head == record.ejected_position:
+        return True
+    if head == len(route) - 1:
+        return True
+    if head == NOT_INJECTED:
+        target = route[0]
+    else:
+        target = route[head + 1]
+    return config.state.accepts(target, record.travel.travel_id)

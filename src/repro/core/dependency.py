@@ -1,0 +1,205 @@
+"""Port dependency graphs.
+
+Theorem 1 of the paper states that a (deterministic) routing function is
+deadlock-free iff there is no cycle in its *port dependency graph*: the graph
+whose vertices are the ports of the network and whose edges are the pairs of
+ports connected by the routing function.
+
+Two related graphs appear in the methodology:
+
+* the *routing-induced* graph, whose edges are exactly
+  ``{(p, q) | ∃ reachable d . q ∈ R(p, d)}`` -- computed here by enumeration
+  (:func:`routing_dependency_graph`);
+* the *declared* dependency graph supplied by the user as part of the
+  instantiation (``Exy_dep`` for HERMES, Section V.6), represented by the
+  :class:`DependencyGraphSpec` interface.
+
+Obligation (C-1) says the declared graph over-approximates the
+routing-induced graph; obligation (C-2) says it does not over-approximate
+too much (every declared edge is witnessed by a reachable destination);
+obligation (C-3) says the declared graph is acyclic.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.checking.graphs import (
+    CycleSearchResult,
+    DirectedGraph,
+    find_cycle_dfs,
+    is_acyclic_by_networkx,
+    is_acyclic_by_scc,
+    is_acyclic_by_toposort,
+)
+from repro.core.constituents import RoutingFunction
+from repro.core.errors import SpecificationError
+from repro.network.port import Port
+from repro.network.topology import Topology
+
+
+class DependencyGraphSpec(abc.ABC):
+    """A user-declared port dependency graph.
+
+    The specification is given port-wise (``edges_from``), mirroring the
+    paper's definition of ``Exy_dep`` as a function from a port to its set of
+    successor ports.
+    """
+
+    @property
+    @abc.abstractmethod
+    def topology(self) -> Topology:
+        """The topology the graph is defined over."""
+
+    @abc.abstractmethod
+    def edges_from(self, port: Port) -> Set[Port]:
+        """The dependency successors of ``port``."""
+
+    # -- derived ------------------------------------------------------------------
+    def ports(self) -> List[Port]:
+        return self.topology.ports
+
+    def edges(self) -> List[Tuple[Port, Port]]:
+        result: List[Tuple[Port, Port]] = []
+        for port in self.ports():
+            for successor in sorted(self.edges_from(port), key=str):
+                result.append((port, successor))
+        return result
+
+    def has_edge(self, source: Port, target: Port) -> bool:
+        return target in self.edges_from(source)
+
+    def to_graph(self) -> DirectedGraph[Port]:
+        """Materialise the spec as a :class:`DirectedGraph`."""
+        graph: DirectedGraph[Port] = DirectedGraph()
+        for port in self.ports():
+            graph.add_vertex(port)
+        for source, target in self.edges():
+            if not self.topology.has_port(target):
+                raise SpecificationError(
+                    f"dependency edge {source} -> {target} mentions a port "
+                    f"that does not exist in the topology")
+            graph.add_edge(source, target)
+        return graph
+
+    def validate(self) -> None:
+        """Check that every declared edge stays inside the topology."""
+        self.to_graph()
+
+
+class ExplicitDependencySpec(DependencyGraphSpec):
+    """A dependency graph given by an explicit edge dictionary."""
+
+    def __init__(self, topology: Topology,
+                 edges: Dict[Port, Set[Port]]) -> None:
+        self._topology = topology
+        self._edges = {port: set(successors)
+                       for port, successors in edges.items()}
+
+    @property
+    def topology(self) -> Topology:
+        return self._topology
+
+    def edges_from(self, port: Port) -> Set[Port]:
+        return set(self._edges.get(port, set()))
+
+
+def routing_dependency_graph(routing: RoutingFunction,
+                             destinations: Optional[Sequence[Port]] = None,
+                             ) -> DirectedGraph[Port]:
+    """The dependency graph *induced* by a routing function.
+
+    Edges are the pairs ``(p, q)`` such that ``q ∈ R(p, d)`` for some
+    reachable destination ``d``.  This is computed by plain enumeration over
+    all ports and all destinations, which is exact for bounded networks.
+    """
+    topology = routing.topology
+    if destinations is None:
+        destinations = routing.destinations()
+    graph: DirectedGraph[Port] = DirectedGraph()
+    for port in topology.ports:
+        graph.add_vertex(port)
+    for port in topology.ports:
+        for destination in destinations:
+            if port == destination:
+                continue
+            if not routing.reachable(port, destination):
+                continue
+            for successor in routing.next_hops(port, destination):
+                graph.add_edge(port, successor)
+    return graph
+
+
+class AcyclicityReport:
+    """Result of checking a dependency graph for cycles with every method."""
+
+    def __init__(self, graph: DirectedGraph[Port]) -> None:
+        self.graph = graph
+        self.dfs_result: Optional[CycleSearchResult] = None
+        self.by_method: Dict[str, bool] = {}
+
+    @property
+    def acyclic(self) -> bool:
+        if not self.by_method:
+            raise ValueError("no acyclicity check has been run")
+        return all(self.by_method.values())
+
+    @property
+    def consistent(self) -> bool:
+        """Did every method agree?"""
+        values = set(self.by_method.values())
+        return len(values) <= 1
+
+    @property
+    def cycle(self) -> Optional[List[Port]]:
+        if self.dfs_result is None:
+            return None
+        return self.dfs_result.cycle
+
+
+def check_acyclicity(graph: DirectedGraph[Port],
+                     methods: Sequence[str] = ("dfs", "scc", "toposort"),
+                     ) -> AcyclicityReport:
+    """Check acyclicity with several independent methods and cross-compare.
+
+    Supported methods: ``dfs``, ``scc``, ``toposort``, ``networkx``, ``sat``.
+    The SAT method is considerably slower and is only included when asked
+    for (it is exercised by the Fig. 3 benchmark).
+    """
+    report = AcyclicityReport(graph)
+    for method in methods:
+        if method == "dfs":
+            report.dfs_result = find_cycle_dfs(graph)
+            report.by_method["dfs"] = report.dfs_result.acyclic
+        elif method == "scc":
+            report.by_method["scc"] = is_acyclic_by_scc(graph)
+        elif method == "toposort":
+            report.by_method["toposort"] = is_acyclic_by_toposort(graph)
+        elif method == "networkx":
+            report.by_method["networkx"] = is_acyclic_by_networkx(graph)
+        elif method == "sat":
+            from repro.checking.encodings import is_acyclic_by_sat
+
+            report.by_method["sat"] = is_acyclic_by_sat(graph)
+        else:
+            raise ValueError(f"unknown acyclicity method {method!r}")
+    if not report.consistent:
+        raise AssertionError(
+            f"acyclicity checkers disagree: {report.by_method}")
+    return report
+
+
+def graph_statistics(graph: DirectedGraph[Port]) -> Dict[str, int]:
+    """Vertex/edge statistics used by the Fig. 3 benchmark."""
+    in_degrees = graph.in_degrees()
+    return {
+        "vertices": graph.vertex_count,
+        "edges": graph.edge_count,
+        "sources": sum(1 for degree in in_degrees.values() if degree == 0),
+        "sinks": sum(1 for vertex in graph.vertices
+                     if graph.out_degree(vertex) == 0),
+        "max_out_degree": max((graph.out_degree(vertex)
+                               for vertex in graph.vertices), default=0),
+        "max_in_degree": max(in_degrees.values(), default=0),
+    }

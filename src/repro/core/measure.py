@@ -1,0 +1,87 @@
+"""Termination measures for the evacuation theorem.
+
+The Evacuation Theorem (paper Section IV-B) is proven by exhibiting a
+termination measure ``μ(σ)`` that strictly decreases on every non-deadlocked
+switching step -- obligation (C-5).
+
+Two measures are provided:
+
+* :func:`route_length_measure` -- the paper's measure ``μxy``: the sum over
+  all pending travels of the remaining route length of the message (i.e. the
+  number of hops the header still has to make).  It decreases whenever a
+  header flit makes progress.
+* :func:`flit_hop_measure` -- a refinement suited to the flit-level wormhole
+  model of this library: the total number of flit movements (injections,
+  hops and ejections) still required to evacuate the network.  Every flit
+  movement decreases it by exactly one, so it decreases strictly on every
+  non-deadlocked step regardless of which flit moved.
+
+The paper notes (Section VII) that constraint (C-5) "has been proven nearly
+generically, i.e., for any routing algorithm that is not both adaptive and
+non-minimal"; correspondingly both measures here are defined purely in terms
+of configurations and work for every instantiation in this library.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.configuration import Configuration
+
+#: Type of termination measures.
+Measure = Callable[[Configuration], int]
+
+
+def route_length_measure(config: Configuration) -> int:
+    """The paper's ``μxy(σ) = Σ { |m.r| : m ∈ σ.T }``.
+
+    The remaining route length of a travel is the number of hops its header
+    still has to traverse (travels whose header has not been injected yet
+    count their full route).  Arrived travels contribute nothing because they
+    are no longer in ``σ.T``.
+    """
+    total = 0
+    for travel in config.travels:
+        if travel.travel_id in config.progress:
+            total += config.progress[travel.travel_id].remaining_route_length
+        elif travel.has_route:
+            total += travel.route_length
+    return total
+
+
+def flit_hop_measure(config: Configuration) -> int:
+    """Total remaining flit movements needed to evacuate the network.
+
+    Strictly decreases on every switching step in which at least one flit
+    moves (is injected, advances one hop, or is ejected).
+    """
+    total = 0
+    for travel in config.travels:
+        if travel.travel_id in config.progress:
+            total += config.progress[travel.travel_id].remaining_flit_hops()
+        elif travel.has_route:
+            # Not yet routed into a progress record: all flits still have the
+            # whole route plus their injection ahead of them.
+            total += travel.num_flits * (travel.route_length + 1)
+    return total
+
+
+def pending_travel_measure(config: Configuration) -> int:
+    """The crudest measure: the number of travels still pending.
+
+    It is *not* a valid termination measure for (C-5) -- a switching step in
+    which messages advance without any of them arriving leaves it unchanged.
+    It is included as a negative example used by the tests of the obligation
+    checker (a measure for which (C-5) correctly fails to be discharged).
+    """
+    return len(config.travels)
+
+
+def is_strictly_decreasing(values) -> bool:
+    """True when the sequence of measure values is strictly decreasing."""
+    return all(later < earlier for earlier, later in zip(values, values[1:]))
+
+
+def is_non_increasing(values) -> bool:
+    """True when the sequence of measure values never increases."""
+    return all(later <= earlier for earlier, later in zip(values, values[1:]))

@@ -1,0 +1,315 @@
+"""The proof obligations (C-1) ... (C-5) and their discharge engine.
+
+The GeNoC methodology characterises the constituents by proof obligations;
+once the obligations are discharged for an instantiation, the three global
+theorems follow *without* looking at the constituent definitions again
+(paper Fig. 2).  This module provides one checker per obligation, each
+returning an :class:`ObligationResult` that records whether the obligation
+holds, how many elementary checks were performed (the Python analogue of the
+"Thms" column of Table I), the counterexamples found, and the wall-clock time
+spent (the analogue of the "CPU" column).
+
+For bounded networks the obligations are decidable and the checkers are
+exact (exhaustive enumeration).  The parametric argument for (C-3) on the
+HERMES mesh (the paper's flows proof, Fig. 4) is provided separately by
+:mod:`repro.hermes.flows` as a rank-certificate check and is reported through
+the same :class:`ObligationResult` interface.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.checking.graphs import DirectedGraph
+from repro.core.configuration import Configuration
+from repro.core.constituents import (
+    InjectionMethod,
+    RoutingFunction,
+    SwitchingPolicy,
+)
+from repro.core.deadlock import is_deadlock
+from repro.core.dependency import (
+    DependencyGraphSpec,
+    check_acyclicity,
+    routing_dependency_graph,
+)
+from repro.core.errors import ObligationViolation
+from repro.core.measure import Measure
+from repro.core.witness import WitnessDestination
+from repro.network.port import Port
+
+
+@dataclass
+class ObligationResult:
+    """Outcome of discharging one proof obligation."""
+
+    name: str
+    holds: bool
+    #: Number of elementary checks performed (case distinctions, edges
+    #: examined, simulation steps verified, ...).
+    checks: int = 0
+    #: Human-readable descriptions of the counterexamples found (empty when
+    #: the obligation holds).
+    counterexamples: List[str] = field(default_factory=list)
+    #: Wall-clock seconds spent discharging the obligation.
+    elapsed_seconds: float = 0.0
+    #: Additional details (per-method verdicts, statistics, ...).
+    details: Dict[str, object] = field(default_factory=dict)
+
+    def raise_if_violated(self) -> None:
+        if not self.holds:
+            summary = "; ".join(self.counterexamples[:3]) or "violated"
+            raise ObligationViolation(self.name, summary)
+
+    def __str__(self) -> str:
+        status = "holds" if self.holds else "VIOLATED"
+        return (f"{self.name}: {status} "
+                f"({self.checks} checks, {self.elapsed_seconds:.3f}s)")
+
+
+def _timed(function: Callable[[], Tuple[bool, int, List[str], Dict[str, object]]],
+           name: str) -> ObligationResult:
+    start = time.perf_counter()
+    holds, checks, counterexamples, details = function()
+    elapsed = time.perf_counter() - start
+    return ObligationResult(name=name, holds=holds, checks=checks,
+                            counterexamples=counterexamples,
+                            elapsed_seconds=elapsed, details=details)
+
+
+# ---------------------------------------------------------------------------
+# (C-1): every routing hop (for reachable destinations) is a declared edge
+# ---------------------------------------------------------------------------
+
+def check_c1(routing: RoutingFunction, spec: DependencyGraphSpec,
+             destinations: Optional[Sequence[Port]] = None,
+             max_counterexamples: int = 10) -> ObligationResult:
+    """(C-1): ``∀ s, d, p ∈ R(s, d) . s R d ⟹ (s, p) ∈ E_dep``."""
+
+    def run() -> Tuple[bool, int, List[str], Dict[str, object]]:
+        topology = routing.topology
+        dests = list(destinations) if destinations is not None \
+            else routing.destinations()
+        checks = 0
+        counterexamples: List[str] = []
+        for source in topology.ports:
+            declared = spec.edges_from(source)
+            for destination in dests:
+                if source == destination:
+                    continue
+                if not routing.reachable(source, destination):
+                    continue
+                for hop in routing.next_hops(source, destination):
+                    checks += 1
+                    if hop not in declared:
+                        if len(counterexamples) < max_counterexamples:
+                            counterexamples.append(
+                                f"R({source}, {destination}) = {hop} but "
+                                f"({source}, {hop}) is not a declared edge")
+        return (not counterexamples, checks, counterexamples,
+                {"destinations": len(dests)})
+
+    return _timed(run, "C-1")
+
+
+# ---------------------------------------------------------------------------
+# (C-2): every declared edge has a witness destination
+# ---------------------------------------------------------------------------
+
+def check_c2(routing: RoutingFunction, spec: DependencyGraphSpec,
+             witness_destination: Optional[WitnessDestination] = None,
+             max_counterexamples: int = 10) -> ObligationResult:
+    """(C-2): ``∀ (p0, p1) ∈ E_dep ∃ d . p0 R d ∧ p1 ∈ R(p0, d)``.
+
+    When a ``witness_destination`` function is supplied (the paper's
+    ``find_dest``), it is used directly and the obligation additionally
+    checks that the witness it produces is correct.  Otherwise the checker
+    falls back to enumerating all destinations.
+    """
+
+    def run() -> Tuple[bool, int, List[str], Dict[str, object]]:
+        checks = 0
+        counterexamples: List[str] = []
+        used_fallback = 0
+        for source, target in spec.edges():
+            checks += 1
+            if witness_destination is not None:
+                destination = witness_destination(source, target)
+                if (destination is not None
+                        and routing.reachable(source, destination)
+                        and target in routing.next_hops(source, destination)):
+                    continue
+                # The declared witness failed; fall back to enumeration so the
+                # counterexample message can distinguish "no witness at all"
+                # from "the find_dest witness is wrong".
+            found = None
+            for destination in routing.destinations():
+                if source == destination:
+                    continue
+                if not routing.reachable(source, destination):
+                    continue
+                if target in routing.next_hops(source, destination):
+                    found = destination
+                    break
+            if found is None:
+                if len(counterexamples) < max_counterexamples:
+                    counterexamples.append(
+                        f"edge ({source}, {target}) has no witness destination")
+            elif witness_destination is not None:
+                used_fallback += 1
+                if len(counterexamples) < max_counterexamples:
+                    counterexamples.append(
+                        f"find_dest gave a wrong witness for ({source}, {target}); "
+                        f"enumeration found {found}")
+        return (not counterexamples, checks, counterexamples,
+                {"edges": checks, "fallback_witnesses": used_fallback})
+
+    return _timed(run, "C-2")
+
+
+# ---------------------------------------------------------------------------
+# (C-3): the declared dependency graph has no cycle
+# ---------------------------------------------------------------------------
+
+def check_c3(spec: DependencyGraphSpec,
+             methods: Sequence[str] = ("dfs", "scc", "toposort"),
+             ) -> ObligationResult:
+    """(C-3): ``∀ P' ⊆ P . ¬ cycle_dep(P')`` -- the graph is acyclic."""
+
+    def run() -> Tuple[bool, int, List[str], Dict[str, object]]:
+        graph = spec.to_graph()
+        report = check_acyclicity(graph, methods=methods)
+        counterexamples: List[str] = []
+        if not report.acyclic:
+            cycle = report.cycle or []
+            counterexamples.append(
+                "dependency cycle: " + " -> ".join(str(p) for p in cycle))
+        checks = graph.edge_count * len(methods)
+        details: Dict[str, object] = {
+            "vertices": graph.vertex_count,
+            "edges": graph.edge_count,
+            "methods": dict(report.by_method),
+        }
+        if report.cycle:
+            details["cycle"] = [str(p) for p in report.cycle]
+        return (report.acyclic, checks, counterexamples, details)
+
+    return _timed(run, "C-3")
+
+
+def check_c3_routing_induced(routing: RoutingFunction,
+                             methods: Sequence[str] = ("dfs",),
+                             ) -> ObligationResult:
+    """(C-3) applied to the routing-induced graph instead of the declared one.
+
+    Useful for routing functions that do not come with a declared dependency
+    graph (the baselines of :mod:`repro.routing`).
+    """
+
+    def run() -> Tuple[bool, int, List[str], Dict[str, object]]:
+        graph = routing_dependency_graph(routing)
+        report = check_acyclicity(graph, methods=methods)
+        counterexamples: List[str] = []
+        if not report.acyclic:
+            cycle = report.cycle or []
+            counterexamples.append(
+                "dependency cycle: " + " -> ".join(str(p) for p in cycle))
+        details: Dict[str, object] = {
+            "vertices": graph.vertex_count,
+            "edges": graph.edge_count,
+            "methods": dict(report.by_method),
+        }
+        if report.cycle:
+            details["cycle"] = [str(p) for p in report.cycle]
+        return (report.acyclic, graph.edge_count * len(methods),
+                counterexamples, details)
+
+    return _timed(run, "C-3(induced)")
+
+
+# ---------------------------------------------------------------------------
+# (C-4): the injection method is the identity
+# ---------------------------------------------------------------------------
+
+def check_c4(injection: InjectionMethod,
+             configurations: Sequence[Configuration]) -> ObligationResult:
+    """(C-4): ``I(σ) = σ`` on every supplied configuration.
+
+    The obligation is checked extensionally on a family of configurations
+    (the benchmark harness passes the initial configurations of all its
+    workloads): injecting must change neither the pending travels, nor the
+    arrived travels, nor any port buffer.
+    """
+
+    def run() -> Tuple[bool, int, List[str], Dict[str, object]]:
+        checks = 0
+        counterexamples: List[str] = []
+        for index, config in enumerate(configurations):
+            checks += 1
+            injected = injection.inject(config)
+            same_travels = ([t.travel_id for t in injected.travels]
+                            == [t.travel_id for t in config.travels])
+            same_arrived = ([t.travel_id for t in injected.arrived]
+                            == [t.travel_id for t in config.arrived])
+            same_state = (injected.state.occupancy_map()
+                          == config.state.occupancy_map())
+            if not (same_travels and same_arrived and same_state):
+                counterexamples.append(
+                    f"I(σ) ≠ σ for configuration #{index}")
+        return (not counterexamples, checks, counterexamples, {})
+
+    return _timed(run, "C-4")
+
+
+# ---------------------------------------------------------------------------
+# (C-5): the termination measure decreases on every non-deadlocked step
+# ---------------------------------------------------------------------------
+
+def check_c5(switching: SwitchingPolicy, measure: Measure,
+             configurations: Sequence[Configuration],
+             max_steps: int = 100_000,
+             strict: bool = True) -> ObligationResult:
+    """(C-5): ``σ.T ≠ ∅ ∧ ¬Ω(σ) ⟹ μ(S(R(σ))) < μ(σ)``.
+
+    The obligation is discharged by running the switching policy on each
+    supplied (already-routed) configuration and checking the measure after
+    every step.  With ``strict=False`` only non-increase is required, which
+    is what the paper's coarser route-length measure satisfies in the
+    flit-accurate model (see :mod:`repro.core.measure`).
+    """
+
+    def run() -> Tuple[bool, int, List[str], Dict[str, object]]:
+        checks = 0
+        counterexamples: List[str] = []
+        total_steps = 0
+        for index, initial in enumerate(configurations):
+            config = initial.copy()
+            previous = measure(config)
+            steps = 0
+            while config.travels and not is_deadlock(config, switching):
+                if steps >= max_steps:
+                    counterexamples.append(
+                        f"configuration #{index}: exceeded {max_steps} steps")
+                    break
+                config = switching.step(config)
+                current = measure(config)
+                checks += 1
+                steps += 1
+                violated = (current >= previous) if strict \
+                    else (current > previous)
+                if violated:
+                    relation = "<" if strict else "<="
+                    counterexamples.append(
+                        f"configuration #{index}, step {steps}: measure went "
+                        f"from {previous} to {current} (expected strictly "
+                        f"{relation} previous)")
+                    break
+                previous = current
+            total_steps += steps
+        return (not counterexamples, checks, counterexamples,
+                {"total_steps": total_steps,
+                 "configurations": len(configurations)})
+
+    return _timed(run, "C-5")

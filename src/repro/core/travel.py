@@ -1,0 +1,123 @@
+"""Travels: the unit of communication of GeNoC.
+
+The paper (Section III-B) defines a travel as a triple ``<id, c, d>`` where
+``id`` is a unique identifier, ``c`` the current location and ``d`` the
+destination port.  For the HERMES instantiation travels are extended with a
+pre-computed route ``t.r`` (Section V.5) and, because HERMES uses wormhole
+switching, with a flit count.
+
+:class:`Travel` stores the static description of a message; the dynamic
+progress of its flits through the network lives in
+:class:`repro.core.state.NetworkState` and in the per-travel
+:class:`TravelProgress` records of a configuration.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.network.flit import Flit, make_flits
+from repro.network.port import Port
+
+_id_counter = itertools.count()
+
+
+def fresh_travel_id() -> int:
+    """Return a process-unique travel identifier."""
+    return next(_id_counter)
+
+
+@dataclass(frozen=True)
+class Travel:
+    """A message to be sent across the network.
+
+    Attributes
+    ----------
+    travel_id:
+        Unique identifier (the ``id`` of the paper's triple).
+    source:
+        The port at which the message is injected -- for HERMES the local
+        in-port of the originating node.
+    destination:
+        The port at which the message leaves the network -- for HERMES the
+        local out-port of the destination node (the ``d`` of the triple).
+    num_flits:
+        Number of flits of the message (>= 1).  Header + body flits; the
+        paper leaves the message size uninterpreted, so it is a parameter.
+    route:
+        The pre-computed route ``t.r`` (a sequence of ports from ``source``
+        to ``destination``), or ``None`` before the routing function has been
+        applied.
+    """
+
+    travel_id: int
+    source: Port
+    destination: Port
+    num_flits: int = 1
+    route: Optional[Tuple[Port, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.num_flits < 1:
+            raise ValueError("a travel carries at least one flit")
+
+    # -- route handling -------------------------------------------------------
+    @property
+    def has_route(self) -> bool:
+        return self.route is not None
+
+    def with_route(self, route: Sequence[Port]) -> "Travel":
+        """Return a copy of the travel carrying the given route."""
+        route_tuple = tuple(route)
+        if not route_tuple:
+            raise ValueError("a route has at least one port")
+        if route_tuple[0] != self.source:
+            raise ValueError(
+                f"route starts at {route_tuple[0]}, expected source {self.source}"
+            )
+        if route_tuple[-1] != self.destination:
+            raise ValueError(
+                f"route ends at {route_tuple[-1]}, "
+                f"expected destination {self.destination}"
+            )
+        return replace(self, route=route_tuple)
+
+    @property
+    def route_length(self) -> int:
+        """Number of hops of the route (``|t.r|`` of the paper)."""
+        if self.route is None:
+            raise ValueError(f"travel {self.travel_id} has no route yet")
+        return len(self.route)
+
+    # -- flits ------------------------------------------------------------------
+    def flits(self) -> List[Flit]:
+        """The flit sequence of this message (header first)."""
+        return make_flits(self.travel_id, self.num_flits)
+
+    def __str__(self) -> str:
+        route = "?" if self.route is None else f"{len(self.route)} hops"
+        return (f"Travel#{self.travel_id} {self.source} -> {self.destination} "
+                f"({self.num_flits} flits, route: {route})")
+
+
+def make_travel(source: Port, destination: Port, num_flits: int = 1,
+                travel_id: Optional[int] = None) -> Travel:
+    """Convenience constructor allocating a fresh identifier if needed."""
+    if travel_id is None:
+        travel_id = fresh_travel_id()
+    return Travel(travel_id=travel_id, source=source, destination=destination,
+                  num_flits=num_flits)
+
+
+def check_unique_ids(travels: Sequence[Travel]) -> None:
+    """Raise if two travels share an identifier.
+
+    GeNoC requires travel identifiers to be unique (they key the arrived
+    list and the per-travel progress records).
+    """
+    seen = set()
+    for travel in travels:
+        if travel.travel_id in seen:
+            raise ValueError(f"duplicate travel id {travel.travel_id}")
+        seen.add(travel.travel_id)

@@ -1,0 +1,160 @@
+"""Constructive witnesses for both directions of Theorem 1.
+
+Theorem 1 (paper Section IV-A) is an equivalence:
+
+* **necessity** -- from a deadlock configuration one can construct a cycle in
+  the port dependency graph (implemented in
+  :func:`repro.core.deadlock.analyse_deadlock`);
+* **sufficiency** -- from a cycle in the dependency graph one can construct a
+  deadlock configuration: every port of the cycle is filled with messages
+  whose next hop (by constraint (C-2)) is the next port of the cycle, so no
+  message can move.
+
+This module implements the sufficiency construction executably
+(:func:`cycle_to_deadlock_configuration`) and a round-trip check
+(:func:`verify_witness_roundtrip`) that builds the deadlock configuration
+from a cycle, confirms with the switching policy that it is indeed a
+deadlock, and then re-extracts a cycle from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.configuration import Configuration, TravelProgress
+from repro.core.constituents import RoutingFunction, SwitchingPolicy
+from repro.core.deadlock import DeadlockAnalysis, analyse_deadlock, is_deadlock
+from repro.core.errors import SpecificationError
+from repro.core.state import NetworkState
+from repro.core.travel import Travel
+from repro.network.port import Port
+from repro.network.topology import Topology
+
+#: A witness-destination function: given a dependency edge ``(p0, p1)``,
+#: return a reachable destination ``d`` such that ``p1 ∈ R(p0, d)``
+#: (the ``find_dest`` of the paper, Section VI-A).
+WitnessDestination = Callable[[Port, Port], Port]
+
+
+@dataclass
+class DeadlockWitness:
+    """A constructed deadlock configuration plus its provenance."""
+
+    configuration: Configuration
+    cycle: List[Port]
+    #: One travel per cycle port, in cycle order.
+    travels: List[Travel] = field(default_factory=list)
+    #: Destination chosen for each cycle port.
+    destinations: List[Port] = field(default_factory=list)
+
+
+def cycle_to_deadlock_configuration(
+        cycle: Sequence[Port],
+        routing: RoutingFunction,
+        witness_destination: WitnessDestination,
+        capacity: int = 1,
+        extra_flits: int = 0) -> DeadlockWitness:
+    """Build a deadlock configuration from a dependency-graph cycle.
+
+    For every consecutive pair ``(p_i, p_{i+1})`` of the cycle a message is
+    created whose header currently occupies ``p_i`` (filling all of its
+    buffers) and whose destination ``d_i = witness_destination(p_i, p_{i+1})``
+    makes the routing function choose ``p_{i+1}`` as the next hop.  Since all
+    cycle ports are full and owned by distinct messages, no header can
+    advance: the configuration is a deadlock.
+
+    Parameters
+    ----------
+    cycle:
+        The ports of the cycle, in order (the edge from the last port back to
+        the first is implicit).
+    routing:
+        The (deterministic) routing function under test.
+    witness_destination:
+        The (C-2) witness function.
+    capacity:
+        Buffer capacity of every port of the constructed state.
+    extra_flits:
+        Additional flits per message beyond the ``capacity`` flits needed to
+        fill the holding port (they remain queued at the source).
+    """
+    if len(cycle) < 2:
+        raise SpecificationError("a dependency cycle has at least two ports")
+    if not routing.is_deterministic:
+        raise SpecificationError(
+            "the sufficiency construction of Theorem 1 applies to "
+            "deterministic routing functions")
+
+    topology = routing.topology
+    state = NetworkState.empty(topology, capacity=capacity)
+    travels: List[Travel] = []
+    destinations: List[Port] = []
+    progress = {}
+
+    for index, port in enumerate(cycle):
+        next_port = cycle[(index + 1) % len(cycle)]
+        destination = witness_destination(port, next_port)
+        if not routing.reachable(port, destination):
+            raise SpecificationError(
+                f"witness destination {destination} is not reachable from "
+                f"{port}")
+        hops = routing.next_hops(port, destination)
+        if next_port not in hops:
+            raise SpecificationError(
+                f"witness destination {destination} does not route "
+                f"{port} -> {next_port} (got {[str(h) for h in hops]}); "
+                f"obligation (C-2) fails for this edge")
+        route = routing.compute_route(port, destination)
+        num_flits = capacity + max(extra_flits, 0)
+        travel = Travel(travel_id=1000 + index, source=port,
+                        destination=destination, num_flits=num_flits,
+                        route=tuple(route))
+        record = TravelProgress.initial(travel)
+        # Fill the holding port with the first ``capacity`` flits.
+        for flit_index, flit in enumerate(travel.flits()):
+            if flit_index < capacity:
+                state.accept_flit(port, flit)
+                record.positions[flit_index] = 0
+        travels.append(travel)
+        destinations.append(destination)
+        progress[travel.travel_id] = record
+
+    configuration = Configuration(travels=travels, state=state, arrived=[],
+                                  progress=progress)
+    return DeadlockWitness(configuration=configuration, cycle=list(cycle),
+                           travels=travels, destinations=destinations)
+
+
+@dataclass
+class WitnessRoundTrip:
+    """Result of the cycle -> deadlock -> cycle round trip."""
+
+    witness: DeadlockWitness
+    is_deadlock: bool
+    analysis: DeadlockAnalysis
+    recovered_cycle: Optional[List[Port]]
+
+    @property
+    def success(self) -> bool:
+        return self.is_deadlock and self.recovered_cycle is not None
+
+
+def verify_witness_roundtrip(cycle: Sequence[Port],
+                             routing: RoutingFunction,
+                             switching: SwitchingPolicy,
+                             witness_destination: WitnessDestination,
+                             capacity: int = 1) -> WitnessRoundTrip:
+    """Exercise both directions of Theorem 1 on a concrete cycle.
+
+    1. (sufficiency) build a deadlock configuration from the cycle;
+    2. confirm with the switching policy that it is a deadlock (``Ω`` holds);
+    3. (necessity) re-extract a cycle from the deadlock configuration.
+    """
+    witness = cycle_to_deadlock_configuration(
+        cycle, routing, witness_destination, capacity=capacity)
+    deadlocked = is_deadlock(witness.configuration, switching)
+    analysis = analyse_deadlock(witness.configuration, switching)
+    return WitnessRoundTrip(witness=witness, is_deadlock=deadlocked,
+                            analysis=analysis,
+                            recovered_cycle=analysis.cycle)

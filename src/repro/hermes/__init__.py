@@ -1,0 +1,70 @@
+"""The HERMES instantiation of GeNoC (paper Sections II, V and VI).
+
+This package is the "user input" of the methodology for a parametric 2D-mesh
+NoC inspired by HERMES:
+
+* :mod:`repro.hermes.ports` -- the port algebra: ``next_outs`` and
+  ``find_dest`` (Sections V.6 and VI-A).
+* :mod:`repro.hermes.routing` -- re-exports the XY routing function ``Rxy``.
+* :mod:`repro.hermes.injection` -- the identity injection method ``Iid``.
+* :mod:`repro.hermes.dependency` -- the declared dependency graph
+  ``Exy_dep``.
+* :mod:`repro.hermes.flows` -- the flows of Fig. 4 and the rank certificate
+  that discharges (C-3) parametrically.
+* :mod:`repro.hermes.proofs` -- the discharge of (C-1) ... (C-5) for
+  concrete mesh sizes plus the parametric certificate.
+* :mod:`repro.hermes.instantiation` -- ``GeNoC2D``: bundling everything into
+  a :class:`~repro.core.instance.NoCInstance`.
+"""
+
+from repro.hermes.ports import next_outs, find_dest
+from repro.hermes.injection import Iid
+from repro.hermes.dependency import ExyDependencySpec, build_exy_graph
+from repro.hermes.flows import (
+    Flow,
+    FlowAnalysis,
+    analyse_flows,
+    hermes_rank,
+    check_rank_certificate_on_mesh,
+    check_rank_case_analysis,
+)
+from repro.hermes.instantiation import (
+    HermesInstance,
+    build_hermes_instance,
+    GeNoC2D,
+)
+from repro.hermes.proofs import (
+    discharge_c1_xy,
+    discharge_c2_xy,
+    discharge_c3_xy,
+    discharge_c4_iid,
+    discharge_c5_wh,
+    discharge_all,
+    HermesProofReport,
+)
+from repro.routing.xy import XYRouting as Rxy
+
+__all__ = [
+    "next_outs",
+    "find_dest",
+    "Iid",
+    "ExyDependencySpec",
+    "build_exy_graph",
+    "Flow",
+    "FlowAnalysis",
+    "analyse_flows",
+    "hermes_rank",
+    "check_rank_certificate_on_mesh",
+    "check_rank_case_analysis",
+    "HermesInstance",
+    "build_hermes_instance",
+    "GeNoC2D",
+    "discharge_c1_xy",
+    "discharge_c2_xy",
+    "discharge_c3_xy",
+    "discharge_c4_iid",
+    "discharge_c5_wh",
+    "discharge_all",
+    "HermesProofReport",
+    "Rxy",
+]

@@ -1,0 +1,16 @@
+"""The HERMES injection method ``Iid``.
+
+All messages are assumed to be injected at time 0 (paper Section V.2), so
+the injection method is the identity function; obligation (C-4) is immediate.
+"""
+
+from __future__ import annotations
+
+from repro.core.constituents import IdentityInjection
+
+
+class Iid(IdentityInjection):
+    """The identity injection method of the HERMES instantiation."""
+
+    def name(self) -> str:
+        return "Iid"

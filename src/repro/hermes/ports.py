@@ -1,0 +1,84 @@
+"""The HERMES port algebra: ``next_outs`` and ``find_dest``.
+
+``next_outs(p)`` (paper Section V.6) returns the set of out-ports an in-port
+may depend on -- it encodes which turns XY routing can take at a switch:
+
+* the local out-port (delivery) is always possible;
+* the West out-port is possible only for packets arriving from the East or
+  from the local core (XY routing never turns back West after going East,
+  North or South);
+* the East out-port is possible only for packets arriving from the West or
+  the local core;
+* the North out-port is possible for every arrival except from the North
+  (no U-turn) -- note that arrivals from the East/West may turn North, but
+  arrivals from the North never do;
+* symmetrically for the South out-port.
+
+``find_dest(p)`` (paper Section VI-A) returns the nearest destination port
+reachable from ``p`` and is the witness function for obligation (C-2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.network.mesh import Mesh2D
+from repro.network.port import (
+    Direction,
+    Port,
+    PortName,
+    next_in,
+    trans,
+)
+
+
+def next_outs(port: Port, mesh: Optional[Mesh2D] = None) -> Set[Port]:
+    """The set of out-ports connected to an in-port by ``Exy_dep``.
+
+    When a ``mesh`` is given, out-ports that do not exist on that mesh
+    (because the node is on the boundary) are filtered out.
+    """
+    if port.direction is not Direction.IN:
+        raise ValueError(f"next_outs is defined on in-ports, got {port}")
+    result: Set[Port] = {trans(port, PortName.LOCAL, Direction.OUT)}
+    if port.name in (PortName.EAST, PortName.LOCAL):
+        result.add(trans(port, PortName.WEST, Direction.OUT))
+    if port.name in (PortName.WEST, PortName.LOCAL):
+        result.add(trans(port, PortName.EAST, Direction.OUT))
+    if port.name is not PortName.NORTH:
+        result.add(trans(port, PortName.NORTH, Direction.OUT))
+    if port.name is not PortName.SOUTH:
+        result.add(trans(port, PortName.SOUTH, Direction.OUT))
+    if mesh is not None:
+        result = {candidate for candidate in result if mesh.has_port(candidate)}
+    return result
+
+
+def find_dest(port: Port, mesh: Optional[Mesh2D] = None) -> Port:
+    """The nearest destination (local out-port) reachable from ``port``.
+
+    * for an in-port, the local out-port of the same node;
+    * for a cardinal out-port, the local out-port of the neighbouring node it
+      feeds;
+    * for a local out-port, the port itself (it already is a destination).
+    """
+    if port.direction is Direction.IN:
+        return trans(port, PortName.LOCAL, Direction.OUT)
+    if port.name is PortName.LOCAL:
+        return port
+    neighbour = next_in(port)
+    if mesh is not None and not mesh.has_port(neighbour):
+        raise ValueError(
+            f"out-port {port} points outside the mesh; it has no destination")
+    return trans(neighbour, PortName.LOCAL, Direction.OUT)
+
+
+def witness_destination(edge_source: Port, edge_target: Port,
+                        mesh: Optional[Mesh2D] = None) -> Port:
+    """The (C-2) witness for a dependency edge ``(p0, p1)``.
+
+    Following the paper (Section VI-A), the witness is the nearest
+    destination reachable from the *target* port ``p1``: messages in ``p0``
+    destined there take ``p1`` as their next hop.
+    """
+    return find_dest(edge_target, mesh)

@@ -1,0 +1,49 @@
+"""Network model substrate for the GeNoC reproduction.
+
+This package provides the concrete data structures that parametric NoC
+specifications are built from:
+
+* :mod:`repro.network.port` -- ports, the atomic addressable resources of the
+  paper's port-level formalization (Section V.1 of the paper).
+* :mod:`repro.network.flit` -- flits, the unit of wormhole switching.
+* :mod:`repro.network.buffers` -- FIFO flit buffers attached to ports.
+* :mod:`repro.network.node` -- processing nodes (switch + local IP ports).
+* :mod:`repro.network.topology` -- generic topology machinery.
+* :mod:`repro.network.mesh` -- the 2D-mesh topology of HERMES (Fig. 1a).
+* :mod:`repro.network.torus`, :mod:`repro.network.ring` -- additional
+  topologies used by the extension instantiations.
+"""
+
+from repro.network.port import (
+    Direction,
+    PortName,
+    Port,
+    trans,
+    next_in,
+    opposite,
+)
+from repro.network.flit import Flit, FlitKind
+from repro.network.buffers import FlitBuffer, PortState
+from repro.network.node import Node
+from repro.network.topology import Topology
+from repro.network.mesh import Mesh2D
+from repro.network.torus import Torus2D
+from repro.network.ring import Ring
+
+__all__ = [
+    "Direction",
+    "PortName",
+    "Port",
+    "trans",
+    "next_in",
+    "opposite",
+    "Flit",
+    "FlitKind",
+    "FlitBuffer",
+    "PortState",
+    "Node",
+    "Topology",
+    "Mesh2D",
+    "Torus2D",
+    "Ring",
+]

@@ -1,0 +1,99 @@
+"""The 2D-mesh topology of HERMES (paper Fig. 1a).
+
+A ``width x height`` mesh has one node per coordinate pair ``(x, y)`` with
+``0 <= x < width`` and ``0 <= y < height``.  Following the paper's coordinate
+convention, ``x`` grows Eastwards and ``y`` grows Southwards, so node
+``(0, 0)`` is the North-West corner.
+
+Boundary nodes only have the cardinal ports for which a neighbour exists:
+e.g. node ``(0, 0)`` of a 2x2 mesh has East, South and Local ports only.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.network.node import Node
+from repro.network.port import (
+    Direction,
+    OFFSETS,
+    Port,
+    PortName,
+    next_in,
+)
+from repro.network.topology import Topology
+
+
+class Mesh2D(Topology):
+    """A ``width x height`` 2D mesh of HERMES-style nodes."""
+
+    def __init__(self, width: int, height: int) -> None:
+        if width < 1 or height < 1:
+            raise ValueError("mesh dimensions must be at least 1x1")
+        self.width = int(width)
+        self.height = int(height)
+        super().__init__()
+
+    # -- Topology primitives ---------------------------------------------------
+    def build_nodes(self) -> Iterable[Node]:
+        for y in range(self.height):
+            for x in range(self.width):
+                yield Node(x, y, present_names=self._present_names(x, y))
+
+    def _present_names(self, x: int, y: int) -> Tuple[PortName, ...]:
+        names: List[PortName] = []
+        for name in (PortName.EAST, PortName.WEST, PortName.NORTH,
+                     PortName.SOUTH):
+            dx, dy = OFFSETS[name]
+            if self.in_bounds(x + dx, y + dy):
+                names.append(name)
+        names.append(PortName.LOCAL)
+        return tuple(names)
+
+    def connect(self, out_port: Port) -> Optional[Port]:
+        if out_port.name is PortName.LOCAL:
+            return None
+        target = next_in(out_port)
+        if not self.in_bounds(target.x, target.y):
+            return None
+        return target
+
+    # -- mesh-specific helpers ---------------------------------------------------
+    def in_bounds(self, x: int, y: int) -> bool:
+        return 0 <= x < self.width and 0 <= y < self.height
+
+    def coordinates(self) -> List[Tuple[int, int]]:
+        return [(x, y) for y in range(self.height) for x in range(self.width)]
+
+    def manhattan_distance(self, a: Tuple[int, int], b: Tuple[int, int]) -> int:
+        return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+    def is_corner(self, x: int, y: int) -> bool:
+        return (x in (0, self.width - 1)) and (y in (0, self.height - 1))
+
+    def is_edge(self, x: int, y: int) -> bool:
+        """On the boundary (includes corners)."""
+        return (x in (0, self.width - 1)) or (y in (0, self.height - 1))
+
+    def expected_port_count(self) -> int:
+        """Closed-form port count, used as a structural cross-check.
+
+        Each node contributes 2 local ports plus 2 ports per existing
+        neighbour; the number of (directed) node adjacencies in a
+        ``w x h`` mesh is ``2*(w*(h-1) + h*(w-1))``.
+        """
+        w, h = self.width, self.height
+        adjacencies = 2 * (w * (h - 1) + h * (w - 1))
+        return 2 * w * h + 2 * adjacencies
+
+    def __str__(self) -> str:
+        return f"Mesh2D({self.width}x{self.height})"
+
+    def ascii_art(self) -> str:
+        """A small ASCII rendering of the mesh (used by examples)."""
+        rows = []
+        for y in range(self.height):
+            rows.append(" -- ".join(f"({x},{y})" for x in range(self.width)))
+            if y < self.height - 1:
+                rows.append("   |    " * self.width)
+        return "\n".join(rows)

@@ -1,0 +1,93 @@
+"""Processing nodes: an IP core plus a switch with five bidirectional ports.
+
+The paper (Fig. 1b) models a HERMES processing node as a central switch with
+in- and out-ports for each cardinal direction plus a local in-port (message
+injection from the IP core) and a local out-port (message ejection to the IP
+core).  Nodes at the boundary of the mesh simply lack the ports that would
+point outside the mesh.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.network.port import CARDINALS, Direction, Port, PortName
+
+
+@dataclass
+class Node:
+    """A processing node identified by its coordinates.
+
+    Attributes
+    ----------
+    x, y:
+        Node coordinates in the topology.
+    present_names:
+        The port names physically present on this node.  A corner node of a
+        mesh has only two cardinal names plus LOCAL; an interior node has all
+        five.
+    """
+
+    x: int
+    y: int
+    present_names: Tuple[PortName, ...] = field(
+        default=(PortName.EAST, PortName.WEST, PortName.NORTH, PortName.SOUTH,
+                 PortName.LOCAL)
+    )
+
+    @property
+    def coordinates(self) -> Tuple[int, int]:
+        return (self.x, self.y)
+
+    def ports(self) -> List[Port]:
+        """All ports of the node (one IN and one OUT per present name)."""
+        result: List[Port] = []
+        for name in self.present_names:
+            result.append(Port(self.x, self.y, name, Direction.IN))
+            result.append(Port(self.x, self.y, name, Direction.OUT))
+        return result
+
+    def port(self, name: PortName, direction: Direction) -> Port:
+        """The port of this node with the given name and direction."""
+        if name not in self.present_names:
+            raise KeyError(f"node {self.coordinates} has no {name.value} port")
+        return Port(self.x, self.y, name, direction)
+
+    def in_ports(self) -> List[Port]:
+        return [p for p in self.ports() if p.is_input]
+
+    def out_ports(self) -> List[Port]:
+        return [p for p in self.ports() if p.is_output]
+
+    def cardinal_names(self) -> List[PortName]:
+        return [name for name in self.present_names if name in CARDINALS]
+
+    @property
+    def local_in(self) -> Port:
+        """The injection port of the node (from the IP core into the switch)."""
+        return Port(self.x, self.y, PortName.LOCAL, Direction.IN)
+
+    @property
+    def local_out(self) -> Port:
+        """The ejection port of the node (from the switch to the IP core)."""
+        return Port(self.x, self.y, PortName.LOCAL, Direction.OUT)
+
+    @property
+    def degree(self) -> int:
+        """Number of cardinal neighbours of this node."""
+        return len(self.cardinal_names())
+
+    def __str__(self) -> str:
+        names = "".join(name.value for name in self.present_names)
+        return f"Node({self.x},{self.y})[{names}]"
+
+
+def node_index(nodes: Iterable[Node]) -> Dict[Tuple[int, int], Node]:
+    """Index a collection of nodes by their coordinates."""
+    index: Dict[Tuple[int, int], Node] = {}
+    for node in nodes:
+        if node.coordinates in index:
+            raise ValueError(f"duplicate node at {node.coordinates}")
+        index[node.coordinates] = node
+    return index

@@ -1,0 +1,63 @@
+"""A unidirectional/bidirectional ring topology.
+
+Rings are the degenerate 1-D case of the torus and the base structure of the
+Spidergon topology (the GeNoC lineage's other published case study, used here
+by :mod:`repro.spidergon`).  Nodes are laid out along the x-axis with y = 0;
+the East port of the last node wraps to the West port of node 0.
+
+A unidirectional ring (``bidirectional=False``) only has East out-ports and
+West in-ports, which gives the textbook example of a cyclic channel
+dependency graph unless a dateline discipline is applied.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.network.node import Node
+from repro.network.port import Direction, Port, PortName
+from repro.network.topology import Topology
+
+
+class Ring(Topology):
+    """A ring of ``size`` nodes."""
+
+    def __init__(self, size: int, bidirectional: bool = True) -> None:
+        if size < 2:
+            raise ValueError("a ring has at least 2 nodes")
+        self.size = int(size)
+        self.bidirectional = bool(bidirectional)
+        super().__init__()
+
+    def build_nodes(self) -> Iterable[Node]:
+        if self.bidirectional:
+            names = (PortName.EAST, PortName.WEST, PortName.LOCAL)
+        else:
+            names = (PortName.EAST, PortName.WEST, PortName.LOCAL)
+        for x in range(self.size):
+            yield Node(x, 0, present_names=names)
+
+    def connect(self, out_port: Port) -> Optional[Port]:
+        if out_port.name is PortName.LOCAL:
+            return None
+        if out_port.name is PortName.EAST:
+            nx = (out_port.x + 1) % self.size
+            return Port(nx, 0, PortName.WEST, Direction.IN)
+        if out_port.name is PortName.WEST:
+            if not self.bidirectional:
+                return None
+            nx = (out_port.x - 1) % self.size
+            return Port(nx, 0, PortName.EAST, Direction.IN)
+        return None
+
+    def clockwise_distance(self, a: int, b: int) -> int:
+        """Hops from node ``a`` to node ``b`` going East (clockwise)."""
+        return (b - a) % self.size
+
+    def shortest_distance(self, a: int, b: int) -> int:
+        cw = self.clockwise_distance(a, b)
+        return min(cw, self.size - cw) if self.bidirectional else cw
+
+    def __str__(self) -> str:
+        kind = "bi" if self.bidirectional else "uni"
+        return f"Ring({self.size},{kind})"

@@ -1,0 +1,55 @@
+"""A 2D torus topology (mesh with wrap-around links).
+
+The torus is not used by the paper's HERMES instantiation but serves as an
+extension topology: plain dimension-order routing on a torus *does* create
+cycles in the port dependency graph (because of the wrap-around links), which
+makes it a useful negative example for the deadlock condition of Theorem 1
+and a motivation for dateline-style routing restrictions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from repro.network.node import Node
+from repro.network.port import Direction, OFFSETS, Port, PortName, opposite
+from repro.network.topology import Topology
+
+
+class Torus2D(Topology):
+    """A ``width x height`` 2D torus: every node has all five port names."""
+
+    def __init__(self, width: int, height: int) -> None:
+        if width < 2 or height < 2:
+            raise ValueError("torus dimensions must be at least 2x2")
+        self.width = int(width)
+        self.height = int(height)
+        super().__init__()
+
+    def build_nodes(self) -> Iterable[Node]:
+        for y in range(self.height):
+            for x in range(self.width):
+                yield Node(x, y)
+
+    def connect(self, out_port: Port) -> Optional[Port]:
+        if out_port.name is PortName.LOCAL:
+            return None
+        dx, dy = OFFSETS[out_port.name]
+        nx = (out_port.x + dx) % self.width
+        ny = (out_port.y + dy) % self.height
+        return Port(nx, ny, opposite(out_port.name), Direction.IN)
+
+    def wrap(self, x: int, y: int) -> Tuple[int, int]:
+        return (x % self.width, y % self.height)
+
+    def ring_distance(self, a: int, b: int, size: int) -> int:
+        """Shortest distance between two coordinates on a ring of ``size``."""
+        diff = abs(a - b)
+        return min(diff, size - diff)
+
+    def torus_distance(self, a: Tuple[int, int], b: Tuple[int, int]) -> int:
+        return (self.ring_distance(a[0], b[0], self.width)
+                + self.ring_distance(a[1], b[1], self.height))
+
+    def __str__(self) -> str:
+        return f"Torus2D({self.width}x{self.height})"

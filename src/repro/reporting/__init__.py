@@ -1,0 +1,18 @@
+"""Reporting: the Table I analogue and table formatting."""
+
+from repro.reporting.effort import (
+    EffortRow,
+    EffortTable,
+    build_effort_table,
+    PAPER_TABLE_I,
+)
+from repro.reporting.tables import format_table, rows_to_markdown
+
+__all__ = [
+    "EffortRow",
+    "EffortTable",
+    "build_effort_table",
+    "PAPER_TABLE_I",
+    "format_table",
+    "rows_to_markdown",
+]

@@ -1,0 +1,86 @@
+"""Graphviz DOT export of port dependency graphs.
+
+The paper's Fig. 3 is a drawing of the 2x2 dependency graph; this module
+produces the equivalent DOT text so the figure can be rendered with Graphviz
+(``dot -Tpdf``).  Ports are grouped into one cluster per processing node and
+coloured by flow (Fig. 4), and dependency-cycle edges can be highlighted for
+the negative examples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.checking.graphs import DirectedGraph
+from repro.network.port import Port
+
+#: Fill colours per flow class (see :mod:`repro.hermes.flows`).
+_FLOW_COLOURS = {
+    "northward": "lightblue",
+    "southward": "lightcyan",
+    "eastward": "lightsalmon",
+    "westward": "moccasin",
+    "local-in": "palegreen",
+    "local-out": "lightgrey",
+}
+
+
+def _port_id(port: Port) -> str:
+    return f"p_{port.x}_{port.y}_{port.name.value}_{port.direction.value}"
+
+
+def _port_label(port: Port) -> str:
+    return f"{port.name.value}{'i' if port.is_input else 'o'}"
+
+
+def dependency_graph_to_dot(graph: DirectedGraph[Port],
+                            title: str = "Exy_dep",
+                            highlight_cycle: Optional[Sequence[Port]] = None,
+                            colour_by_flow: bool = True) -> str:
+    """Render a port dependency graph as Graphviz DOT text."""
+    highlight: Set[Tuple[Port, Port]] = set()
+    if highlight_cycle:
+        cycle = list(highlight_cycle)
+        for index, port in enumerate(cycle):
+            highlight.add((port, cycle[(index + 1) % len(cycle)]))
+
+    lines: List[str] = [f'digraph "{title}" {{',
+                        "  rankdir=LR;",
+                        "  node [shape=box, style=filled, fontsize=10];"]
+
+    nodes: Dict[Tuple[int, int], List[Port]] = {}
+    for port in graph.vertices:
+        nodes.setdefault(port.node, []).append(port)
+
+    for (x, y), ports in sorted(nodes.items()):
+        lines.append(f"  subgraph cluster_{x}_{y} {{")
+        lines.append(f'    label="node ({x},{y})";')
+        for port in sorted(ports, key=str):
+            colour = "white"
+            if colour_by_flow:
+                from repro.hermes.flows import flow_of
+
+                colour = _FLOW_COLOURS.get(flow_of(port).value, "white")
+            lines.append(f'    {_port_id(port)} '
+                         f'[label="{_port_label(port)}", fillcolor={colour}];')
+        lines.append("  }")
+
+    for source, target in sorted(graph.edges(), key=lambda e: (str(e[0]),
+                                                               str(e[1]))):
+        attributes = ""
+        if (source, target) in highlight:
+            attributes = " [color=red, penwidth=2.0]"
+        lines.append(f"  {_port_id(source)} -> {_port_id(target)}{attributes};")
+
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def write_dot(graph: DirectedGraph[Port], path: str,
+              title: str = "Exy_dep",
+              highlight_cycle: Optional[Sequence[Port]] = None) -> None:
+    """Write the DOT rendering of ``graph`` to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dependency_graph_to_dot(graph, title=title,
+                                             highlight_cycle=highlight_cycle))
+        handle.write("\n")

@@ -1,0 +1,49 @@
+"""Plain-text and markdown table formatting for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Format rows as an aligned plain-text table."""
+    columns = len(headers)
+    widths = [len(str(header)) for header in headers]
+    text_rows: List[List[str]] = []
+    for row in rows:
+        cells = [str(cell) for cell in row]
+        if len(cells) != columns:
+            raise ValueError(
+                f"row has {len(cells)} cells, expected {columns}: {row!r}")
+        text_rows.append(cells)
+        for index, cell in enumerate(cells):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(header).ljust(widths[index])
+                            for index, header in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for cells in text_rows:
+        lines.append("  ".join(cell.ljust(widths[index])
+                               for index, cell in enumerate(cells)))
+    return "\n".join(lines)
+
+
+def rows_to_markdown(headers: Sequence[str],
+                     rows: Sequence[Sequence[object]]) -> str:
+    """Format rows as a GitHub-flavoured markdown table."""
+    lines = ["| " + " | ".join(str(header) for header in headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def dicts_to_rows(records: Sequence[Mapping[str, object]],
+                  keys: Sequence[str]) -> List[List[object]]:
+    """Project a list of dicts onto a fixed key order."""
+    return [[record.get(key, "") for key in keys] for record in records]

@@ -1,0 +1,49 @@
+"""Routing-function library.
+
+The paper's instantiation uses XY routing on a 2D mesh; this package adds
+the classical alternatives used by the benchmarks and ablations:
+
+* :class:`XYRouting`, :class:`YXRouting` -- deterministic dimension-order
+  routing (the paper's ``Rxy`` is :class:`XYRouting`).
+* :class:`WestFirstRouting`, :class:`NorthLastRouting`,
+  :class:`NegativeFirstRouting` -- partially adaptive turn-model routing
+  (the "adaptive routing" direction of the paper's future work).
+* :class:`FullyAdaptiveMinimalRouting` -- unrestricted minimal adaptive
+  routing: the deliberately deadlock-prone negative baseline whose
+  dependency graph contains cycles.
+* :class:`ClockwiseRingRouting`, :class:`ShortestPathRingRouting`,
+  :class:`ChainRingRouting` -- ring routings; the first two have cyclic
+  dependency graphs (the textbook ring deadlock), the third never uses the
+  wrap-around link and is deadlock-free.
+"""
+
+from repro.routing.base import MeshRoutingFunction, occurring_pairs
+from repro.routing.dimension_order import DimensionOrderRouting
+from repro.routing.xy import XYRouting
+from repro.routing.yx import YXRouting
+from repro.routing.turn_model import (
+    NegativeFirstRouting,
+    NorthLastRouting,
+    WestFirstRouting,
+)
+from repro.routing.adaptive import FullyAdaptiveMinimalRouting
+from repro.routing.ring import (
+    ChainRingRouting,
+    ClockwiseRingRouting,
+    ShortestPathRingRouting,
+)
+
+__all__ = [
+    "MeshRoutingFunction",
+    "occurring_pairs",
+    "DimensionOrderRouting",
+    "XYRouting",
+    "YXRouting",
+    "WestFirstRouting",
+    "NorthLastRouting",
+    "NegativeFirstRouting",
+    "FullyAdaptiveMinimalRouting",
+    "ChainRingRouting",
+    "ClockwiseRingRouting",
+    "ShortestPathRingRouting",
+]

@@ -1,0 +1,163 @@
+"""Shared machinery of the mesh routing functions.
+
+All mesh routing functions in this library are defined at the *port* level,
+like the paper's ``Rxy`` (Section V.3):
+
+* applied to an **out-port**, the next hop is the in-port it is physically
+  connected to (``next_in``);
+* applied to an **in-port** of the destination node, the next hop is the
+  local out-port (delivery);
+* applied to any other in-port, the next hop is one (or, for adaptive
+  functions, several) of the node's out-ports chosen by the concrete
+  algorithm.
+
+The helper :func:`occurring_pairs` computes which (port, destination) pairs
+can actually occur on routes that start at local in-ports; it is used as the
+``s R d`` reachability predicate for the partially adaptive routing
+functions, whose port-level definition is only meaningful on occurring
+pairs.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.core.constituents import RoutingFunction
+from repro.core.errors import RoutingError
+from repro.network.mesh import Mesh2D
+from repro.network.port import Direction, Port, PortName, next_in, trans
+from repro.network.topology import Topology
+
+
+class MeshRoutingFunction(RoutingFunction):
+    """Base class of port-level routing functions over a 2D mesh."""
+
+    def __init__(self, mesh: Mesh2D) -> None:
+        self._mesh = mesh
+
+    @property
+    def topology(self) -> Mesh2D:
+        return self._mesh
+
+    @property
+    def mesh(self) -> Mesh2D:
+        return self._mesh
+
+    # -- the out-port and delivery cases shared by every algorithm -----------------
+    def next_hops(self, current: Port, destination: Port) -> List[Port]:
+        self._check_destination(destination)
+        if current == destination:
+            return []
+        if current.direction is Direction.OUT:
+            if current.name is PortName.LOCAL:
+                raise RoutingError(
+                    f"cannot route from local out-port {current}: it is a "
+                    f"network sink")
+            return [next_in(current)]
+        if current.node == destination.node:
+            return [trans(current, PortName.LOCAL, Direction.OUT)]
+        return self._route_from_in_port(current, destination)
+
+    @abc.abstractmethod
+    def _route_from_in_port(self, current: Port,
+                            destination: Port) -> List[Port]:
+        """The algorithm-specific case: an in-port of a non-destination node."""
+
+    # -- reachability ------------------------------------------------------------------
+    def reachable(self, source: Port, destination: Port) -> bool:
+        """Default ``s R d``: any port except foreign local out-ports.
+
+        Deterministic minimal routing reaches any local out-port from any
+        port of the mesh, so the only exclusions are destinations that are
+        not local out-ports and sources that are themselves network sinks.
+        """
+        if not self._is_valid_destination(destination):
+            return False
+        if not self._mesh.has_port(source):
+            return False
+        if source == destination:
+            return True
+        if source.name is PortName.LOCAL and source.direction is Direction.OUT:
+            return False
+        return True
+
+    def _is_valid_destination(self, destination: Port) -> bool:
+        return (destination.name is PortName.LOCAL
+                and destination.direction is Direction.OUT
+                and self._mesh.has_port(destination))
+
+    def _check_destination(self, destination: Port) -> None:
+        if not self._is_valid_destination(destination):
+            raise RoutingError(
+                f"{destination} is not a valid destination (destinations are "
+                f"local out-ports of the mesh)")
+
+    # -- helpers for the concrete algorithms ----------------------------------------------
+    def _minimal_directions(self, current: Port,
+                            destination: Port) -> List[PortName]:
+        """Cardinal directions that reduce the distance to the destination."""
+        directions: List[PortName] = []
+        if destination.x < current.x:
+            directions.append(PortName.WEST)
+        elif destination.x > current.x:
+            directions.append(PortName.EAST)
+        if destination.y < current.y:
+            directions.append(PortName.NORTH)
+        elif destination.y > current.y:
+            directions.append(PortName.SOUTH)
+        return directions
+
+    def _out_port(self, current: Port, name: PortName) -> Port:
+        port = trans(current, name, Direction.OUT)
+        if not self._mesh.has_port(port):
+            raise RoutingError(
+                f"routing wants out-port {port}, which does not exist "
+                f"(node at the mesh boundary)")
+        return port
+
+
+def occurring_pairs(routing: RoutingFunction,
+                    ) -> FrozenSet[Tuple[Port, Port]]:
+    """All (port, destination) pairs that occur on routes from local in-ports.
+
+    For every local in-port ``s`` and every destination ``d``, follow every
+    adaptive branch of the routing function and collect the (visited port,
+    ``d``) pairs.  The result is the natural ``s R d`` predicate for
+    partially adaptive routing functions whose port-level definition is only
+    exercised on ports a packet can actually be at.
+    """
+    topology = routing.topology
+    pairs: Set[Tuple[Port, Port]] = set()
+    for destination in routing.destinations():
+        frontier: List[Port] = []
+        for source in topology.local_in_ports():
+            frontier.append(source)
+        seen: Set[Port] = set()
+        while frontier:
+            port = frontier.pop()
+            if port in seen:
+                continue
+            seen.add(port)
+            pairs.add((port, destination))
+            if port == destination:
+                continue
+            for successor in routing.next_hops(port, destination):
+                if successor not in seen:
+                    frontier.append(successor)
+    return frozenset(pairs)
+
+
+class OccurringPairsReachability:
+    """A ``reachable`` predicate backed by :func:`occurring_pairs` (cached)."""
+
+    def __init__(self, routing: RoutingFunction) -> None:
+        self._routing = routing
+        self._pairs: Optional[FrozenSet[Tuple[Port, Port]]] = None
+
+    def __call__(self, source: Port, destination: Port) -> bool:
+        if self._pairs is None:
+            self._pairs = occurring_pairs(self._routing)
+        if source == destination:
+            return True
+        return (source, destination) in self._pairs

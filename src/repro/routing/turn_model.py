@@ -1,0 +1,106 @@
+"""Turn-model partially adaptive routing functions.
+
+The paper's method "currently applies to deterministic routing algorithms"
+(Section IX) and names adaptive routing as future work.  These three
+classical turn-model algorithms (Glass & Ni) are included as that extension:
+they are *partially adaptive* -- several minimal next hops may be allowed --
+yet their dependency graphs remain acyclic because one class of turns is
+forbidden:
+
+* **west-first** -- a packet travels west only at the very beginning of its
+  route; once it has moved in any other direction it never turns west.
+  Port-level: whenever the destination lies to the west, the only allowed
+  hop is the West out-port; otherwise every minimal direction is allowed.
+* **north-last** -- a packet turns north only as the last leg of its route:
+  the North out-port is allowed only when north is the only remaining
+  minimal direction.
+* **negative-first** -- a packet first travels in the negative directions
+  (West/North, i.e. decreasing coordinates) and only then in the positive
+  ones.
+
+Because a turn-model function is only meaningful on ports a packet can
+actually occupy, the ``s R d`` reachability predicate is the set of
+(port, destination) pairs occurring on routes from local in-ports
+(:func:`repro.routing.base.occurring_pairs`).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.network.mesh import Mesh2D
+from repro.network.port import Port, PortName
+from repro.routing.base import MeshRoutingFunction, OccurringPairsReachability
+
+
+class _TurnModelRouting(MeshRoutingFunction):
+    """Common scaffolding of the three turn models."""
+
+    def __init__(self, mesh: Mesh2D) -> None:
+        super().__init__(mesh)
+        self._reachability = OccurringPairsReachability(self)
+
+    @property
+    def is_deterministic(self) -> bool:
+        return False
+
+    def reachable(self, source: Port, destination: Port) -> bool:
+        if not self._is_valid_destination(destination):
+            return False
+        if not self.mesh.has_port(source):
+            return False
+        return self._reachability(source, destination)
+
+    def _route_from_in_port(self, current: Port,
+                            destination: Port) -> List[Port]:
+        names = self._allowed_directions(current, destination)
+        return [self._out_port(current, name) for name in names]
+
+    def _allowed_directions(self, current: Port,
+                            destination: Port) -> List[PortName]:
+        raise NotImplementedError
+
+
+class WestFirstRouting(_TurnModelRouting):
+    """West-first turn-model routing."""
+
+    def name(self) -> str:
+        return "Rwest-first"
+
+    def _allowed_directions(self, current: Port,
+                            destination: Port) -> List[PortName]:
+        minimal = self._minimal_directions(current, destination)
+        if PortName.WEST in minimal:
+            return [PortName.WEST]
+        return minimal
+
+
+class NorthLastRouting(_TurnModelRouting):
+    """North-last turn-model routing."""
+
+    def name(self) -> str:
+        return "Rnorth-last"
+
+    def _allowed_directions(self, current: Port,
+                            destination: Port) -> List[PortName]:
+        minimal = self._minimal_directions(current, destination)
+        without_north = [name for name in minimal if name is not PortName.NORTH]
+        if without_north:
+            return without_north
+        return minimal
+
+
+class NegativeFirstRouting(_TurnModelRouting):
+    """Negative-first turn-model routing (negative = West and North)."""
+
+    def name(self) -> str:
+        return "Rnegative-first"
+
+    def _allowed_directions(self, current: Port,
+                            destination: Port) -> List[PortName]:
+        minimal = self._minimal_directions(current, destination)
+        negative = [name for name in minimal
+                    if name in (PortName.WEST, PortName.NORTH)]
+        if negative:
+            return negative
+        return minimal

@@ -1,0 +1,28 @@
+"""The paper's XY routing function ``Rxy`` (Section V.3).
+
+Packets are routed first along the x-axis to the correct column, then along
+the y-axis to the correct row, and finally delivered through the local
+out-port.  At the port level:
+
+* ``Rxy(p, d) = next_in(p)`` when ``p`` is an out-port;
+* ``trans(p, W_out)`` when ``x(d) < x(p)``;
+* ``trans(p, E_out)`` when ``x(d) > x(p)``;
+* ``trans(p, N_out)`` when ``y(d) < y(p)``;
+* ``trans(p, S_out)`` when ``y(d) > y(p)``;
+* ``trans(p, L_out)`` otherwise (delivery).
+"""
+
+from __future__ import annotations
+
+from repro.network.mesh import Mesh2D
+from repro.routing.dimension_order import DimensionOrderRouting
+
+
+class XYRouting(DimensionOrderRouting):
+    """``Rxy``: deterministic, minimal XY routing over a 2D mesh."""
+
+    def __init__(self, mesh: Mesh2D) -> None:
+        super().__init__(mesh, order="xy")
+
+    def name(self) -> str:
+        return "Rxy"

@@ -1,0 +1,22 @@
+"""YX routing: dimension-order routing with the y-axis first.
+
+The mirror image of the paper's XY routing; it is also deadlock-free (its
+dependency graph is acyclic, with the roles of the horizontal and vertical
+flows of Fig. 4 swapped) and serves as a second deterministic positive
+example for the obligation checkers.
+"""
+
+from __future__ import annotations
+
+from repro.network.mesh import Mesh2D
+from repro.routing.dimension_order import DimensionOrderRouting
+
+
+class YXRouting(DimensionOrderRouting):
+    """``Ryx``: deterministic, minimal YX routing over a 2D mesh."""
+
+    def __init__(self, mesh: Mesh2D) -> None:
+        super().__init__(mesh, order="yx")
+
+    def name(self) -> str:
+        return "Ryx"

@@ -1,0 +1,77 @@
+"""Step-by-step traces of GeNoC runs.
+
+A trace records, for every switching step, which port every in-flight flit
+occupies.  Traces are used by the deadlock-demo example (to show the knot
+forming) and by tests that assert fine-grained progress properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.configuration import Configuration, NOT_INJECTED
+from repro.network.port import Port
+
+
+@dataclass
+class TraceStep:
+    """Snapshot of one switching step."""
+
+    step: int
+    #: travel id -> route index of its header (-1 = not injected,
+    #: len(route) = ejected).
+    header_positions: Dict[int, int]
+    #: port -> number of buffered flits.
+    occupancy: Dict[Port, int]
+    pending: int
+    arrived: int
+
+
+@dataclass
+class Trace:
+    """A full run trace."""
+
+    steps: List[TraceStep] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def header_trajectory(self, travel_id: int) -> List[int]:
+        """The header position of one travel across all recorded steps."""
+        return [step.header_positions.get(travel_id, NOT_INJECTED)
+                for step in self.steps]
+
+    def max_occupancy(self) -> int:
+        """The highest number of flits ever buffered at a single port."""
+        peak = 0
+        for step in self.steps:
+            if step.occupancy:
+                peak = max(peak, max(step.occupancy.values()))
+        return peak
+
+    def final_step(self) -> Optional[TraceStep]:
+        return self.steps[-1] if self.steps else None
+
+
+class TraceRecorder:
+    """An ``on_step`` callback for :meth:`GeNoCEngine.run` that builds a trace."""
+
+    def __init__(self) -> None:
+        self.trace = Trace()
+
+    def __call__(self, step: int, config: Configuration) -> None:
+        header_positions = {}
+        for travel in config.travels:
+            record = config.progress.get(travel.travel_id)
+            if record is not None:
+                header_positions[travel.travel_id] = record.header_position
+        occupancy = {port: count
+                     for port, count in config.state.occupancy_map().items()
+                     if count > 0}
+        self.trace.steps.append(TraceStep(
+            step=step,
+            header_positions=header_positions,
+            occupancy=occupancy,
+            pending=len(config.travels),
+            arrived=len(config.arrived)))

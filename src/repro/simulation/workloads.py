@@ -1,0 +1,177 @@
+"""Traffic generators.
+
+The paper leaves the initial message list fully parametric ("an initial list
+-- of arbitrary size -- of messages that are immediately injected").  These
+generators produce the standard NoC traffic patterns used by the simulation
+benchmarks (Fig. 1) and by the extensional obligations (C-4)/(C-5):
+
+* uniform random, transpose, bit-complement, hotspot, nearest-neighbour,
+  random permutation, all-to-all, plus single-message workloads for unit
+  tests.
+
+All generators are deterministic given their ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.instance import NoCInstance
+from repro.core.travel import Travel, make_travel
+from repro.network.mesh import Mesh2D
+
+Coordinate = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A named workload: the travels plus how they were generated."""
+
+    name: str
+    travels: Tuple[Travel, ...]
+    parameters: Tuple[Tuple[str, object], ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.travels)
+
+    def describe(self) -> str:
+        params = ", ".join(f"{key}={value}" for key, value in self.parameters)
+        return f"{self.name}({params}) [{len(self.travels)} messages]"
+
+
+def _nodes_of(instance: NoCInstance) -> List[Coordinate]:
+    return [node.coordinates for node in instance.topology.nodes]
+
+
+def _travel(instance: NoCInstance, source: Coordinate, target: Coordinate,
+            num_flits: int) -> Travel:
+    return instance.make_travel(source, target, num_flits=num_flits)
+
+
+def single_message(instance: NoCInstance, source: Coordinate,
+                   target: Coordinate, num_flits: int = 1) -> WorkloadSpec:
+    """A single message from ``source`` to ``target``."""
+    return WorkloadSpec(
+        name="single",
+        travels=(_travel(instance, source, target, num_flits),),
+        parameters=(("source", source), ("target", target),
+                    ("num_flits", num_flits)))
+
+
+def uniform_random_traffic(instance: NoCInstance, num_messages: int,
+                           num_flits: int = 4, seed: int = 0) -> WorkloadSpec:
+    """``num_messages`` messages with independently random sources/targets."""
+    rng = random.Random(seed)
+    nodes = _nodes_of(instance)
+    travels = []
+    for _ in range(num_messages):
+        source = rng.choice(nodes)
+        target = rng.choice([node for node in nodes if node != source])
+        travels.append(_travel(instance, source, target, num_flits))
+    return WorkloadSpec(name="uniform_random", travels=tuple(travels),
+                        parameters=(("num_messages", num_messages),
+                                    ("num_flits", num_flits), ("seed", seed)))
+
+
+def transpose_traffic(instance: NoCInstance,
+                      num_flits: int = 4) -> WorkloadSpec:
+    """Every node (x, y) sends to (y, x) (when that node exists)."""
+    travels = []
+    topology = instance.topology
+    for x, y in _nodes_of(instance):
+        if (y, x) != (x, y) and topology.has_node(y, x):
+            travels.append(_travel(instance, (x, y), (y, x), num_flits))
+    return WorkloadSpec(name="transpose", travels=tuple(travels),
+                        parameters=(("num_flits", num_flits),))
+
+
+def bit_complement_traffic(instance: NoCInstance,
+                           num_flits: int = 4) -> WorkloadSpec:
+    """Every node (x, y) sends to the mirrored node (W-1-x, H-1-y)."""
+    topology = instance.topology
+    if not isinstance(topology, Mesh2D):
+        raise TypeError("bit-complement traffic is defined for 2D meshes")
+    travels = []
+    for x, y in _nodes_of(instance):
+        target = (topology.width - 1 - x, topology.height - 1 - y)
+        if target != (x, y):
+            travels.append(_travel(instance, (x, y), target, num_flits))
+    return WorkloadSpec(name="bit_complement", travels=tuple(travels),
+                        parameters=(("num_flits", num_flits),))
+
+
+def hotspot_traffic(instance: NoCInstance, hotspot: Coordinate,
+                    num_flits: int = 4,
+                    senders: Optional[Sequence[Coordinate]] = None,
+                    ) -> WorkloadSpec:
+    """Every (other) node sends one message to the hotspot node."""
+    travels = []
+    for node in (senders if senders is not None else _nodes_of(instance)):
+        if tuple(node) != tuple(hotspot):
+            travels.append(_travel(instance, tuple(node), tuple(hotspot),
+                                   num_flits))
+    return WorkloadSpec(name="hotspot", travels=tuple(travels),
+                        parameters=(("hotspot", tuple(hotspot)),
+                                    ("num_flits", num_flits)))
+
+
+def neighbour_traffic(instance: NoCInstance, num_flits: int = 4) -> WorkloadSpec:
+    """Every node sends one message to its East neighbour (wrapping rows)."""
+    topology = instance.topology
+    if not isinstance(topology, Mesh2D):
+        raise TypeError("neighbour traffic is defined for 2D meshes")
+    travels = []
+    for x, y in _nodes_of(instance):
+        target = ((x + 1) % topology.width, y)
+        if target != (x, y):
+            travels.append(_travel(instance, (x, y), target, num_flits))
+    return WorkloadSpec(name="neighbour", travels=tuple(travels),
+                        parameters=(("num_flits", num_flits),))
+
+
+def permutation_traffic(instance: NoCInstance, num_flits: int = 4,
+                        seed: int = 0) -> WorkloadSpec:
+    """A random permutation: every node sends to exactly one other node."""
+    rng = random.Random(seed)
+    nodes = _nodes_of(instance)
+    targets = list(nodes)
+    # Derangement-ish shuffle: retry until no node maps to itself (bounded).
+    for _ in range(100):
+        rng.shuffle(targets)
+        if all(source != target for source, target in zip(nodes, targets)):
+            break
+    travels = []
+    for source, target in zip(nodes, targets):
+        if source != target:
+            travels.append(_travel(instance, source, target, num_flits))
+    return WorkloadSpec(name="permutation", travels=tuple(travels),
+                        parameters=(("num_flits", num_flits), ("seed", seed)))
+
+
+def all_to_all(instance: NoCInstance, num_flits: int = 1) -> WorkloadSpec:
+    """Every node sends one message to every other node."""
+    nodes = _nodes_of(instance)
+    travels = []
+    for source in nodes:
+        for target in nodes:
+            if source != target:
+                travels.append(_travel(instance, source, target, num_flits))
+    return WorkloadSpec(name="all_to_all", travels=tuple(travels),
+                        parameters=(("num_flits", num_flits),))
+
+
+def standard_suite(instance: NoCInstance, num_flits: int = 4,
+                   seed: int = 0) -> List[WorkloadSpec]:
+    """The workload family used by the Fig. 1 benchmark and the examples."""
+    suite = [
+        transpose_traffic(instance, num_flits=num_flits),
+        bit_complement_traffic(instance, num_flits=num_flits),
+        neighbour_traffic(instance, num_flits=num_flits),
+        permutation_traffic(instance, num_flits=num_flits, seed=seed),
+        uniform_random_traffic(instance,
+                               num_messages=2 * instance.topology.node_count,
+                               num_flits=num_flits, seed=seed),
+    ]
+    return [spec for spec in suite if len(spec) > 0]

@@ -1,0 +1,25 @@
+"""Switching policies.
+
+* :mod:`repro.switching.wormhole` -- the wormhole switching policy ``Swh``
+  used by the paper's HERMES instantiation (Section V.4).
+* :mod:`repro.switching.store_and_forward` -- store-and-forward packet
+  switching (the whole packet occupies one port at a time).
+* :mod:`repro.switching.virtual_cut_through` -- virtual cut-through: the
+  header only advances when the next port can buffer the entire packet.
+
+All three implement the generic :class:`repro.core.constituents.SwitchingPolicy`
+interface plus :class:`SingleTravelStepper`, which the explicit-state model
+checker (:mod:`repro.checking.bmc`) uses to explore all interleavings.
+"""
+
+from repro.switching.base import SingleTravelStepper
+from repro.switching.wormhole import WormholeSwitching
+from repro.switching.store_and_forward import StoreAndForwardSwitching
+from repro.switching.virtual_cut_through import VirtualCutThroughSwitching
+
+__all__ = [
+    "SingleTravelStepper",
+    "WormholeSwitching",
+    "StoreAndForwardSwitching",
+    "VirtualCutThroughSwitching",
+]

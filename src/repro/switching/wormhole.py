@@ -1,0 +1,168 @@
+"""Wormhole switching: the ``Swh`` constituent of the HERMES instantiation.
+
+The paper (Section V.4) re-uses the wormhole switching specification of
+Borrione et al.: messages are decomposed into flits; a port accepts a flit if
+it has at least one available buffer; a port can only accept flits of at most
+one packet; for each message, the policy "moves or not the message depending
+on the state of the handshake protocol and available buffer spaces at the
+next hop".
+
+The model implemented here is flit-accurate:
+
+* every travel's message is a *worm* of flits spread over consecutive route
+  ports;
+* the header advances one hop per switching step when the next port accepts
+  it (free buffer, not owned by another worm);
+* body flits follow in a pipelined fashion: a flit advances only when its
+  predecessor advanced, so the worm stays contiguous and a port is owned by
+  the worm from the moment the header enters it until the tail leaves it;
+* flits that reach the destination local out-port are ejected (consumed by
+  the IP core); when every flit of a travel has been ejected the travel moves
+  from ``T`` to ``A``.
+
+The worm-contiguity invariant (consecutive flits are never more than one
+route hop apart) is what makes the port-level deadlock analysis of Theorem 1
+apply: a message waits only on its header's next hop.  The invariant is
+checked by the property-based tests in ``tests/test_wormhole_properties.py``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.configuration import (
+    Configuration,
+    NOT_INJECTED,
+    TravelProgress,
+)
+from repro.core.constituents import SwitchingPolicy
+from repro.core.errors import SwitchingError
+from repro.network.flit import Flit, FlitKind, make_flits
+from repro.switching.base import SingleTravelStepper
+
+
+class WormholeSwitching(SwitchingPolicy, SingleTravelStepper):
+    """The wormhole switching policy ``Swh``."""
+
+    def name(self) -> str:
+        return "Swh"
+
+    # -- SwitchingPolicy interface ------------------------------------------------
+    def step(self, config: Configuration) -> Configuration:
+        """Advance every message by at most one hop (in travel-id order)."""
+        new_config = config.copy()
+        for travel in list(new_config.travels):
+            self._advance_worm(new_config, travel.travel_id)
+        self._collect_arrivals(new_config)
+        return new_config
+
+    def can_progress(self, config: Configuration) -> bool:
+        """``¬Ω(σ)``: at least one message can move this step."""
+        return any(self._can_worm_advance(config, travel.travel_id)
+                   for travel in config.travels)
+
+    # -- SingleTravelStepper interface ----------------------------------------------
+    def advance_travel(self, config: Configuration,
+                       travel_id: int) -> Optional[Configuration]:
+        if not self._can_worm_advance(config, travel_id):
+            return None
+        new_config = config.copy()
+        moved = self._advance_worm(new_config, travel_id)
+        if not moved:
+            return None
+        self._collect_arrivals(new_config)
+        return new_config
+
+    # -- internals ----------------------------------------------------------------------
+    def _leader_index(self, record: TravelProgress) -> Optional[int]:
+        """Index of the first flit that has not been ejected yet."""
+        for index, position in enumerate(record.positions):
+            if position != record.ejected_position:
+                return index
+        return None
+
+    def _can_worm_advance(self, config: Configuration, travel_id: int) -> bool:
+        record = config.progress.get(travel_id)
+        if record is None:
+            return False
+        leader = self._leader_index(record)
+        if leader is None:
+            # Fully ejected but not yet collected: collecting counts as
+            # progress (it empties T), though it normally happens in the same
+            # step as the last ejection.
+            return True
+        position = record.positions[leader]
+        route = record.route
+        if position == len(route) - 1:
+            # At the destination local out-port: ejection is always possible.
+            return True
+        target_index = 0 if position == NOT_INJECTED else position + 1
+        return config.state.accepts(route[target_index], travel_id)
+
+    def _advance_worm(self, config: Configuration, travel_id: int) -> bool:
+        """Advance the worm of one travel by one pipelined shift.
+
+        Returns True when at least one flit moved.
+        """
+        record = config.progress.get(travel_id)
+        if record is None:
+            return False
+        route = record.route
+        state = config.state
+        flits = make_flits(travel_id, len(record.positions))
+        predecessor_moved = True  # the "predecessor" of the leader is the sink
+        any_moved = False
+
+        for index, position in enumerate(record.positions):
+            if position == record.ejected_position:
+                predecessor_moved = True
+                continue
+            if not predecessor_moved:
+                # Strict pipelining: a flit only follows a moving predecessor.
+                predecessor_moved = False
+                continue
+            if position == len(route) - 1:
+                # Ejection at the destination local out-port.
+                self._remove_flit(config, route[position], travel_id, index)
+                record.positions[index] = record.ejected_position
+                predecessor_moved = True
+                any_moved = True
+                continue
+            target_index = 0 if position == NOT_INJECTED else position + 1
+            target_port = route[target_index]
+            if not state.accepts(target_port, travel_id):
+                predecessor_moved = False
+                continue
+            if position == NOT_INJECTED:
+                flit = flits[index]
+            else:
+                flit = self._remove_flit(config, route[position], travel_id,
+                                         index)
+            state.accept_flit(target_port, flit)
+            record.positions[index] = target_index
+            predecessor_moved = True
+            any_moved = True
+        return any_moved
+
+    @staticmethod
+    def _remove_flit(config: Configuration, port, travel_id: int,
+                     flit_index: int) -> Flit:
+        """Pop the head flit of ``port`` and check it is the expected one."""
+        flit = config.state.release_flit(port)
+        if flit.travel_id != travel_id or flit.index != flit_index:
+            raise SwitchingError(
+                f"expected flit {flit_index} of travel {travel_id} at {port}, "
+                f"found {flit}")
+        return flit
+
+    @staticmethod
+    def _collect_arrivals(config: Configuration) -> None:
+        """Move fully-ejected travels from ``T`` to ``A``."""
+        still_pending = []
+        for travel in config.travels:
+            record = config.progress.get(travel.travel_id)
+            if record is not None and record.is_arrived:
+                config.arrived.append(travel)
+            else:
+                still_pending.append(travel)
+        config.travels[:] = still_pending

@@ -1,0 +1,140 @@
+"""Tests for the boolean expression AST."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.checking.bool_expr import (
+    And,
+    Const,
+    FALSE,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    TRUE,
+    Var,
+    all_assignments,
+    conjoin,
+    disjoin,
+    is_satisfiable_brute_force,
+    is_tautology_brute_force,
+)
+
+
+@st.composite
+def expressions(draw, max_depth=4):
+    variables = ["a", "b", "c", "d"]
+    if max_depth == 0:
+        return draw(st.sampled_from([Var(v) for v in variables]
+                                    + [TRUE, FALSE]))
+    kind = draw(st.integers(0, 6))
+    if kind == 0:
+        return draw(st.sampled_from([Var(v) for v in variables]))
+    if kind == 1:
+        return Not(draw(expressions(max_depth=max_depth - 1)))
+    if kind == 2:
+        return And(draw(expressions(max_depth=max_depth - 1)),
+                   draw(expressions(max_depth=max_depth - 1)))
+    if kind == 3:
+        return Or(draw(expressions(max_depth=max_depth - 1)),
+                  draw(expressions(max_depth=max_depth - 1)))
+    if kind == 4:
+        return Implies(draw(expressions(max_depth=max_depth - 1)),
+                       draw(expressions(max_depth=max_depth - 1)))
+    if kind == 5:
+        return Iff(draw(expressions(max_depth=max_depth - 1)),
+                   draw(expressions(max_depth=max_depth - 1)))
+    return draw(st.sampled_from([TRUE, FALSE]))
+
+
+class TestEvaluation:
+    def test_constants(self):
+        assert TRUE.evaluate({}) is True
+        assert FALSE.evaluate({}) is False
+
+    def test_variable_lookup(self):
+        assert Var("x").evaluate({"x": True})
+        assert not Var("x").evaluate({"x": False})
+
+    def test_not(self):
+        assert Not(Var("x")).evaluate({"x": False})
+
+    def test_and_or(self):
+        env = {"a": True, "b": False}
+        assert not And(Var("a"), Var("b")).evaluate(env)
+        assert Or(Var("a"), Var("b")).evaluate(env)
+
+    def test_implies(self):
+        assert Implies(Var("a"), Var("b")).evaluate({"a": False, "b": False})
+        assert not Implies(Var("a"), Var("b")).evaluate({"a": True,
+                                                         "b": False})
+
+    def test_iff(self):
+        assert Iff(Var("a"), Var("b")).evaluate({"a": True, "b": True})
+        assert not Iff(Var("a"), Var("b")).evaluate({"a": True, "b": False})
+
+    def test_operator_sugar(self):
+        expr = (Var("a") & Var("b")) | ~Var("c")
+        assert expr.evaluate({"a": True, "b": True, "c": True})
+        assert expr.evaluate({"a": False, "b": False, "c": False})
+        assert not expr.evaluate({"a": True, "b": False, "c": True})
+
+    def test_nary_flattening(self):
+        expr = And(Var("a"), And(Var("b"), Var("c")))
+        assert len(expr.operands) == 3
+
+    def test_empty_nary_rejected(self):
+        with pytest.raises(ValueError):
+            And()
+
+
+class TestVariables:
+    def test_variable_collection(self):
+        expr = Implies(And(Var("a"), Var("b")), Or(Var("b"), Var("c")))
+        assert expr.variables() == frozenset({"a", "b", "c"})
+
+    def test_constants_have_no_variables(self):
+        assert TRUE.variables() == frozenset()
+
+    @given(expressions())
+    @settings(max_examples=60, deadline=None)
+    def test_evaluation_only_needs_reported_variables(self, expr):
+        assignment = {name: True for name in expr.variables()}
+        expr.evaluate(assignment)  # must not raise KeyError
+
+
+class TestHelpers:
+    def test_conjoin_disjoin_empty(self):
+        assert conjoin([]) is TRUE
+        assert disjoin([]) is FALSE
+
+    def test_conjoin_single(self):
+        v = Var("x")
+        assert conjoin([v]) is v
+
+    def test_conjoin_many(self):
+        expr = conjoin([Var("a"), Var("b"), Var("c")])
+        assert not expr.evaluate({"a": True, "b": False, "c": True})
+
+    def test_all_assignments_count(self):
+        assert len(list(all_assignments(["a", "b", "c"]))) == 8
+
+    def test_tautology_check(self):
+        assert is_tautology_brute_force(Or(Var("a"), Not(Var("a"))))
+        assert not is_tautology_brute_force(Var("a"))
+
+    def test_satisfiability_check(self):
+        assert is_satisfiable_brute_force(And(Var("a"), Not(Var("b"))))
+        assert not is_satisfiable_brute_force(And(Var("a"), Not(Var("a"))))
+
+    @given(expressions())
+    @settings(max_examples=40, deadline=None)
+    def test_tautology_implies_satisfiable(self, expr):
+        if is_tautology_brute_force(expr):
+            assert is_satisfiable_brute_force(expr)
+
+    def test_str_representations(self):
+        assert "a" in str(Var("a"))
+        assert "->" in str(Implies(Var("a"), Var("b")))
+        assert "<->" in str(Iff(Var("a"), Var("b")))
+        assert "true" in str(TRUE)

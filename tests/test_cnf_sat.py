@@ -1,0 +1,274 @@
+"""Tests for the CNF machinery, the Tseitin transformation, DIMACS I/O and
+the CDCL SAT solver."""
+
+import io
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.checking.bool_expr import (
+    And,
+    FALSE,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    TRUE,
+    Var,
+    is_satisfiable_brute_force,
+)
+from repro.checking.cnf import (
+    CNF,
+    at_least_one,
+    at_most_one,
+    exactly_one,
+    implies_clause,
+)
+from repro.checking.dimacs import dimacs_string, parse_dimacs
+from repro.checking.sat import SatSolver, brute_force_satisfiable, solve_cnf
+from repro.checking.tseitin import TseitinEncoder, to_cnf
+
+
+class TestCNF:
+    def test_new_var_and_names(self):
+        cnf = CNF()
+        a = cnf.var("a")
+        b = cnf.var("b")
+        assert a != b
+        assert cnf.var("a") == a  # idempotent
+        assert cnf.name_of(a) == "a"
+        assert cnf.named_variables() == {"a": a, "b": b}
+
+    def test_duplicate_name_rejected(self):
+        cnf = CNF()
+        cnf.new_var("a")
+        with pytest.raises(ValueError):
+            cnf.new_var("a")
+
+    def test_add_clause_tracks_num_vars(self):
+        cnf = CNF()
+        cnf.add_clause([1, -5])
+        assert cnf.num_vars == 5
+        assert cnf.num_clauses == 1
+
+    def test_zero_literal_rejected(self):
+        cnf = CNF()
+        with pytest.raises(ValueError):
+            cnf.add_clause([1, 0])
+
+    def test_evaluate(self):
+        cnf = CNF()
+        cnf.add_clause([1, 2])
+        cnf.add_clause([-1])
+        assert cnf.evaluate({1: False, 2: True})
+        assert not cnf.evaluate({1: True, 2: True})
+
+    def test_copy_independent(self):
+        cnf = CNF()
+        cnf.add_clause([1])
+        clone = cnf.copy()
+        clone.add_clause([2])
+        assert cnf.num_clauses == 1
+
+    def test_clause_helpers(self):
+        assert at_least_one([1, 2, 3]) == [(1, 2, 3)]
+        assert ((-1, -2) in at_most_one([1, 2, 3])
+                and (-2, -3) in at_most_one([1, 2, 3]))
+        assert len(exactly_one([1, 2, 3])) == 4
+        assert implies_clause([1, 2], 3) == (-1, -2, 3)
+
+
+class TestSolverBasics:
+    def test_empty_formula_is_sat(self):
+        assert solve_cnf(CNF()).satisfiable
+
+    def test_single_unit(self):
+        cnf = CNF()
+        cnf.add_clause([3])
+        result = solve_cnf(cnf)
+        assert result.satisfiable
+        assert result.model[3] is True
+
+    def test_contradictory_units(self):
+        cnf = CNF()
+        cnf.add_clause([1])
+        cnf.add_clause([-1])
+        assert not solve_cnf(cnf).satisfiable
+
+    def test_empty_clause_is_unsat(self):
+        cnf = CNF()
+        cnf.add_clause([])
+        assert not solve_cnf(cnf).satisfiable
+
+    def test_model_satisfies_formula(self):
+        cnf = CNF()
+        cnf.add_clause([1, 2, 3])
+        cnf.add_clause([-1, -2])
+        cnf.add_clause([-3, 2])
+        result = solve_cnf(cnf)
+        assert result.satisfiable
+        assert cnf.evaluate(result.model)
+
+    def test_pigeonhole_3_into_2_is_unsat(self):
+        # Pigeons p in {1,2,3}, holes h in {1,2}: variable x[p][h].
+        cnf = CNF()
+        var = {(p, h): cnf.new_var() for p in range(3) for h in range(2)}
+        for p in range(3):
+            cnf.add_clause([var[(p, h)] for h in range(2)])
+        for h in range(2):
+            for p1 in range(3):
+                for p2 in range(p1 + 1, 3):
+                    cnf.add_clause([-var[(p1, h)], -var[(p2, h)]])
+        assert not solve_cnf(cnf).satisfiable
+
+    def test_graph_colouring_sat(self):
+        # A 4-cycle is 2-colourable.
+        cnf = CNF()
+        colour = {(v, c): cnf.new_var() for v in range(4) for c in range(2)}
+        for v in range(4):
+            cnf.add_clauses(exactly_one([colour[(v, c)] for c in range(2)]))
+        edges = [(0, 1), (1, 2), (2, 3), (3, 0)]
+        for a, b in edges:
+            for c in range(2):
+                cnf.add_clause([-colour[(a, c)], -colour[(b, c)]])
+        assert solve_cnf(cnf).satisfiable
+
+    def test_triangle_not_2_colourable(self):
+        cnf = CNF()
+        colour = {(v, c): cnf.new_var() for v in range(3) for c in range(2)}
+        for v in range(3):
+            cnf.add_clauses(exactly_one([colour[(v, c)] for c in range(2)]))
+        for a, b in [(0, 1), (1, 2), (2, 0)]:
+            for c in range(2):
+                cnf.add_clause([-colour[(a, c)], -colour[(b, c)]])
+        assert not solve_cnf(cnf).satisfiable
+
+    def test_assumptions(self):
+        cnf = CNF()
+        cnf.add_clause([1, 2])
+        assert SatSolver(cnf).solve(assumptions=[-1]).satisfiable
+        cnf2 = CNF()
+        cnf2.add_clause([1])
+        assert not SatSolver(cnf2).solve(assumptions=[-1]).satisfiable
+
+    def test_stats_are_reported(self):
+        cnf = CNF()
+        for clause in [[1, 2], [-1, 3], [-2, -3], [1, -3], [-1, 2, 3]]:
+            cnf.add_clause(clause)
+        result = solve_cnf(cnf)
+        assert "decisions" in result.stats
+        assert "conflicts" in result.stats
+
+    def test_named_model(self):
+        cnf = CNF()
+        a = cnf.var("a")
+        cnf.add_unit(a)
+        result = solve_cnf(cnf)
+        assert result.named_model(cnf) == {"a": True}
+
+    def test_named_model_of_unsat_raises(self):
+        cnf = CNF()
+        cnf.add_clause([1])
+        cnf.add_clause([-1])
+        result = solve_cnf(cnf)
+        with pytest.raises(ValueError):
+            result.named_model(cnf)
+
+
+@st.composite
+def random_cnf(draw):
+    num_vars = draw(st.integers(1, 8))
+    num_clauses = draw(st.integers(1, 25))
+    cnf = CNF()
+    for _ in range(num_clauses):
+        width = draw(st.integers(1, 4))
+        clause = [draw(st.sampled_from([1, -1])) * draw(
+            st.integers(1, num_vars)) for _ in range(width)]
+        cnf.add_clause(clause)
+    return cnf
+
+
+class TestSolverAgainstBruteForce:
+    @given(random_cnf())
+    @settings(max_examples=150, deadline=None)
+    def test_cdcl_matches_brute_force(self, cnf):
+        assert solve_cnf(cnf).satisfiable == brute_force_satisfiable(cnf)
+
+    @given(random_cnf())
+    @settings(max_examples=80, deadline=None)
+    def test_sat_models_are_real_models(self, cnf):
+        result = solve_cnf(cnf)
+        if result.satisfiable:
+            assert cnf.evaluate(result.model)
+
+
+class TestTseitin:
+    def test_simple_conjunction(self):
+        cnf = to_cnf(And(Var("a"), Var("b")))
+        result = solve_cnf(cnf)
+        assert result.satisfiable
+        named = result.named_model(cnf)
+        assert named["a"] and named["b"]
+
+    def test_contradiction(self):
+        cnf = to_cnf(And(Var("a"), Not(Var("a"))))
+        assert not solve_cnf(cnf).satisfiable
+
+    def test_constants(self):
+        assert solve_cnf(to_cnf(TRUE)).satisfiable
+        assert not solve_cnf(to_cnf(FALSE)).satisfiable
+
+    def test_shared_subexpressions_reuse_variables(self):
+        shared = And(Var("a"), Var("b"))
+        encoder = TseitinEncoder()
+        first = encoder.encode(shared)
+        second = encoder.encode(shared)
+        assert first == second
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_tseitin_preserves_satisfiability(self, data):
+        from tests.test_bool_expr import expressions
+
+        expr = data.draw(expressions())
+        expected = is_satisfiable_brute_force(expr)
+        assert solve_cnf(to_cnf(expr)).satisfiable == expected
+
+
+class TestDimacs:
+    def test_roundtrip(self):
+        cnf = CNF()
+        cnf.add_clause([1, -2])
+        cnf.add_clause([2, 3])
+        text = dimacs_string(cnf, comments=["hello"])
+        parsed = parse_dimacs(text)
+        assert parsed.num_vars == cnf.num_vars
+        assert parsed.clauses == cnf.clauses
+
+    def test_header_present(self):
+        cnf = CNF()
+        cnf.add_clause([1, 2])
+        assert "p cnf 2 1" in dimacs_string(cnf)
+
+    def test_named_variables_in_comments(self):
+        cnf = CNF()
+        cnf.add_unit(cnf.var("port_a"))
+        assert "port_a" in dimacs_string(cnf)
+
+    def test_parse_ignores_comments_and_blank_lines(self):
+        text = "c comment\n\np cnf 2 1\n1 -2 0\n"
+        cnf = parse_dimacs(text)
+        assert cnf.clauses == [(1, -2)]
+        assert cnf.num_vars == 2
+
+    def test_malformed_header_rejected(self):
+        with pytest.raises(ValueError):
+            parse_dimacs("p dnf 2 1\n1 0\n")
+
+    def test_solver_agrees_after_roundtrip(self):
+        cnf = CNF()
+        cnf.add_clause([1, 2])
+        cnf.add_clause([-1])
+        cnf.add_clause([-2])
+        parsed = parse_dimacs(dimacs_string(cnf))
+        assert solve_cnf(parsed).satisfiable == solve_cnf(cnf).satisfiable

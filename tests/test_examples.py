@@ -1,0 +1,54 @@
+"""Smoke tests: every example script runs to completion."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, argv=None):
+    script = EXAMPLES_DIR / name
+    assert script.exists(), f"missing example {script}"
+    old_argv = sys.argv
+    sys.argv = [str(script)] + (argv or [])
+    try:
+        runpy.run_path(str(script), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py")
+        output = capsys.readouterr().out
+        assert "CorrThm   : holds" in output
+        assert "EvacThm   : holds" in output
+
+    def test_verify_hermes_small(self, capsys):
+        run_example("verify_hermes.py", ["3"])
+        output = capsys.readouterr().out
+        assert "all hold" in output
+        assert "(C-3) holds for all mesh sizes: True" in output
+        assert "Overall" in output
+
+    def test_deadlock_demo(self, capsys):
+        run_example("deadlock_demo.py")
+        output = capsys.readouterr().out
+        assert "VIOLATED" in output
+        assert "deadlock reachable" in output
+        assert "constructed configuration is a deadlock: True" in output
+
+    def test_custom_noc(self, capsys):
+        run_example("custom_noc.py")
+        output = capsys.readouterr().out
+        assert "VERDICT: verified" in output
+        assert "evacuation: True" in output
+
+    def test_dependency_graph_figure(self, capsys):
+        run_example("dependency_graph_figure.py", ["2", "2"])
+        output = capsys.readouterr().out
+        assert "acyclic (all methods agree): True" in output
+        assert "statistics" in output

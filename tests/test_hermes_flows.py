@@ -1,0 +1,145 @@
+"""Tests for the flows argument and the rank certificate (paper Fig. 4)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hermes.dependency import ExyDependencySpec, build_exy_graph
+from repro.hermes.flows import (
+    Flow,
+    analyse_flows,
+    check_rank_case_analysis,
+    check_rank_certificate_on_mesh,
+    coordinate_monotone_along_flow,
+    flow_of,
+    hermes_rank,
+    parametric_c3_holds,
+)
+from repro.network.mesh import Mesh2D
+from repro.network.port import Direction, Port, PortName
+
+
+class TestFlowClassification:
+    def test_paper_northern_flow_members(self):
+        # "The Northern-flow consists solely of South-In and North-Out ports"
+        assert flow_of(Port(1, 1, PortName.SOUTH, Direction.IN)) \
+            is Flow.NORTHWARD
+        assert flow_of(Port(1, 1, PortName.NORTH, Direction.OUT)) \
+            is Flow.NORTHWARD
+
+    def test_paper_western_flow_members(self):
+        # "the Western-flow consists solely of West-Out and East-In ports"
+        assert flow_of(Port(1, 1, PortName.EAST, Direction.IN)) \
+            is Flow.WESTWARD
+        assert flow_of(Port(1, 1, PortName.WEST, Direction.OUT)) \
+            is Flow.WESTWARD
+
+    def test_local_ports(self):
+        assert flow_of(Port(0, 0, PortName.LOCAL, Direction.IN)) \
+            is Flow.LOCAL_IN
+        assert flow_of(Port(0, 0, PortName.LOCAL, Direction.OUT)) \
+            is Flow.LOCAL_OUT
+
+    def test_every_port_is_classified(self):
+        mesh = Mesh2D(3, 3)
+        analysis = analyse_flows(mesh)
+        classified = sum(len(ports) for ports in analysis.members.values())
+        assert classified == mesh.port_count
+
+    def test_flow_sizes_are_symmetric(self):
+        analysis = analyse_flows(Mesh2D(4, 4))
+        sizes = analysis.flow_sizes()
+        assert sizes[Flow.NORTHWARD] == sizes[Flow.SOUTHWARD]
+        assert sizes[Flow.EASTWARD] == sizes[Flow.WESTWARD]
+        assert sizes[Flow.LOCAL_IN] == sizes[Flow.LOCAL_OUT] == 16
+
+
+class TestEscapeProperties:
+    """The escape lemmas of the paper's (C-3) proof."""
+
+    @pytest.mark.parametrize("size", [(2, 2), (3, 3), (4, 2), (5, 5)])
+    def test_vertical_flows_escape_only_to_sinks(self, size):
+        analysis = analyse_flows(Mesh2D(*size))
+        assert analysis.vertical_flows_escape_only_to_sinks
+
+    @pytest.mark.parametrize("size", [(2, 2), (3, 3), (4, 2), (5, 5)])
+    def test_horizontal_flows_escape_only_to_vertical_or_sinks(self, size):
+        analysis = analyse_flows(Mesh2D(*size))
+        assert analysis.horizontal_flows_escape_only_to_vertical_or_sinks
+
+    @pytest.mark.parametrize("flow", [Flow.NORTHWARD, Flow.SOUTHWARD,
+                                      Flow.EASTWARD, Flow.WESTWARD])
+    def test_flows_are_coordinate_monotone(self, flow):
+        assert coordinate_monotone_along_flow(Mesh2D(4, 4), flow)
+
+    def test_local_in_ports_have_no_incoming_edges(self):
+        graph = build_exy_graph(Mesh2D(3, 3))
+        in_degrees = graph.in_degrees()
+        for port in graph.vertices:
+            if flow_of(port) is Flow.LOCAL_IN:
+                assert in_degrees[port] == 0
+
+
+class TestRankCertificate:
+    @pytest.mark.parametrize("width,height", [(2, 2), (3, 3), (2, 6), (6, 2),
+                                              (5, 4)])
+    def test_certificate_holds_on_bounded_meshes(self, width, height):
+        assert check_rank_certificate_on_mesh(Mesh2D(width, height)) == []
+
+    @given(st.integers(1, 7), st.integers(1, 7))
+    @settings(max_examples=25, deadline=None)
+    def test_certificate_holds_for_random_sizes(self, width, height):
+        assert check_rank_certificate_on_mesh(Mesh2D(width, height)) == []
+
+    def test_rank_phases_order_flows(self):
+        width = height = 5
+        local_out = hermes_rank(Port(2, 2, PortName.LOCAL, Direction.OUT),
+                                width, height)
+        vertical = hermes_rank(Port(2, 2, PortName.NORTH, Direction.OUT),
+                               width, height)
+        horizontal = hermes_rank(Port(2, 2, PortName.EAST, Direction.OUT),
+                                 width, height)
+        local_in = hermes_rank(Port(2, 2, PortName.LOCAL, Direction.IN),
+                               width, height)
+        assert local_out < vertical < horizontal < local_in
+
+    def test_rank_decreases_along_a_concrete_route_worth_of_edges(self):
+        mesh = Mesh2D(4, 4)
+        spec = ExyDependencySpec(mesh)
+        for source, target in spec.edges():
+            assert hermes_rank(target, 4, 4) < hermes_rank(source, 4, 4)
+
+
+class TestParametricCaseAnalysis:
+    def test_all_cases_decrease_and_are_size_independent(self):
+        cases = check_rank_case_analysis()
+        assert cases
+        for case in cases:
+            assert case.decreases, case.description
+            assert case.coordinate_independent, case.description
+
+    def test_parametric_c3_holds(self):
+        assert parametric_c3_holds()
+
+    def test_case_analysis_covers_all_edge_kinds(self):
+        cases = check_rank_case_analysis()
+        descriptions = {case.description for case in cases}
+        # 5 in-port kinds with their out-port successors (5+4+4+2+2 = 17)
+        # plus 4 out-port -> neighbour in-port kinds.
+        assert len(descriptions) == 21
+
+    def test_every_concrete_edge_matches_a_case(self):
+        """The case analysis is exhaustive: every edge of a concrete mesh has
+        the (source kind, target kind, offset) of one of the symbolic cases."""
+        cases = check_rank_case_analysis()
+        kinds = {(case.source_kind, case.target_kind, case.node_offset)
+                 for case in cases}
+        mesh = Mesh2D(4, 3)
+        for source, target in ExyDependencySpec(mesh).edges():
+            key = ((source.name, source.direction),
+                   (target.name, target.direction),
+                   (target.x - source.x, target.y - source.y))
+            assert key in kinds
+
+    def test_custom_samples(self):
+        cases = check_rank_case_analysis(samples=((2, 2, 6, 6), (3, 1, 9, 4)))
+        assert parametric_c3_holds(cases)

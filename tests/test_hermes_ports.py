@@ -1,0 +1,136 @@
+"""Tests for the HERMES port algebra: next_outs, find_dest, Exy_dep."""
+
+import pytest
+
+from repro.hermes.dependency import ExyDependencySpec, build_exy_graph
+from repro.hermes.ports import find_dest, next_outs, witness_destination
+from repro.network.mesh import Mesh2D
+from repro.network.port import Direction, Port, PortName
+
+
+def port(x, y, name, direction=Direction.IN):
+    return Port(x, y, name, direction)
+
+
+class TestNextOuts:
+    """The paper's next_outs definition (Section V.6)."""
+
+    def test_local_in_can_turn_anywhere(self):
+        outs = next_outs(port(1, 1, PortName.LOCAL))
+        names = {p.name for p in outs}
+        assert names == {PortName.LOCAL, PortName.WEST, PortName.EAST,
+                         PortName.NORTH, PortName.SOUTH}
+        assert all(p.direction is Direction.OUT for p in outs)
+
+    def test_west_in_cannot_turn_back_west(self):
+        names = {p.name for p in next_outs(port(1, 1, PortName.WEST))}
+        assert names == {PortName.LOCAL, PortName.EAST, PortName.NORTH,
+                         PortName.SOUTH}
+
+    def test_east_in_cannot_turn_back_east(self):
+        names = {p.name for p in next_outs(port(1, 1, PortName.EAST))}
+        assert names == {PortName.LOCAL, PortName.WEST, PortName.NORTH,
+                         PortName.SOUTH}
+
+    def test_north_in_continues_south_or_delivers(self):
+        names = {p.name for p in next_outs(port(1, 1, PortName.NORTH))}
+        assert names == {PortName.LOCAL, PortName.SOUTH}
+
+    def test_south_in_continues_north_or_delivers(self):
+        names = {p.name for p in next_outs(port(1, 1, PortName.SOUTH))}
+        assert names == {PortName.LOCAL, PortName.NORTH}
+
+    def test_requires_an_in_port(self):
+        with pytest.raises(ValueError):
+            next_outs(port(1, 1, PortName.EAST, Direction.OUT))
+
+    def test_mesh_boundary_filtering(self):
+        mesh = Mesh2D(2, 2)
+        # Node (0, 0) has no West or North ports.
+        outs = next_outs(port(0, 0, PortName.LOCAL), mesh)
+        names = {p.name for p in outs}
+        assert PortName.WEST not in names
+        assert PortName.NORTH not in names
+        assert PortName.EAST in names and PortName.SOUTH in names
+
+    def test_all_results_stay_on_the_same_node(self):
+        for name in (PortName.LOCAL, PortName.EAST, PortName.WEST,
+                     PortName.NORTH, PortName.SOUTH):
+            for result in next_outs(port(2, 3, name)):
+                assert result.node == (2, 3)
+
+
+class TestFindDest:
+    """The paper's find_dest definition (Section VI-A)."""
+
+    def test_in_port_maps_to_local_out_of_same_node(self):
+        assert find_dest(port(1, 2, PortName.WEST)) == \
+            Port(1, 2, PortName.LOCAL, Direction.OUT)
+
+    def test_out_port_maps_to_local_out_of_neighbour(self):
+        assert find_dest(port(1, 2, PortName.EAST, Direction.OUT)) == \
+            Port(2, 2, PortName.LOCAL, Direction.OUT)
+        assert find_dest(port(1, 2, PortName.NORTH, Direction.OUT)) == \
+            Port(1, 1, PortName.LOCAL, Direction.OUT)
+
+    def test_local_out_is_its_own_destination(self):
+        local_out = port(1, 2, PortName.LOCAL, Direction.OUT)
+        assert find_dest(local_out) == local_out
+
+    def test_mesh_boundary_check(self):
+        mesh = Mesh2D(2, 2)
+        with pytest.raises(ValueError):
+            find_dest(Port(1, 1, PortName.EAST, Direction.OUT), mesh)
+
+    def test_witness_destination_uses_the_edge_target(self):
+        mesh = Mesh2D(3, 3)
+        source = port(1, 1, PortName.WEST)
+        target = Port(1, 1, PortName.EAST, Direction.OUT)
+        assert witness_destination(source, target, mesh) == \
+            Port(2, 1, PortName.LOCAL, Direction.OUT)
+
+
+class TestExyDependencySpec:
+    @pytest.fixture
+    def mesh(self):
+        return Mesh2D(3, 3)
+
+    def test_in_port_edges_follow_next_outs(self, mesh):
+        spec = ExyDependencySpec(mesh)
+        west_in = port(1, 1, PortName.WEST)
+        assert spec.edges_from(west_in) == next_outs(west_in, mesh)
+
+    def test_out_port_edges_follow_next_in(self, mesh):
+        spec = ExyDependencySpec(mesh)
+        east_out = Port(1, 1, PortName.EAST, Direction.OUT)
+        assert spec.edges_from(east_out) == \
+            {Port(2, 1, PortName.WEST, Direction.IN)}
+
+    def test_local_out_ports_are_sinks(self, mesh):
+        spec = ExyDependencySpec(mesh)
+        assert spec.edges_from(Port(1, 1, PortName.LOCAL,
+                                    Direction.OUT)) == set()
+
+    def test_graph_has_no_boundary_violations(self, mesh):
+        graph = build_exy_graph(mesh)
+        for source, target in graph.edges():
+            assert mesh.has_port(source)
+            assert mesh.has_port(target)
+
+    def test_2x2_graph_matches_fig3_size(self):
+        graph = build_exy_graph(Mesh2D(2, 2))
+        assert graph.vertex_count == 24
+        # Every in-port has out-degree >= 1 (at least the local delivery) and
+        # every cardinal out-port exactly 1.
+        for vertex in graph.vertices:
+            if vertex.is_input:
+                assert graph.out_degree(vertex) >= 1
+            elif vertex.is_local:
+                assert graph.out_degree(vertex) == 0
+            else:
+                assert graph.out_degree(vertex) == 1
+
+    def test_edge_count_grows_with_mesh(self):
+        small = build_exy_graph(Mesh2D(2, 2)).edge_count
+        large = build_exy_graph(Mesh2D(4, 4)).edge_count
+        assert large > 2 * small

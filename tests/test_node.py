@@ -1,0 +1,61 @@
+"""Tests for processing nodes."""
+
+import pytest
+
+from repro.network.node import Node, node_index
+from repro.network.port import Direction, Port, PortName
+
+
+class TestNode:
+    def test_full_node_has_ten_ports(self):
+        node = Node(1, 1)
+        assert len(node.ports()) == 10
+        assert len(node.in_ports()) == 5
+        assert len(node.out_ports()) == 5
+
+    def test_corner_node_has_fewer_ports(self):
+        node = Node(0, 0, present_names=(PortName.EAST, PortName.SOUTH,
+                                         PortName.LOCAL))
+        assert len(node.ports()) == 6
+        assert node.degree == 2
+
+    def test_local_ports(self):
+        node = Node(2, 3)
+        assert node.local_in == Port(2, 3, PortName.LOCAL, Direction.IN)
+        assert node.local_out == Port(2, 3, PortName.LOCAL, Direction.OUT)
+
+    def test_port_lookup(self):
+        node = Node(2, 3)
+        assert node.port(PortName.EAST, Direction.OUT) == \
+            Port(2, 3, PortName.EAST, Direction.OUT)
+
+    def test_port_lookup_missing_name_raises(self):
+        node = Node(0, 0, present_names=(PortName.EAST, PortName.LOCAL))
+        with pytest.raises(KeyError):
+            node.port(PortName.WEST, Direction.IN)
+
+    def test_cardinal_names_excludes_local(self):
+        node = Node(0, 0)
+        assert PortName.LOCAL not in node.cardinal_names()
+        assert len(node.cardinal_names()) == 4
+
+    def test_coordinates(self):
+        assert Node(4, 5).coordinates == (4, 5)
+
+    def test_ports_are_distinct(self):
+        node = Node(1, 1)
+        assert len(set(node.ports())) == len(node.ports())
+
+    def test_str(self):
+        assert "1,2" in str(Node(1, 2))
+
+
+class TestNodeIndex:
+    def test_index_by_coordinates(self):
+        nodes = [Node(0, 0), Node(1, 0)]
+        index = node_index(nodes)
+        assert index[(1, 0)] is nodes[1]
+
+    def test_duplicate_coordinates_rejected(self):
+        with pytest.raises(ValueError):
+            node_index([Node(0, 0), Node(0, 0)])

@@ -1,0 +1,202 @@
+"""Tests for the paper's XY routing function (and YX, its mirror)."""
+
+import pytest
+
+from repro.core.errors import RoutingError
+from repro.network.mesh import Mesh2D
+from repro.network.port import Direction, Port, PortName
+from repro.routing.xy import XYRouting
+from repro.routing.yx import YXRouting
+
+
+@pytest.fixture
+def mesh():
+    return Mesh2D(3, 3)
+
+
+@pytest.fixture
+def rxy(mesh):
+    return XYRouting(mesh)
+
+
+def local_in(x, y):
+    return Port(x, y, PortName.LOCAL, Direction.IN)
+
+
+def local_out(x, y):
+    return Port(x, y, PortName.LOCAL, Direction.OUT)
+
+
+class TestRxyCases:
+    """The case analysis of the paper's Rxy definition (Section V.3)."""
+
+    def test_out_port_goes_to_next_in(self, rxy):
+        current = Port(0, 0, PortName.EAST, Direction.OUT)
+        assert rxy.next_hop(current, local_out(2, 2)) == \
+            Port(1, 0, PortName.WEST, Direction.IN)
+
+    def test_west_when_destination_is_west(self, rxy):
+        assert rxy.next_hop(local_in(2, 1), local_out(0, 1)) == \
+            Port(2, 1, PortName.WEST, Direction.OUT)
+
+    def test_east_when_destination_is_east(self, rxy):
+        assert rxy.next_hop(local_in(0, 1), local_out(2, 1)) == \
+            Port(0, 1, PortName.EAST, Direction.OUT)
+
+    def test_north_when_same_column_and_destination_north(self, rxy):
+        assert rxy.next_hop(local_in(1, 2), local_out(1, 0)) == \
+            Port(1, 2, PortName.NORTH, Direction.OUT)
+
+    def test_south_when_same_column_and_destination_south(self, rxy):
+        assert rxy.next_hop(local_in(1, 0), local_out(1, 2)) == \
+            Port(1, 0, PortName.SOUTH, Direction.OUT)
+
+    def test_local_delivery_when_at_destination_node(self, rxy):
+        assert rxy.next_hop(Port(1, 1, PortName.WEST, Direction.IN),
+                            local_out(1, 1)) == local_out(1, 1)
+
+    def test_x_corrected_before_y(self, rxy):
+        # Destination is both east and south: XY goes east first.
+        assert rxy.next_hop(local_in(0, 0), local_out(2, 2)) == \
+            Port(0, 0, PortName.EAST, Direction.OUT)
+
+    def test_routing_from_local_out_raises(self, rxy):
+        with pytest.raises(RoutingError):
+            rxy.next_hop(local_out(0, 0), local_out(1, 1))
+
+    def test_invalid_destination_raises(self, rxy):
+        with pytest.raises(RoutingError):
+            rxy.next_hop(local_in(0, 0), Port(1, 1, PortName.EAST,
+                                              Direction.IN))
+        with pytest.raises(RoutingError):
+            rxy.next_hop(local_in(0, 0), local_out(9, 9))
+
+    def test_no_hop_from_destination_itself(self, rxy):
+        assert rxy.next_hops(local_out(1, 1), local_out(1, 1)) == []
+
+    def test_determinism(self, rxy):
+        assert rxy.is_deterministic
+        hops = rxy.next_hops(local_in(0, 0), local_out(2, 2))
+        assert len(hops) == 1
+
+
+class TestRxyRoutes:
+    def test_route_structure(self, rxy):
+        route = rxy.compute_route(local_in(0, 0), local_out(2, 1))
+        assert route[0] == local_in(0, 0)
+        assert route[-1] == local_out(2, 1)
+        # in-port and out-port alternate within/between nodes.
+        assert len(route) == 2 + 2 * 3  # L-in, 2 east hops, 1 south hop, L-out
+
+    def test_route_to_same_node(self, rxy):
+        route = rxy.compute_route(local_in(1, 1), local_out(1, 1))
+        assert route == [local_in(1, 1), local_out(1, 1)]
+
+    def test_route_is_minimal(self, rxy, mesh):
+        for source in mesh.coordinates():
+            for target in mesh.coordinates():
+                route = rxy.compute_route(local_in(*source), local_out(*target))
+                hops_between_nodes = sum(
+                    1 for a, b in zip(route, route[1:]) if a.node != b.node)
+                assert hops_between_nodes == mesh.manhattan_distance(source,
+                                                                     target)
+
+    def test_route_ports_exist(self, rxy, mesh):
+        route = rxy.compute_route(local_in(0, 2), local_out(2, 0))
+        assert all(mesh.has_port(port) for port in route)
+
+    def test_route_x_before_y(self, rxy):
+        route = rxy.compute_route(local_in(0, 0), local_out(2, 2))
+        columns = [port.x for port in route]
+        # Once the column stops changing it never changes again.
+        final_column_reached = False
+        for a, b in zip(columns, columns[1:]):
+            if a == b == 2:
+                final_column_reached = True
+            if final_column_reached:
+                assert b == 2
+
+    def test_destinations_are_local_out_ports(self, rxy, mesh):
+        destinations = rxy.destinations()
+        assert len(destinations) == mesh.node_count
+        assert all(d.is_local and d.is_output for d in destinations)
+
+
+class TestRxyReachability:
+    """The closed-form s R d predicate."""
+
+    def test_local_in_reaches_everything(self, rxy, mesh):
+        for target in mesh.coordinates():
+            assert rxy.reachable(local_in(0, 0), local_out(*target))
+
+    def test_local_out_reaches_only_itself(self, rxy):
+        assert rxy.reachable(local_out(1, 1), local_out(1, 1))
+        assert not rxy.reachable(local_out(1, 1), local_out(0, 0))
+
+    def test_west_in_port_requires_destination_not_west(self, rxy):
+        port = Port(1, 1, PortName.WEST, Direction.IN)
+        assert rxy.reachable(port, local_out(1, 1))
+        assert rxy.reachable(port, local_out(2, 0))
+        assert not rxy.reachable(port, local_out(0, 1))
+
+    def test_east_in_port_requires_destination_not_east(self, rxy):
+        port = Port(1, 1, PortName.EAST, Direction.IN)
+        assert rxy.reachable(port, local_out(0, 2))
+        assert not rxy.reachable(port, local_out(2, 1))
+
+    def test_vertical_ports_require_destination_in_same_column(self, rxy):
+        north_in = Port(1, 1, PortName.NORTH, Direction.IN)
+        assert rxy.reachable(north_in, local_out(1, 2))
+        assert rxy.reachable(north_in, local_out(1, 1))
+        assert not rxy.reachable(north_in, local_out(1, 0))
+        assert not rxy.reachable(north_in, local_out(0, 2))
+
+    def test_out_ports_strictness(self, rxy):
+        east_out = Port(1, 1, PortName.EAST, Direction.OUT)
+        assert rxy.reachable(east_out, local_out(2, 0))
+        assert not rxy.reachable(east_out, local_out(1, 1))
+        north_out = Port(1, 1, PortName.NORTH, Direction.OUT)
+        assert rxy.reachable(north_out, local_out(1, 0))
+        assert not rxy.reachable(north_out, local_out(1, 2))
+
+    def test_non_destination_is_unreachable(self, rxy):
+        assert not rxy.reachable(local_in(0, 0),
+                                 Port(1, 1, PortName.EAST, Direction.OUT))
+
+    def test_port_outside_mesh_unreachable(self, rxy):
+        assert not rxy.reachable(Port(9, 9, PortName.LOCAL, Direction.IN),
+                                 local_out(1, 1))
+
+
+class TestYXRouting:
+    def test_y_corrected_before_x(self, mesh):
+        ryx = YXRouting(mesh)
+        assert ryx.next_hop(local_in(0, 0), local_out(2, 2)) == \
+            Port(0, 0, PortName.SOUTH, Direction.OUT)
+
+    def test_routes_are_minimal(self, mesh):
+        ryx = YXRouting(mesh)
+        route = ryx.compute_route(local_in(0, 0), local_out(2, 2))
+        hops = sum(1 for a, b in zip(route, route[1:]) if a.node != b.node)
+        assert hops == 4
+
+    def test_reachability_mirrors_xy(self, mesh):
+        ryx = YXRouting(mesh)
+        north_in = Port(1, 1, PortName.NORTH, Direction.IN)
+        # Under YX a packet at a North in-port is still correcting y, so any
+        # column is possible but it must be heading South.
+        assert ryx.reachable(north_in, local_out(0, 2))
+        assert not ryx.reachable(north_in, local_out(0, 0))
+        west_in = Port(1, 1, PortName.WEST, Direction.IN)
+        assert ryx.reachable(west_in, local_out(2, 1))
+        assert not ryx.reachable(west_in, local_out(2, 0))
+
+    def test_names(self, mesh):
+        assert XYRouting(mesh).name() == "Rxy"
+        assert YXRouting(mesh).name() == "Ryx"
+
+    def test_invalid_order_rejected(self, mesh):
+        from repro.routing.dimension_order import DimensionOrderRouting
+
+        with pytest.raises(ValueError):
+            DimensionOrderRouting(mesh, order="zz")

@@ -1,0 +1,201 @@
+"""Tests for the topology machinery: mesh, torus, ring, explicit."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network.mesh import Mesh2D
+from repro.network.node import Node
+from repro.network.port import Direction, Port, PortName
+from repro.network.ring import Ring
+from repro.network.topology import ExplicitTopology
+from repro.network.torus import Torus2D
+
+
+class TestMesh2D:
+    def test_dimensions_validated(self):
+        with pytest.raises(ValueError):
+            Mesh2D(0, 3)
+        with pytest.raises(ValueError):
+            Mesh2D(3, -1)
+
+    def test_node_count(self):
+        assert Mesh2D(3, 4).node_count == 12
+
+    def test_2x2_port_count_matches_paper_figure(self):
+        # Fig. 3 of the paper: each node of a 2x2 mesh has 2 cardinal ports
+        # (to its two neighbours) plus the local port, in and out => 6 ports
+        # per node, 24 in total.
+        mesh = Mesh2D(2, 2)
+        assert mesh.port_count == 24
+        assert mesh.port_count == mesh.expected_port_count()
+
+    @pytest.mark.parametrize("width,height", [(1, 1), (2, 2), (3, 3), (2, 5),
+                                              (4, 3), (5, 5)])
+    def test_port_count_closed_form(self, width, height):
+        mesh = Mesh2D(width, height)
+        assert mesh.port_count == mesh.expected_port_count()
+
+    def test_corner_node_has_two_neighbours(self):
+        mesh = Mesh2D(3, 3)
+        corner = mesh.node_at(0, 0)
+        assert corner.degree == 2
+        assert PortName.WEST not in corner.present_names
+        assert PortName.NORTH not in corner.present_names
+
+    def test_interior_node_has_four_neighbours(self):
+        mesh = Mesh2D(3, 3)
+        assert mesh.node_at(1, 1).degree == 4
+
+    def test_edge_node_has_three_neighbours(self):
+        mesh = Mesh2D(3, 3)
+        assert mesh.node_at(1, 0).degree == 3
+
+    def test_links_are_symmetric(self):
+        mesh = Mesh2D(3, 2)
+        mesh.validate()  # raises when reverse links are missing
+
+    def test_link_target_east(self):
+        mesh = Mesh2D(2, 2)
+        out_port = Port(0, 0, PortName.EAST, Direction.OUT)
+        assert mesh.link_target(out_port) == Port(1, 0, PortName.WEST,
+                                                  Direction.IN)
+
+    def test_local_out_is_sink(self):
+        mesh = Mesh2D(2, 2)
+        assert mesh.link_target(Port(0, 0, PortName.LOCAL,
+                                     Direction.OUT)) is None
+
+    def test_local_port_lists(self):
+        mesh = Mesh2D(3, 3)
+        assert len(mesh.local_in_ports()) == 9
+        assert len(mesh.local_out_ports()) == 9
+        assert all(p.is_local and p.is_input for p in mesh.local_in_ports())
+
+    def test_neighbours(self):
+        mesh = Mesh2D(3, 3)
+        neighbours = mesh.neighbours(mesh.node_at(1, 1))
+        assert {node.coordinates for node in neighbours} == \
+            {(0, 1), (2, 1), (1, 0), (1, 2)}
+
+    def test_manhattan_distance(self):
+        assert Mesh2D(5, 5).manhattan_distance((0, 0), (3, 4)) == 7
+
+    def test_corner_and_edge_predicates(self):
+        mesh = Mesh2D(3, 3)
+        assert mesh.is_corner(0, 0)
+        assert not mesh.is_corner(1, 0)
+        assert mesh.is_edge(1, 0)
+        assert not mesh.is_edge(1, 1)
+
+    def test_describe(self):
+        info = Mesh2D(2, 3).describe()
+        assert info["nodes"] == 6
+        assert info["injection_ports"] == 6
+
+    def test_ascii_art_mentions_all_nodes(self):
+        art = Mesh2D(2, 2).ascii_art()
+        for coords in ["(0,0)", "(1,0)", "(0,1)", "(1,1)"]:
+            assert coords in art
+
+    def test_has_port(self):
+        mesh = Mesh2D(2, 2)
+        assert mesh.has_port(Port(0, 0, PortName.EAST, Direction.OUT))
+        assert not mesh.has_port(Port(0, 0, PortName.WEST, Direction.OUT))
+        assert not mesh.has_port(Port(5, 5, PortName.LOCAL, Direction.IN))
+
+    @given(st.integers(1, 5), st.integers(1, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_every_connected_out_port_has_existing_target(self, w, h):
+        mesh = Mesh2D(w, h)
+        for out_port, in_port in mesh.links.items():
+            assert mesh.has_port(out_port)
+            assert mesh.has_port(in_port)
+            assert in_port.is_input and out_port.is_output
+
+
+class TestTorus2D:
+    def test_dimensions_validated(self):
+        with pytest.raises(ValueError):
+            Torus2D(1, 4)
+
+    def test_every_node_has_all_ports(self):
+        torus = Torus2D(3, 3)
+        assert all(node.degree == 4 for node in torus.nodes)
+        assert torus.port_count == 9 * 10
+
+    def test_wraparound_links(self):
+        torus = Torus2D(3, 3)
+        east_edge = Port(2, 1, PortName.EAST, Direction.OUT)
+        assert torus.link_target(east_edge) == Port(0, 1, PortName.WEST,
+                                                    Direction.IN)
+
+    def test_torus_distance_uses_wraparound(self):
+        torus = Torus2D(4, 4)
+        assert torus.torus_distance((0, 0), (3, 3)) == 2
+        assert torus.torus_distance((0, 0), (2, 2)) == 4
+
+    def test_validate(self):
+        Torus2D(3, 4).validate()
+
+
+class TestRing:
+    def test_size_validated(self):
+        with pytest.raises(ValueError):
+            Ring(1)
+
+    def test_ring_structure(self):
+        ring = Ring(4)
+        assert ring.node_count == 4
+        # Each node: E, W, L in and out = 6 ports.
+        assert ring.port_count == 24
+
+    def test_wrap_link(self):
+        ring = Ring(4)
+        assert ring.link_target(Port(3, 0, PortName.EAST, Direction.OUT)) == \
+            Port(0, 0, PortName.WEST, Direction.IN)
+
+    def test_unidirectional_ring_has_no_westward_links(self):
+        ring = Ring(4, bidirectional=False)
+        assert ring.link_target(Port(2, 0, PortName.WEST,
+                                     Direction.OUT)) is None
+
+    def test_distances(self):
+        ring = Ring(6)
+        assert ring.clockwise_distance(1, 4) == 3
+        assert ring.clockwise_distance(4, 1) == 3
+        assert ring.shortest_distance(0, 5) == 1
+
+    def test_validate(self):
+        Ring(5).validate()
+
+
+class TestExplicitTopology:
+    def _two_node_chain(self):
+        node_a = Node(0, 0, present_names=(PortName.EAST, PortName.LOCAL))
+        node_b = Node(1, 0, present_names=(PortName.WEST, PortName.LOCAL))
+        connections = {
+            Port(0, 0, PortName.EAST, Direction.OUT):
+                Port(1, 0, PortName.WEST, Direction.IN),
+            Port(1, 0, PortName.WEST, Direction.OUT):
+                Port(0, 0, PortName.EAST, Direction.IN),
+        }
+        return ExplicitTopology([node_a, node_b], connections)
+
+    def test_explicit_topology_builds(self):
+        topology = self._two_node_chain()
+        assert topology.node_count == 2
+        assert topology.port_count == 8
+        topology.validate()
+
+    def test_connection_to_missing_port_rejected(self):
+        node_a = Node(0, 0, present_names=(PortName.EAST, PortName.LOCAL))
+        connections = {
+            Port(0, 0, PortName.EAST, Direction.OUT):
+                Port(9, 9, PortName.WEST, Direction.IN),
+        }
+        with pytest.raises(ValueError):
+            ExplicitTopology([node_a], connections)
+
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            ExplicitTopology([Node(0, 0), Node(0, 0)], {})

@@ -1,0 +1,149 @@
+"""Tests for travels and travel progress records."""
+
+import pytest
+
+from repro.core.configuration import NOT_INJECTED, TravelProgress
+from repro.core.travel import Travel, check_unique_ids, fresh_travel_id, make_travel
+from repro.network.flit import FlitKind
+from repro.network.port import Direction, Port, PortName
+
+
+def _ports(*specs):
+    return tuple(Port(x, y, name, direction) for x, y, name, direction in specs)
+
+
+SOURCE = Port(0, 0, PortName.LOCAL, Direction.IN)
+DEST = Port(1, 0, PortName.LOCAL, Direction.OUT)
+ROUTE = _ports((0, 0, PortName.LOCAL, Direction.IN),
+               (0, 0, PortName.EAST, Direction.OUT),
+               (1, 0, PortName.WEST, Direction.IN),
+               (1, 0, PortName.LOCAL, Direction.OUT))
+
+
+class TestTravel:
+    def test_make_travel_allocates_fresh_ids(self):
+        a = make_travel(SOURCE, DEST)
+        b = make_travel(SOURCE, DEST)
+        assert a.travel_id != b.travel_id
+
+    def test_fresh_travel_id_monotone(self):
+        assert fresh_travel_id() < fresh_travel_id()
+
+    def test_num_flits_validated(self):
+        with pytest.raises(ValueError):
+            Travel(travel_id=1, source=SOURCE, destination=DEST, num_flits=0)
+
+    def test_with_route(self):
+        travel = Travel(travel_id=1, source=SOURCE, destination=DEST,
+                        num_flits=2)
+        routed = travel.with_route(ROUTE)
+        assert routed.has_route
+        assert routed.route_length == 4
+        assert not travel.has_route  # original unchanged (immutable)
+
+    def test_with_route_checks_endpoints(self):
+        travel = Travel(travel_id=1, source=SOURCE, destination=DEST)
+        with pytest.raises(ValueError):
+            travel.with_route(ROUTE[1:])
+        with pytest.raises(ValueError):
+            travel.with_route(ROUTE[:-1])
+        with pytest.raises(ValueError):
+            travel.with_route(())
+
+    def test_route_length_requires_route(self):
+        travel = Travel(travel_id=1, source=SOURCE, destination=DEST)
+        with pytest.raises(ValueError):
+            _ = travel.route_length
+
+    def test_flits(self):
+        travel = Travel(travel_id=9, source=SOURCE, destination=DEST,
+                        num_flits=3)
+        flits = travel.flits()
+        assert len(flits) == 3
+        assert flits[0].kind is FlitKind.HEADER
+        assert all(f.travel_id == 9 for f in flits)
+
+    def test_str_mentions_flits(self):
+        travel = Travel(travel_id=1, source=SOURCE, destination=DEST,
+                        num_flits=5)
+        assert "5 flits" in str(travel)
+
+    def test_check_unique_ids(self):
+        a = Travel(travel_id=1, source=SOURCE, destination=DEST)
+        b = Travel(travel_id=1, source=SOURCE, destination=DEST)
+        with pytest.raises(ValueError):
+            check_unique_ids([a, b])
+        check_unique_ids([a])
+
+
+class TestTravelProgress:
+    def _routed(self, num_flits=3):
+        return Travel(travel_id=1, source=SOURCE, destination=DEST,
+                      num_flits=num_flits, route=ROUTE)
+
+    def test_initial_positions(self):
+        record = TravelProgress.initial(self._routed())
+        assert record.positions == [NOT_INJECTED] * 3
+        assert not record.is_started
+        assert not record.is_arrived
+        assert record.header_port is None
+
+    def test_initial_requires_route(self):
+        unrouted = Travel(travel_id=1, source=SOURCE, destination=DEST)
+        with pytest.raises(ValueError):
+            TravelProgress.initial(unrouted)
+
+    def test_header_port(self):
+        record = TravelProgress.initial(self._routed())
+        record.positions[0] = 1
+        assert record.header_port == ROUTE[1]
+
+    def test_is_arrived(self):
+        record = TravelProgress.initial(self._routed(num_flits=2))
+        record.positions[:] = [4, 4]
+        assert record.is_arrived
+        assert record.header_port is None
+
+    def test_remaining_route_length(self):
+        record = TravelProgress.initial(self._routed())
+        assert record.remaining_route_length == 4  # full route before injection
+        record.positions[0] = 0
+        assert record.remaining_route_length == 4
+        record.positions[0] = 2
+        assert record.remaining_route_length == 2
+        record.positions[0] = 4
+        assert record.remaining_route_length == 0
+
+    def test_remaining_flit_hops_counts_every_move(self):
+        record = TravelProgress.initial(self._routed(num_flits=2))
+        # Each flit: 4 hops along the route + 1 injection = 5 moves.
+        assert record.remaining_flit_hops() == 10
+        record.positions[0] = 0
+        assert record.remaining_flit_hops() == 9
+        record.positions[:] = [4, 4]
+        assert record.remaining_flit_hops() == 0
+
+    def test_flits_in_network_and_ejected(self):
+        record = TravelProgress.initial(self._routed())
+        record.positions[:] = [4, 2, NOT_INJECTED]
+        assert record.flits_in_network == 1
+        assert record.flits_ejected == 1
+
+    def test_occupied_route_indices(self):
+        record = TravelProgress.initial(self._routed())
+        record.positions[:] = [3, 2, 2]
+        assert record.occupied_route_indices() == [2, 3]
+
+    def test_flit_order_check(self):
+        record = TravelProgress.initial(self._routed())
+        record.positions[:] = [1, 2, 0]
+        with pytest.raises(AssertionError):
+            record.check_flit_order()
+        record.positions[:] = [2, 2, 1]
+        record.check_flit_order()
+
+    def test_copy_is_independent(self):
+        record = TravelProgress.initial(self._routed())
+        clone = record.copy()
+        clone.positions[0] = 3
+        assert record.positions[0] == NOT_INJECTED
