@@ -31,11 +31,18 @@ from repro.checking.graphs import (
 )
 from repro.checking.bool_expr import Var, Not, And, Or, Implies, Iff, TRUE, FALSE
 from repro.checking.cnf import CNF, Clause
-from repro.checking.sat import SatSolver, SatResult, solve_cnf
+from repro.checking.sat import (
+    IncrementalSatSolver,
+    SatSolver,
+    SatResult,
+    solve_cnf,
+)
 from repro.checking.encodings import (
+    acyclicity_oracle,
     encode_acyclicity,
     is_acyclic_by_sat,
 )
+from repro.checking.incremental import AcyclicityOracle, IncrementalSession
 from repro.checking.ts import TransitionSystem, ReachabilityResult
 
 # The configuration-space explorer depends on repro.core, which in turn uses
@@ -74,9 +81,13 @@ __all__ = [
     "FALSE",
     "CNF",
     "Clause",
+    "IncrementalSatSolver",
     "SatSolver",
     "SatResult",
     "solve_cnf",
+    "AcyclicityOracle",
+    "IncrementalSession",
+    "acyclicity_oracle",
     "encode_acyclicity",
     "is_acyclic_by_sat",
     "TransitionSystem",

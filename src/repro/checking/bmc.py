@@ -31,17 +31,145 @@ from repro.core.instance import NoCInstance
 from repro.core.state import NetworkState
 from repro.core.travel import Travel
 from repro.switching.base import SingleTravelStepper
+from repro.switching.wormhole import WormholeSwitching
 
 #: A hashable encoding of a configuration: per travel (sorted by id), the
 #: tuple of flit positions along its route.
 StateKey = Tuple[Tuple[int, Tuple[int, ...]], ...]
 
 
+class _WormholeKeyStepper:
+    """Successor generation directly on state keys for wormhole switching.
+
+    The state key (per travel, the tuple of its flit positions) fully
+    determines the network state: a flit at route index ``i`` occupies the
+    port ``route[i]``, a port is owned by the (unique) travel whose flits it
+    holds, and ownership lapses exactly when the port drains.  Exploiting
+    this, successors can be computed on plain integer tuples -- no
+    :class:`Configuration`/:class:`NetworkState` decode, copy and re-encode
+    per transition, which is where the generic path spends almost all of its
+    time.  The semantics mirror
+    :meth:`repro.switching.wormhole.WormholeSwitching.advance_travel` (the
+    pipelined worm shift) and are cross-checked against it by the
+    property-based tests.
+
+    Only plain wormhole switching qualifies: subclasses (virtual
+    cut-through) strengthen the admission test, so the generic decode-based
+    path is used for them.
+    """
+
+    def __init__(self, routes: Dict[int, Tuple], capacities: Dict) -> None:
+        self._routes = routes
+        self._capacities = capacities
+
+    def successors(self, state: StateKey) -> List[StateKey]:
+        routes = self._routes
+        # Occupancy and ownership derived from the flit positions.
+        occupancy: Dict = {}
+        owner: Dict = {}
+        for travel_id, positions in state:
+            route = routes[travel_id]
+            ejected = len(route)
+            for position in positions:
+                if NOT_INJECTED < position < ejected:
+                    port = route[position]
+                    occupancy[port] = occupancy.get(port, 0) + 1
+                    owner[port] = travel_id
+        result: List[StateKey] = []
+        for index, (travel_id, positions) in enumerate(state):
+            advanced = self._advance(travel_id, positions, occupancy, owner)
+            if advanced is not None:
+                result.append(state[:index] + ((travel_id, advanced),)
+                              + state[index + 1:])
+        return result
+
+    def _advance(self, travel_id: int, positions: Tuple[int, ...],
+                 occupancy: Dict, owner: Dict) -> Optional[Tuple[int, ...]]:
+        """One pipelined worm shift of a single travel, or ``None``.
+
+        Mirrors ``WormholeSwitching._advance_worm`` on position tuples.
+        """
+        route = self._routes[travel_id]
+        ejected = len(route)
+        capacities = self._capacities
+
+        # Cheap header check first, so blocked travels cost no dict copies.
+        leader_position = None
+        for position in positions:
+            if position != ejected:
+                leader_position = position
+                break
+        if leader_position is None:
+            return None  # fully ejected: nothing left to move
+        if leader_position != ejected - 1:
+            target_index = 0 if leader_position == NOT_INJECTED \
+                else leader_position + 1
+            target = route[target_index]
+            if (occupancy.get(target, 0) >= capacities[target]
+                    or owner.get(target, travel_id) != travel_id):
+                return None
+
+        # The shift mutates occupancy/ownership as flits move; work on
+        # copies so the caller's maps stay valid for the other travels.
+        occupancy = dict(occupancy)
+        owner = dict(owner)
+        new_positions = list(positions)
+        predecessor_moved = True  # the "predecessor" of the leader is the sink
+        any_moved = False
+        for index, position in enumerate(positions):
+            if position == ejected:
+                predecessor_moved = True
+                continue
+            if not predecessor_moved:
+                predecessor_moved = False
+                continue
+            if position == ejected - 1:
+                # Ejection at the destination local out-port.
+                self._release(route[position], occupancy, owner)
+                new_positions[index] = ejected
+                predecessor_moved = True
+                any_moved = True
+                continue
+            target_index = 0 if position == NOT_INJECTED else position + 1
+            target = route[target_index]
+            if (occupancy.get(target, 0) >= capacities[target]
+                    or owner.get(target, travel_id) != travel_id):
+                predecessor_moved = False
+                continue
+            if position != NOT_INJECTED:
+                self._release(route[position], occupancy, owner)
+            occupancy[target] = occupancy.get(target, 0) + 1
+            owner[target] = travel_id
+            new_positions[index] = target_index
+            predecessor_moved = True
+            any_moved = True
+        if not any_moved:
+            return None
+        return tuple(new_positions)
+
+    @staticmethod
+    def _release(port, occupancy: Dict, owner: Dict) -> None:
+        remaining = occupancy.get(port, 0) - 1
+        if remaining <= 0:
+            occupancy.pop(port, None)
+            owner.pop(port, None)  # ownership lapses when the port drains
+        else:
+            occupancy[port] = remaining
+
+
 class ConfigurationSpace:
-    """The reachable configuration space of a workload on an instance."""
+    """The reachable configuration space of a workload on an instance.
+
+    ``use_fast_stepper`` selects the successor engine: ``None`` (default)
+    uses the key-level fast path when the switching policy is plain
+    wormhole, ``False`` forces the generic decode-based path (used by the
+    cross-validation tests), ``True`` demands the fast path and raises if
+    the switching policy does not support it.
+    """
 
     def __init__(self, instance: NoCInstance, travels: Sequence[Travel],
-                 capacity: int = 1) -> None:
+                 capacity: int = 1,
+                 use_fast_stepper: Optional[bool] = None) -> None:
         if not isinstance(instance.switching, SingleTravelStepper):
             raise TypeError(
                 "configuration-space exploration needs a switching policy "
@@ -53,6 +181,30 @@ class ConfigurationSpace:
         self._routed_travels: Dict[int, Travel] = {
             travel.travel_id: travel for travel in config.travels}
         self.initial_configuration = config
+        self._route_of: Dict[int, Tuple] = {
+            travel_id: tuple(travel.route or ())
+            for travel_id, travel in self._routed_travels.items()}
+        fast_capable = type(instance.switching) is WormholeSwitching
+        if use_fast_stepper is None:
+            use_fast_stepper = fast_capable
+        if use_fast_stepper and not fast_capable:
+            raise TypeError(
+                f"the fast key-level stepper models plain wormhole "
+                f"switching; {instance.switching.name()} needs the generic "
+                f"path")
+        self._fast_stepper: Optional[_WormholeKeyStepper] = None
+        if use_fast_stepper:
+            capacities: Dict = {}
+            for route in self._route_of.values():
+                for port in route:
+                    if port not in capacities:
+                        port_capacity = capacity
+                        if (instance.capacities is not None
+                                and port in instance.capacities):
+                            port_capacity = instance.capacities[port]
+                        capacities[port] = port_capacity
+            self._fast_stepper = _WormholeKeyStepper(self._route_of,
+                                                     capacities)
 
     # -- encoding -----------------------------------------------------------------
     def encode(self, config: Configuration) -> StateKey:
@@ -92,6 +244,17 @@ class ConfigurationSpace:
 
     # -- transition relation ----------------------------------------------------------
     def successors(self, state: StateKey) -> List[StateKey]:
+        """Successor states: one chosen travel advances by one worm shift."""
+        if self._fast_stepper is not None:
+            return self._fast_stepper.successors(state)
+        return self.generic_successors(state)
+
+    def generic_successors(self, state: StateKey) -> List[StateKey]:
+        """The decode/advance/encode successor path.
+
+        Works for every :class:`SingleTravelStepper` switching policy; the
+        wormhole fast path is cross-validated against it.
+        """
         config = self.decode(state)
         switching = self.instance.switching
         assert isinstance(switching, SingleTravelStepper)
@@ -103,8 +266,8 @@ class ConfigurationSpace:
         return result
 
     def is_final(self, state: StateKey) -> bool:
-        return all(all(pos == len(self._routed_travels[tid].route or ())
-                       for pos in positions)
+        route_of = self._route_of
+        return all(all(pos == len(route_of[tid]) for pos in positions)
                    for tid, positions in state)
 
     def transition_system(self) -> TransitionSystem[StateKey]:

@@ -12,6 +12,12 @@ obligation (C-3) alongside the graph-algorithmic checks of
 A second encoding (:func:`encode_cycle_existence`) expresses the *existence*
 of a cycle through a chosen vertex by unrolling reachability, so that an
 UNSAT answer certifies that no cycle passes through that vertex.
+
+For repeated acyclicity queries over subsets of one edge universe (escape
+analysis, routing portfolios), use
+:class:`repro.checking.incremental.AcyclicityOracle`, which shares this
+module's bit-vector helpers but encodes each edge behind a selector variable
+once and answers every query with an incremental solve.
 """
 
 from __future__ import annotations
@@ -39,15 +45,17 @@ from repro.checking.tseitin import TseitinEncoder
 V = TypeVar("V", bound=Hashable)
 
 
-def _bit_name(vertex_index: int, bit: int) -> str:
+def bit_name(vertex_index: int, bit: int) -> str:
+    """Name of bit ``bit`` of the numbering counter of vertex ``vertex_index``."""
     return f"n{vertex_index}_b{bit}"
 
 
-def _vertex_bits(vertex_index: int, width: int) -> List[Var]:
-    return [Var(_bit_name(vertex_index, bit)) for bit in range(width)]
+def vertex_bits(vertex_index: int, width: int) -> List[Var]:
+    """The numbering counter of a vertex, as a little-endian bit vector."""
+    return [Var(bit_name(vertex_index, bit)) for bit in range(width)]
 
 
-def _less_than(a_bits: Sequence[Var], b_bits: Sequence[Var]) -> BoolExpr:
+def less_than_bits(a_bits: Sequence[Var], b_bits: Sequence[Var]) -> BoolExpr:
     """``a < b`` over unsigned little-endian bit vectors of equal width.
 
     Recursive formulation, most significant bit first::
@@ -61,6 +69,12 @@ def _less_than(a_bits: Sequence[Var], b_bits: Sequence[Var]) -> BoolExpr:
         b_bit = b_bits[bit]
         result = Or(And(Not(a_bit), b_bit), And(Iff(a_bit, b_bit), result))
     return result
+
+
+# Backwards-compatible private aliases.
+_bit_name = bit_name
+_vertex_bits = vertex_bits
+_less_than = less_than_bits
 
 
 def encode_acyclicity(graph: DirectedGraph[V]) -> Tuple[CNF, Dict[V, int]]:
@@ -93,6 +107,19 @@ def is_acyclic_by_sat(graph: DirectedGraph[V]) -> bool:
     """Decide acyclicity by SAT (satisfiable = acyclic)."""
     cnf, _ = encode_acyclicity(graph)
     return solve_cnf(cnf).satisfiable
+
+
+def acyclicity_oracle(graph: DirectedGraph[V], seed: int = 2010):
+    """An incremental acyclicity oracle over ``graph``'s edge universe.
+
+    Convenience re-export of
+    :class:`repro.checking.incremental.AcyclicityOracle`: encode once, then
+    query any edge subset (escape analysis, per-routing subgraphs) with one
+    incremental solve each.
+    """
+    from repro.checking.incremental import AcyclicityOracle
+
+    return AcyclicityOracle(graph, seed=seed)
 
 
 def decode_topological_numbering(graph: DirectedGraph[V]) -> Dict[V, int]:

@@ -1,0 +1,305 @@
+"""Incremental verification sessions on top of the CDCL solver.
+
+The modules of :mod:`repro.checking` historically built one CNF per query
+and threw solver and formula away afterwards.  This module provides the
+*encode once, query many times* layer used by the deadlock machinery:
+
+* :class:`IncrementalSession` couples a :class:`~repro.checking.cnf.CNF`,
+  a :class:`~repro.checking.tseitin.TseitinEncoder` and one live
+  :class:`~repro.checking.sat.IncrementalSatSolver`.  Expressions can be
+  asserted permanently or guarded by named *selector* variables; queries
+  are solved under assumptions over those selectors, and UNSAT answers come
+  with a core mapped back to selector names.
+
+* :class:`AcyclicityOracle` instantiates the session for the paper's
+  central decision problem: given a fixed vertex set and a fixed universe
+  of candidate dependency edges, decide *for any subset of the edges*
+  whether the subgraph is acyclic.  The topological-numbering constraint of
+  each edge is encoded once, guarded by a per-edge selector variable; each
+  query then costs one ``solve`` call under assumptions instead of a fresh
+  CNF construction.  This is what obligation (C-3)'s quantifier
+  ``∀ P' ⊆ P . ¬ cycle_dep(P')`` looks like operationally, and what makes
+  escape-edge analysis (``which single edge removals break all cycles?``)
+  and routing portfolios (``same topology, many routing functions``)
+  cheap.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    TypeVar,
+)
+
+from repro.checking.bool_expr import BoolExpr, FALSE
+from repro.checking.cnf import CNF, Literal
+from repro.checking.graphs import DirectedGraph
+from repro.checking.sat import IncrementalSatSolver, SatResult
+from repro.checking.tseitin import TseitinEncoder
+
+V = TypeVar("V", bound=Hashable)
+
+
+class IncrementalSession:
+    """A CNF, its Tseitin encoder and one live solver, kept in sync.
+
+    Usage::
+
+        session = IncrementalSession()
+        session.assert_expr(some_invariant)            # permanent
+        fast = session.guard("fast-mode", mode_expr)   # selectable
+        session.solve(["fast-mode"])                   # query with guard on
+        session.solve([-fast])                         # ... and with it off
+    """
+
+    def __init__(self, seed: int = 2010) -> None:
+        self.cnf = CNF()
+        self.encoder = TseitinEncoder(self.cnf)
+        self.solver = IncrementalSatSolver(seed=seed)
+        self._loaded_clauses = 0
+        self._selectors: Dict[str, Literal] = {}
+
+    # -- encoding -----------------------------------------------------------------
+    def _sync(self) -> None:
+        self.solver.ensure_vars(self.cnf.num_vars)
+        for clause in self.cnf.clauses[self._loaded_clauses:]:
+            self.solver.add_clause(clause)
+        self._loaded_clauses = len(self.cnf.clauses)
+
+    def encode(self, expression: BoolExpr) -> Literal:
+        """Tseitin-encode an expression, returning its literal."""
+        literal = self.encoder.encode(expression)
+        self._sync()
+        return literal
+
+    def assert_expr(self, expression: BoolExpr) -> None:
+        """Permanently assert an expression."""
+        self.encoder.assert_expr(expression)
+        self._sync()
+
+    def add_clause(self, literals: Iterable[Literal]) -> None:
+        self.cnf.add_clause(literals)
+        self._sync()
+
+    def selector(self, name: str) -> Literal:
+        """The (positive literal of the) named selector variable."""
+        if name not in self._selectors:
+            self._selectors[name] = self.cnf.var(f"sel::{name}")
+        self._sync()
+        return self._selectors[name]
+
+    def guard(self, name: str, expression: BoolExpr) -> Literal:
+        """Assert ``selector(name) -> expression`` and return the selector.
+
+        The expression only constrains queries whose assumptions include the
+        (positive) selector literal; with the selector unset or negated the
+        expression is inert.
+        """
+        selector = self.selector(name)
+        literal = self.encoder.encode(expression)
+        self.cnf.add_clause((-selector, literal))
+        self._sync()
+        return selector
+
+    # -- querying -----------------------------------------------------------------
+    def _to_literal(self, assumption) -> Literal:
+        if isinstance(assumption, str):
+            return self.selector(assumption)
+        return int(assumption)
+
+    def solve(self, assumptions: Iterable = ()) -> SatResult:
+        """Solve under assumptions given as literals or selector names."""
+        self._sync()
+        return self.solver.solve([self._to_literal(a) for a in assumptions])
+
+    def last_core_names(self) -> Optional[List[str]]:
+        """The selector names in the last UNSAT core (non-selector literals
+        are reported as their CNF names or literal values)."""
+        core = self.solver.last_core()
+        if core is None:
+            return None
+        names: List[str] = []
+        for literal in core:
+            name = self.cnf.name_of(literal)
+            if name is not None and name.startswith("sel::"):
+                names.append(name[len("sel::"):])
+            else:
+                names.append(name if name is not None else str(literal))
+        return names
+
+
+class AcyclicityOracle:
+    """Incremental acyclicity queries over subsets of a fixed edge universe.
+
+    Built once from a directed graph (or an explicit vertex/edge universe),
+    the oracle answers ``is this subset of the edges acyclic?`` with one
+    incremental solve per query.  The encoding is the topological-numbering
+    one of :mod:`repro.checking.encodings`: every vertex gets a binary
+    counter, every edge ``u -> v`` a selector implying
+    ``number(v) < number(u)``; a subset is acyclic iff the selectors of its
+    edges are simultaneously satisfiable.
+    """
+
+    def __init__(self, graph: DirectedGraph[V], seed: int = 2010) -> None:
+        self._session = IncrementalSession(seed=seed)
+        self._vertices = sorted(graph.vertices, key=repr)
+        self._vertex_index = {vertex: index
+                              for index, vertex in enumerate(self._vertices)}
+        self._width = max(1, math.ceil(
+            math.log2(max(len(self._vertices), 2))))
+        self._edge_selector: Dict[Tuple[V, V], Literal] = {}
+        self._edges: List[Tuple[V, V]] = []
+        self._selector_edge: Dict[Literal, Tuple[V, V]] = {}
+        for source, target in graph.edges():
+            self.add_edge(source, target)
+        self.stats_queries = 0
+
+    # -- construction --------------------------------------------------------------
+    def add_edge(self, source: V, target: V) -> None:
+        """Add an edge to the universe (idempotent)."""
+        # Imported here: encodings imports the solver module and this module
+        # re-exports the oracle through repro.checking, so a module-level
+        # import would be circular.
+        from repro.checking.encodings import less_than_bits, vertex_bits
+
+        edge = (source, target)
+        if edge in self._edge_selector:
+            return
+        if source not in self._vertex_index or target not in self._vertex_index:
+            raise ValueError(
+                f"edge {source!r} -> {target!r} leaves the oracle's vertex set")
+        name = f"edge {len(self._edges)}"
+        selector = self._session.selector(name)
+        if source == target:
+            # A self-loop is a cycle on its own: selecting it is unsatisfiable.
+            self._session.add_clause((-selector,))
+        else:
+            constraint = less_than_bits(
+                vertex_bits(self._vertex_index[target], self._width),
+                vertex_bits(self._vertex_index[source], self._width))
+            literal = self._session.encode(constraint)
+            self._session.add_clause((-selector, literal))
+        self._edge_selector[edge] = selector
+        self._selector_edge[selector] = edge
+        self._edges.append(edge)
+
+    # -- inspection ----------------------------------------------------------------
+    @property
+    def vertices(self) -> List[V]:
+        return list(self._vertices)
+
+    @property
+    def edges(self) -> List[Tuple[V, V]]:
+        """The full edge universe, in insertion order."""
+        return list(self._edges)
+
+    @property
+    def solver_stats(self) -> Dict[str, int]:
+        return self._session.solver.stats
+
+    def has_edge(self, source: V, target: V) -> bool:
+        return (source, target) in self._edge_selector
+
+    # -- queries -------------------------------------------------------------------
+    def _assumptions_for(self,
+                         edges: Optional[Iterable[Tuple[V, V]]]
+                         ) -> List[Literal]:
+        if edges is None:
+            return [self._edge_selector[edge] for edge in self._edges]
+        assumptions = []
+        for edge in edges:
+            selector = self._edge_selector.get(tuple(edge))
+            if selector is None:
+                raise KeyError(f"edge {edge!r} is not in the oracle universe")
+            assumptions.append(selector)
+        return assumptions
+
+    def is_acyclic(self,
+                   edges: Optional[Iterable[Tuple[V, V]]] = None) -> bool:
+        """Is the subgraph spanned by ``edges`` (default: all) acyclic?"""
+        self.stats_queries += 1
+        result = self._session.solve(self._assumptions_for(edges))
+        return result.satisfiable
+
+    def is_acyclic_without(self,
+                           removed: Iterable[Tuple[V, V]]) -> bool:
+        """Acyclicity of the full universe minus the given edges."""
+        removed_set = {tuple(edge) for edge in removed}
+        return self.is_acyclic(edge for edge in self._edges
+                               if edge not in removed_set)
+
+    def is_acyclic_restricted_to(self, vertices: Iterable[V]) -> bool:
+        """Acyclicity of the subgraph induced by a vertex subset.
+
+        This is obligation (C-3)'s ``∀ P' ⊆ P`` instantiated at one ``P'``
+        -- by monotonicity the full-graph query subsumes it, but the
+        restricted query is what the paper's statement literally asks.
+        """
+        subset = set(vertices)
+        return self.is_acyclic(
+            edge for edge in self._edges
+            if edge[0] in subset and edge[1] in subset)
+
+    def cycle_core(self,
+                   edges: Optional[Iterable[Tuple[V, V]]] = None
+                   ) -> Optional[List[Tuple[V, V]]]:
+        """A subset of ``edges`` that already contains a cycle, or ``None``.
+
+        When the queried subgraph is cyclic, the solver's UNSAT core over
+        the edge selectors is exactly such a subset (typically close to one
+        concrete cycle).
+        """
+        if self.is_acyclic(edges):
+            return None
+        core = self._session.solver.last_core()
+        if core is None:
+            return None
+        return [self._selector_edge[literal] for literal in core
+                if literal in self._selector_edge]
+
+    def numbering(self,
+                  edges: Optional[Iterable[Tuple[V, V]]] = None
+                  ) -> Dict[V, int]:
+        """A topological numbering witnessing acyclicity (raises if cyclic)."""
+        from repro.checking.encodings import bit_name
+
+        self.stats_queries += 1
+        result = self._session.solve(self._assumptions_for(edges))
+        if not result.satisfiable:
+            raise ValueError(
+                "graph has a cycle; no topological numbering exists")
+        named = result.named_model(self._session.cnf)
+        numbering: Dict[V, int] = {}
+        for vertex, index in self._vertex_index.items():
+            value = 0
+            for bit in range(self._width):
+                if named.get(bit_name(index, bit), False):
+                    value |= 1 << bit
+            numbering[vertex] = value
+        return numbering
+
+    def critical_edges(self,
+                       candidates: Optional[Iterable[Tuple[V, V]]] = None
+                       ) -> List[Tuple[V, V]]:
+        """Edges whose individual removal makes the full universe acyclic.
+
+        This is the escape-channel question: across ``n`` candidate edges
+        the oracle answers with ``n`` incremental solves on the same
+        learned-clause database, instead of ``n`` CNF constructions.
+        Returns ``[]`` when the universe is already acyclic (nothing to
+        escape from) or when no single removal suffices.
+        """
+        if self.is_acyclic():
+            return []
+        pool = list(candidates) if candidates is not None else list(self._edges)
+        return [edge for edge in pool
+                if self.is_acyclic_without([tuple(edge)])]

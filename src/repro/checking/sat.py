@@ -1,25 +1,40 @@
-"""A CDCL SAT solver (the offline stand-in for Z3).
+"""An incremental CDCL SAT solver (the offline stand-in for Z3/MiniSat).
 
 The solver implements the standard conflict-driven clause-learning loop:
 
 * two-watched-literal unit propagation,
-* first-UIP conflict analysis with clause learning and non-chronological
-  backjumping,
-* VSIDS-style activity-based decision heuristic with decay,
+* first-UIP conflict analysis with clause learning, learned-clause
+  minimisation and non-chronological backjumping,
+* VSIDS-style activity-based decision heuristic backed by a binary heap,
+  with phase saving,
 * Luby-sequence restarts,
-* optional learned-clause deletion.
+* activity-driven learned-clause deletion,
+* **incremental use**: clauses can be added between ``solve`` calls, a
+  single solver instance can be re-queried many times, and each query can
+  be made under *assumptions* (temporary unit hypotheses).  When a query is
+  unsatisfiable because of its assumptions, the solver reports a *core*: a
+  subset of the assumptions that is already inconsistent with the formula.
 
-It is deliberately written for clarity rather than raw speed; the formulas
-produced by the acyclicity encodings of :mod:`repro.checking.encodings` are
-small (thousands of clauses), and correctness is cross-checked against a
-brute-force evaluator in the test suite.
+Assumptions are handled MiniSat-style: each assumption literal is placed as
+a decision on its own decision level before any search decision is taken, so
+everything the solver learns remains valid for later queries with different
+assumptions.  This is what makes the repeated deadlock queries of
+:mod:`repro.core.deadlock` and the portfolio driver of
+:mod:`repro.core.portfolio` cheap: the CNF is encoded once and every
+topology/routing scenario is a fresh set of assumptions on the same solver.
+
+The solver is deterministic: two runs on the same formula with the same
+``seed`` take the same decisions and return the same model and statistics.
+Correctness is cross-checked against a brute-force evaluator in the test
+suite (see ``tests/test_sat_incremental.py``).
 """
 
 from __future__ import annotations
 
 import itertools
+import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.checking.cnf import CNF, Clause, Literal
 
@@ -32,6 +47,10 @@ class SatResult:
     model: Optional[Dict[int, bool]] = None
     #: Statistics of the search (decisions, propagations, conflicts, restarts).
     stats: Dict[str, int] = field(default_factory=dict)
+    #: When UNSAT under assumptions: a subset of the assumptions that is
+    #: already inconsistent with the formula (``None`` when the formula
+    #: itself is unsatisfiable, or when the result is SAT).
+    core: Optional[List[Literal]] = None
 
     def named_model(self, cnf: CNF) -> Dict[str, bool]:
         """Decode the model using the CNF's variable names."""
@@ -56,99 +75,271 @@ class _ClauseRef:
         self.activity = 0.0
 
 
-class SatSolver:
-    """A CDCL solver over a fixed CNF."""
+class _VarHeap:
+    """Binary max-heap over variables ordered by VSIDS activity.
 
-    def __init__(self, cnf: CNF) -> None:
-        self._cnf = cnf
-        self._num_vars = cnf.num_vars
+    Ties are broken by variable index (smaller first) so that the decision
+    order -- and therefore the whole search -- is deterministic.
+    """
+
+    __slots__ = ("_activity", "_heap", "_index")
+
+    def __init__(self, activity: List[float]) -> None:
+        self._activity = activity
+        self._heap: List[int] = []
+        self._index: Dict[int, int] = {}
+
+    def __contains__(self, var: int) -> bool:
+        return var in self._index
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def _before(self, a: int, b: int) -> bool:
+        act_a, act_b = self._activity[a], self._activity[b]
+        if act_a != act_b:
+            return act_a > act_b
+        return a < b
+
+    def _swap(self, i: int, j: int) -> None:
+        heap = self._heap
+        heap[i], heap[j] = heap[j], heap[i]
+        self._index[heap[i]] = i
+        self._index[heap[j]] = j
+
+    def _sift_up(self, i: int) -> None:
+        heap = self._heap
+        while i > 0:
+            parent = (i - 1) // 2
+            if self._before(heap[i], heap[parent]):
+                self._swap(i, parent)
+                i = parent
+            else:
+                break
+
+    def _sift_down(self, i: int) -> None:
+        heap = self._heap
+        size = len(heap)
+        while True:
+            left, right = 2 * i + 1, 2 * i + 2
+            best = i
+            if left < size and self._before(heap[left], heap[best]):
+                best = left
+            if right < size and self._before(heap[right], heap[best]):
+                best = right
+            if best == i:
+                return
+            self._swap(i, best)
+            i = best
+
+    def push(self, var: int) -> None:
+        if var in self._index:
+            return
+        self._heap.append(var)
+        self._index[var] = len(self._heap) - 1
+        self._sift_up(len(self._heap) - 1)
+
+    def pop(self) -> int:
+        top = self._heap[0]
+        last = self._heap.pop()
+        del self._index[top]
+        if self._heap:
+            self._heap[0] = last
+            self._index[last] = 0
+            self._sift_down(0)
+        return top
+
+    def update(self, var: int) -> None:
+        """Re-establish the heap order after ``var``'s activity increased."""
+        index = self._index.get(var)
+        if index is not None:
+            self._sift_up(index)
+
+
+class IncrementalSatSolver:
+    """A CDCL solver that supports incremental clause addition and
+    solve-under-assumptions.
+
+    The intended use is *encode once, query many times*::
+
+        solver = IncrementalSatSolver()
+        selector = solver.new_var()
+        solver.add_clause([-selector, a, b])   # selector -> (a | b)
+        solver.solve(assumptions=[selector])   # with the clause enabled
+        solver.solve(assumptions=[-selector])  # with the clause disabled
+
+    All learned clauses are kept between queries, so repeated related
+    queries get monotonically faster.
+    """
+
+    def __init__(self, seed: int = 2010,
+                 random_polarity_freq: float = 0.0) -> None:
+        self._num_vars = 0
         self._clauses: List[_ClauseRef] = []
-        self._watches: Dict[Literal, List[_ClauseRef]] = {}
-        # assignment[var] is True/False/None
-        self._assignment: List[Optional[bool]] = [None] * (self._num_vars + 1)
-        self._level: List[int] = [0] * (self._num_vars + 1)
-        self._reason: List[Optional[_ClauseRef]] = [None] * (self._num_vars + 1)
+        self._learnts: List[_ClauseRef] = []
+        # Watch lists, indexed by _watch_index(literal).
+        self._watches: List[List[_ClauseRef]] = []
+        # Per-variable state, 1-indexed (slot 0 unused).
+        self._assign: List[Optional[bool]] = [None]
+        self._level: List[int] = [0]
+        self._reason: List[Optional[_ClauseRef]] = [None]
+        self._activity: List[float] = [0.0]
+        self._polarity: List[bool] = [False]
+        self._heap = _VarHeap(self._activity)
         self._trail: List[Literal] = []
-        self._trail_limits: List[int] = []
-        self._activity: List[float] = [0.0] * (self._num_vars + 1)
+        self._trail_lim: List[int] = []
+        self._qhead = 0
+        self._ok = True
         self._activity_inc = 1.0
         self._activity_decay = 0.95
+        self._clause_inc = 1.0
+        self._clause_decay = 0.999
+        self._max_learnts = 0.0
+        self._rng = random.Random(seed)
+        self._random_polarity_freq = random_polarity_freq
         self._stats = {"decisions": 0, "propagations": 0, "conflicts": 0,
-                       "restarts": 0, "learned": 0}
-        self._trivially_unsat = False
-        self._initialise_clauses()
+                       "restarts": 0, "learned": 0, "deleted": 0,
+                       "solves": 0, "minimised": 0}
+        self._last_core: Optional[List[Literal]] = None
 
-    # -- setup --------------------------------------------------------------------
-    def _initialise_clauses(self) -> None:
-        for clause in self._cnf.clauses:
-            if len(clause) == 0:
-                self._trivially_unsat = True
-                return
-            deduped = self._simplify_clause(clause)
-            if deduped is None:
-                continue  # tautological clause
-            if len(deduped) == 1:
-                literal = deduped[0]
-                value = self._value(literal)
-                if value is False:
-                    self._trivially_unsat = True
-                    return
-                if value is None:
-                    self._enqueue(literal, None)
-                continue
-            self._add_clause_ref(_ClauseRef(deduped))
+    # -- variables ----------------------------------------------------------------
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        return dict(self._stats)
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable and return its index."""
+        self._num_vars += 1
+        var = self._num_vars
+        self._assign.append(None)
+        self._level.append(0)
+        self._reason.append(None)
+        self._activity.append(0.0)
+        self._polarity.append(False)
+        self._watches.append([])
+        self._watches.append([])
+        self._heap.push(var)
+        return var
+
+    def ensure_vars(self, count: int) -> None:
+        """Grow the variable range to at least ``count`` variables."""
+        while self._num_vars < count:
+            self.new_var()
 
     @staticmethod
-    def _simplify_clause(clause: Clause) -> Optional[List[Literal]]:
-        seen = set()
-        result: List[Literal] = []
-        for literal in clause:
-            if -literal in seen:
-                return None
-            if literal not in seen:
-                seen.add(literal)
-                result.append(literal)
-        return result
+    def _watch_index(literal: Literal) -> int:
+        var = literal if literal > 0 else -literal
+        return 2 * var - 2 + (literal < 0)
 
-    def _add_clause_ref(self, ref: _ClauseRef) -> None:
-        self._clauses.append(ref)
-        self._watch(ref.literals[0], ref)
-        self._watch(ref.literals[1], ref)
-
-    def _watch(self, literal: Literal, ref: _ClauseRef) -> None:
-        self._watches.setdefault(literal, []).append(ref)
-
-    # -- assignment helpers ---------------------------------------------------------
+    # -- assignment helpers --------------------------------------------------------
     def _value(self, literal: Literal) -> Optional[bool]:
-        value = self._assignment[abs(literal)]
+        value = self._assign[abs(literal)]
         if value is None:
             return None
         return value if literal > 0 else not value
 
     @property
     def _decision_level(self) -> int:
-        return len(self._trail_limits)
+        return len(self._trail_lim)
 
     def _enqueue(self, literal: Literal, reason: Optional[_ClauseRef]) -> None:
         var = abs(literal)
-        self._assignment[var] = literal > 0
+        self._assign[var] = literal > 0
         self._level[var] = self._decision_level
         self._reason[var] = reason
         self._trail.append(literal)
 
-    # -- propagation -------------------------------------------------------------------
-    def _propagate(self, queue_start: int) -> Tuple[Optional[_ClauseRef], int]:
-        """Unit propagation from the trail position ``queue_start``.
+    def _cancel_until(self, level: int) -> None:
+        """Undo all assignments above ``level`` (phase-saving the polarity)."""
+        if self._decision_level <= level:
+            return
+        limit = self._trail_lim[level]
+        for literal in reversed(self._trail[limit:]):
+            var = abs(literal)
+            self._polarity[var] = literal > 0
+            self._assign[var] = None
+            self._reason[var] = None
+            self._heap.push(var)
+        del self._trail[limit:]
+        del self._trail_lim[level:]
+        self._qhead = min(self._qhead, len(self._trail))
 
-        Returns (conflict clause or None, new queue position).
+    # -- clause addition -----------------------------------------------------------
+    def add_clause(self, literals: Iterable[Literal]) -> bool:
+        """Add a clause; returns ``False`` when the formula became UNSAT.
+
+        Can be called at any time, also between ``solve`` calls: the solver
+        first backtracks to decision level 0.  Literals over unseen variables
+        grow the variable range automatically.
         """
-        head = queue_start
-        while head < len(self._trail):
-            literal = self._trail[head]
-            head += 1
+        if not self._ok:
+            return False
+        self._cancel_until(0)
+
+        seen = set()
+        clause: List[Literal] = []
+        satisfied = False
+        for literal in literals:
+            if literal == 0:
+                raise ValueError("0 is not a valid literal")
+            if abs(literal) > self._num_vars:
+                self.ensure_vars(abs(literal))
+            if -literal in seen:
+                return True  # tautology
+            if literal in seen:
+                continue
+            value = self._value(literal)
+            if value is True:
+                satisfied = True  # already true at level 0
+            if value is False:
+                continue  # permanently false literal: drop it
+            seen.add(literal)
+            clause.append(literal)
+        if satisfied:
+            return True
+        if not clause:
+            self._ok = False
+            return False
+        if len(clause) == 1:
+            self._enqueue(clause[0], None)
+            if self._propagate() is not None:
+                self._ok = False
+                return False
+            return True
+        ref = _ClauseRef(clause)
+        self._clauses.append(ref)
+        self._attach(ref)
+        return True
+
+    def add_clauses(self, clauses: Iterable[Iterable[Literal]]) -> bool:
+        ok = True
+        for clause in clauses:
+            ok = self.add_clause(clause) and ok
+        return ok
+
+    def _attach(self, ref: _ClauseRef) -> None:
+        self._watches[self._watch_index(ref.literals[0])].append(ref)
+        self._watches[self._watch_index(ref.literals[1])].append(ref)
+
+    # -- propagation ---------------------------------------------------------------
+    def _propagate(self) -> Optional[_ClauseRef]:
+        """Unit propagation from the current queue head.
+
+        Returns the conflicting clause, or ``None``.
+        """
+        trail = self._trail
+        watches = self._watches
+        value = self._value
+        while self._qhead < len(trail):
+            literal = trail[self._qhead]
+            self._qhead += 1
             self._stats["propagations"] += 1
             false_literal = -literal
-            watch_list = self._watches.get(false_literal, [])
+            watch_list = watches[self._watch_index(false_literal)]
             new_watch_list: List[_ClauseRef] = []
             conflict: Optional[_ClauseRef] = None
             index = 0
@@ -160,46 +351,47 @@ class SatSolver:
                 if literals[0] == false_literal:
                     literals[0], literals[1] = literals[1], literals[0]
                 first = literals[0]
-                if self._value(first) is True:
+                if value(first) is True:
                     new_watch_list.append(ref)
                     continue
                 # Look for a new literal to watch.
                 found = False
                 for position in range(2, len(literals)):
                     candidate = literals[position]
-                    if self._value(candidate) is not False:
+                    if value(candidate) is not False:
                         literals[1], literals[position] = (literals[position],
                                                            literals[1])
-                        self._watch(literals[1], ref)
+                        watches[self._watch_index(literals[1])].append(ref)
                         found = True
                         break
                 if found:
                     continue
                 # Clause is unit or conflicting.
                 new_watch_list.append(ref)
-                if self._value(first) is False:
-                    # Conflict: keep the remaining watchers and stop.
+                if value(first) is False:
                     new_watch_list.extend(watch_list[index:])
                     conflict = ref
                     break
                 self._enqueue(first, ref)
-            self._watches[false_literal] = new_watch_list
+            watches[self._watch_index(false_literal)] = new_watch_list
             if conflict is not None:
-                return conflict, head
-        return None, head
+                self._qhead = len(trail)
+                return conflict
+        return None
 
-    # -- conflict analysis -----------------------------------------------------------------
+    # -- conflict analysis ---------------------------------------------------------
     def _analyse(self, conflict: _ClauseRef) -> Tuple[List[Literal], int]:
         """First-UIP conflict analysis.
 
-        Returns the learned clause (asserting literal first) and the backjump
-        level.
+        Returns the learned clause (asserting literal first) and the
+        backjump level.
         """
         learned: List[Literal] = []
         seen = [False] * (self._num_vars + 1)
         counter = 0
         literal: Optional[Literal] = None
-        reason_literals = list(conflict.literals)
+        reason_literals: Iterable[Literal] = conflict.literals
+        self._bump_clause(conflict)
         trail_index = len(self._trail) - 1
 
         while True:
@@ -224,52 +416,129 @@ class SatSolver:
                 break
             reason_ref = self._reason[abs(literal)]
             assert reason_ref is not None
+            self._bump_clause(reason_ref)
             reason_literals = [lit for lit in reason_ref.literals
                                if lit != literal]
         assert literal is not None
+
+        # Learned-clause minimisation: drop any literal whose reason clause
+        # consists only of literals already in the learned clause (or set at
+        # level 0) -- resolving on it cannot add information.
+        minimised: List[Literal] = []
+        for candidate in learned:
+            reason_ref = self._reason[abs(candidate)]
+            if reason_ref is None:
+                minimised.append(candidate)
+                continue
+            redundant = all(
+                seen[abs(other)] or self._level[abs(other)] == 0
+                for other in reason_ref.literals if other != -candidate)
+            if redundant:
+                self._stats["minimised"] += 1
+            else:
+                minimised.append(candidate)
+        learned = minimised
         learned.insert(0, -literal)
 
         if len(learned) == 1:
             backjump_level = 0
         else:
-            levels = sorted((self._level[abs(lit)] for lit in learned[1:]),
-                            reverse=True)
-            backjump_level = levels[0]
+            backjump_level = max(self._level[abs(lit)]
+                                 for lit in learned[1:])
         return learned, backjump_level
 
+    def _analyse_final(self, failed: Literal) -> List[Literal]:
+        """Why is the assumption ``failed`` false right now?
+
+        Walks the implication graph backwards from ``-failed`` and collects
+        the assumption decisions involved.  Returns a subset of the current
+        assumptions that is inconsistent with the formula (always including
+        ``failed`` itself).  Only called while every decision on the trail
+        is an assumption.
+        """
+        core = [failed]
+        if self._decision_level == 0:
+            return core
+        seen = {abs(failed)}
+        for index in range(len(self._trail) - 1, self._trail_lim[0] - 1, -1):
+            literal = self._trail[index]
+            var = abs(literal)
+            if var not in seen:
+                continue
+            reason = self._reason[var]
+            if reason is None:
+                # A decision below the first search level is an assumption.
+                core.append(literal)
+            else:
+                for other in reason.literals:
+                    if self._level[abs(other)] > 0:
+                        seen.add(abs(other))
+            seen.discard(var)
+        return core
+
+    # -- activities ----------------------------------------------------------------
     def _bump_activity(self, var: int) -> None:
         self._activity[var] += self._activity_inc
         if self._activity[var] > 1e100:
             for index in range(1, self._num_vars + 1):
                 self._activity[index] *= 1e-100
             self._activity_inc *= 1e-100
+        self._heap.update(var)
 
     def _decay_activity(self) -> None:
         self._activity_inc /= self._activity_decay
 
-    # -- backtracking ------------------------------------------------------------------------
-    def _backjump(self, level: int) -> None:
-        if self._decision_level <= level:
+    def _bump_clause(self, ref: _ClauseRef) -> None:
+        if not ref.learned:
             return
-        limit = self._trail_limits[level]
-        for literal in self._trail[limit:]:
-            var = abs(literal)
-            self._assignment[var] = None
-            self._reason[var] = None
-        del self._trail[limit:]
-        del self._trail_limits[level:]
+        ref.activity += self._clause_inc
+        if ref.activity > 1e20:
+            for learnt in self._learnts:
+                learnt.activity *= 1e-20
+            self._clause_inc *= 1e-20
 
-    # -- decisions ----------------------------------------------------------------------------
+    def _decay_clause(self) -> None:
+        self._clause_inc /= self._clause_decay
+
+    # -- learned-clause deletion -----------------------------------------------------
+    def _reduce_db(self) -> None:
+        """Delete the less active half of the learned clauses.
+
+        Binary clauses and clauses that are currently the reason of a trail
+        assignment are kept.
+        """
+        locked = {id(self._reason[abs(lit)]) for lit in self._trail
+                  if self._reason[abs(lit)] is not None}
+        ranked = sorted(self._learnts, key=lambda ref: ref.activity)
+        cut = len(ranked) // 2
+        doomed = {id(ref) for ref in ranked[:cut]
+                  if len(ref.literals) > 2 and id(ref) not in locked}
+        if not doomed:
+            return
+        self._learnts = [ref for ref in self._learnts
+                         if id(ref) not in doomed]
+        for index in range(len(self._watches)):
+            watch_list = self._watches[index]
+            self._watches[index] = [ref for ref in watch_list
+                                    if id(ref) not in doomed]
+        self._stats["deleted"] += len(doomed)
+
+    # -- decisions -----------------------------------------------------------------
     def _pick_branch_variable(self) -> Optional[int]:
-        best_var = None
-        best_activity = -1.0
-        for var in range(1, self._num_vars + 1):
-            if self._assignment[var] is None and self._activity[var] > best_activity:
-                best_var = var
-                best_activity = self._activity[var]
-        return best_var
+        heap = self._heap
+        while len(heap):
+            var = heap.pop()
+            if self._assign[var] is None:
+                return var
+        return None
 
-    # -- restarts ------------------------------------------------------------------------------
+    def _decision_polarity(self, var: int) -> bool:
+        if (self._random_polarity_freq > 0.0
+                and self._rng.random() < self._random_polarity_freq):
+            return self._rng.random() < 0.5
+        return self._polarity[var]
+
+    # -- restarts ------------------------------------------------------------------
     @staticmethod
     def _luby(index: int) -> int:
         """The Luby restart sequence 1,1,2,1,1,2,4,... (1-indexed)."""
@@ -281,39 +550,45 @@ class SatSolver:
                 return 1 << (k - 1)
             index = index - (1 << (k - 1)) + 1
 
-    # -- main loop ----------------------------------------------------------------------------
+    # -- main loop -----------------------------------------------------------------
     def solve(self, assumptions: Iterable[Literal] = ()) -> SatResult:
-        """Decide satisfiability (optionally under unit assumptions)."""
-        if self._trivially_unsat:
-            return SatResult(satisfiable=False, stats=dict(self._stats))
+        """Decide satisfiability under the given unit assumptions.
 
-        for assumption in assumptions:
-            value = self._value(assumption)
-            if value is False:
-                return SatResult(satisfiable=False, stats=dict(self._stats))
-            if value is None:
-                self._enqueue(assumption, None)
+        The solver state survives the call: further clauses can be added and
+        further queries (with different assumptions) issued afterwards.
+        """
+        self._stats["solves"] += 1
+        self._last_core = None
+        assumption_list = list(assumptions)
+        for literal in assumption_list:
+            if literal == 0:
+                raise ValueError("0 is not a valid literal")
+            if abs(literal) > self._num_vars:
+                self.ensure_vars(abs(literal))
 
-        conflict, queue_pos = self._propagate(0)
-        if conflict is not None:
-            return SatResult(satisfiable=False, stats=dict(self._stats))
+        if not self._ok:
+            return SatResult(satisfiable=False, stats=self.stats)
+        self._cancel_until(0)
+        if self._propagate() is not None:
+            self._ok = False
+            return SatResult(satisfiable=False, stats=self.stats)
 
+        if self._max_learnts <= 0:
+            self._max_learnts = max(100.0, len(self._clauses) / 3.0)
         restart_index = 1
         conflicts_since_restart = 0
         restart_limit = 32 * self._luby(restart_index)
-        base_trail_length = len(self._trail)
 
         while True:
-            conflict, queue_pos = self._propagate(queue_pos)
+            conflict = self._propagate()
             if conflict is not None:
                 self._stats["conflicts"] += 1
                 conflicts_since_restart += 1
                 if self._decision_level == 0:
-                    return SatResult(satisfiable=False,
-                                     stats=dict(self._stats))
+                    self._ok = False
+                    return SatResult(satisfiable=False, stats=self.stats)
                 learned, backjump_level = self._analyse(conflict)
-                self._backjump(backjump_level)
-                queue_pos = len(self._trail)
+                self._cancel_until(backjump_level)
                 if len(learned) == 1:
                     self._enqueue(learned[0], None)
                 else:
@@ -326,10 +601,16 @@ class SatSolver:
                             learned[1], learned[position] = (
                                 learned[position], learned[1])
                     ref = _ClauseRef(learned, learned=True)
-                    self._add_clause_ref(ref)
+                    ref.activity = self._clause_inc
+                    self._learnts.append(ref)
+                    self._attach(ref)
                     self._stats["learned"] += 1
                     self._enqueue(learned[0], ref)
                 self._decay_activity()
+                self._decay_clause()
+                if len(self._learnts) >= self._max_learnts + len(self._trail):
+                    self._reduce_db()
+                    self._max_learnts *= 1.1
                 continue
 
             if conflicts_since_restart >= restart_limit:
@@ -337,23 +618,90 @@ class SatSolver:
                 restart_index += 1
                 conflicts_since_restart = 0
                 restart_limit = 32 * self._luby(restart_index)
-                self._backjump(0)
-                queue_pos = base_trail_length
+                self._cancel_until(0)
+                continue
+
+            if self._decision_level < len(assumption_list):
+                # Place the next assumption as a decision on its own level.
+                literal = assumption_list[self._decision_level]
+                value = self._value(literal)
+                if value is False:
+                    core = self._analyse_final(literal)
+                    self._last_core = core
+                    self._cancel_until(0)
+                    return SatResult(satisfiable=False, stats=self.stats,
+                                     core=core)
+                self._trail_lim.append(len(self._trail))
+                if value is None:
+                    self._enqueue(literal, None)
+                continue
 
             variable = self._pick_branch_variable()
             if variable is None:
-                model = {var: bool(self._assignment[var])
+                model = {var: bool(self._assign[var])
                          for var in range(1, self._num_vars + 1)}
-                # Defensive check: a complete assignment returned as a model
-                # must satisfy every original clause.
-                if not self._cnf.evaluate(model):  # pragma: no cover
-                    raise AssertionError(
-                        "internal SAT solver error: model does not satisfy CNF")
+                self._cancel_until(0)
                 return SatResult(satisfiable=True, model=model,
-                                 stats=dict(self._stats))
+                                 stats=self.stats)
             self._stats["decisions"] += 1
-            self._trail_limits.append(len(self._trail))
-            self._enqueue(-variable, None)
+            self._trail_lim.append(len(self._trail))
+            polarity = self._decision_polarity(variable)
+            self._enqueue(variable if polarity else -variable, None)
+
+    def last_core(self) -> Optional[List[Literal]]:
+        """The assumption core of the most recent UNSAT-under-assumptions
+        answer (``None`` otherwise)."""
+        return self._last_core
+
+
+class SatSolver:
+    """A CDCL solver over a :class:`CNF`, incrementally re-solvable.
+
+    The solver keeps a live reference to the CNF: clauses added to the CNF
+    after construction are picked up by the next :meth:`solve` call, and a
+    single :class:`SatSolver` can be queried many times under different
+    assumptions -- learned clauses are shared between the queries.
+    """
+
+    def __init__(self, cnf: CNF, seed: int = 2010) -> None:
+        self._cnf = cnf
+        self._engine = IncrementalSatSolver(seed=seed)
+        self._loaded_clauses = 0
+        self._sync()
+
+    @property
+    def engine(self) -> IncrementalSatSolver:
+        return self._engine
+
+    def _sync(self) -> None:
+        """Load CNF clauses that were added since the last solve."""
+        self._engine.ensure_vars(self._cnf.num_vars)
+        for clause in self._cnf.clauses[self._loaded_clauses:]:
+            self._engine.add_clause(clause)
+        self._loaded_clauses = len(self._cnf.clauses)
+
+    def add_clause(self, literals: Iterable[Literal]) -> None:
+        """Add a clause to both the CNF and the live solver."""
+        self._cnf.add_clause(literals)
+        self._sync()
+
+    def solve(self, assumptions: Iterable[Literal] = ()) -> SatResult:
+        """Decide satisfiability (optionally under unit assumptions)."""
+        self._sync()
+        result = self._engine.solve(assumptions)
+        if result.satisfiable:
+            # Defensive check: a complete assignment returned as a model
+            # must satisfy every original clause.
+            model = dict(result.model or {})
+            for var in self._cnf.variables():
+                model.setdefault(var, False)
+            if not self._cnf.evaluate(model):  # pragma: no cover
+                raise AssertionError(
+                    "internal SAT solver error: model does not satisfy CNF")
+        return result
+
+    def last_core(self) -> Optional[List[Literal]]:
+        return self._engine.last_core()
 
 
 def solve_cnf(cnf: CNF, assumptions: Iterable[Literal] = ()) -> SatResult:
@@ -371,3 +719,25 @@ def brute_force_satisfiable(cnf: CNF) -> bool:
         if cnf.evaluate(assignment):
             return True
     return False
+
+
+def brute_force_models(cnf: CNF) -> Iterator[Dict[int, bool]]:
+    """Enumerate *all* models of a CNF (over the variables it mentions).
+
+    Exponential; only meant for cross-checking the CDCL solver on small
+    formulas in the property-test suite.
+    """
+    variables = sorted(cnf.variables())
+    if not variables:
+        if all(len(clause) > 0 for clause in cnf.clauses) or not cnf.clauses:
+            yield {}
+        return
+    for bits in itertools.product([False, True], repeat=len(variables)):
+        assignment = dict(zip(variables, bits))
+        if cnf.evaluate(assignment):
+            yield assignment
+
+
+def count_models_brute_force(cnf: CNF) -> int:
+    """Number of models over the variables the CNF mentions (exponential)."""
+    return sum(1 for _ in brute_force_models(cnf))

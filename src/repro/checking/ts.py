@@ -143,13 +143,50 @@ class TransitionSystem(Generic[S]):
         ``is_final`` marks states that are *allowed* to have no successors
         (e.g. "all messages have arrived"); any other successor-less state is
         a deadlock.
-        """
-        def is_bad_terminal(state: S) -> bool:
-            if is_final(state):
-                return False
-            return not any(True for _ in self._successors(state))
 
-        return self.search(is_bad_terminal, max_states=max_states)
+        Unlike the generic :meth:`search` with a has-no-successors target
+        (which would expand every popped state twice: once for the target
+        test, once for the frontier), this runs its own BFS and computes each
+        state's successors exactly once -- the successor relation is the
+        expensive part for NoC configuration spaces.
+        """
+        visited: Set[S] = set()
+        parent: Dict[S, Optional[S]] = {}
+        depth_of: Dict[S, int] = {}
+        queue: deque = deque()
+        max_seen_depth = 0
+
+        for state in self._initial:
+            if state in visited:
+                continue
+            visited.add(state)
+            parent[state] = None
+            depth_of[state] = 0
+            queue.append(state)
+
+        complete = True
+        while queue:
+            state = queue.popleft()
+            depth = depth_of[state]
+            if depth > max_seen_depth:
+                max_seen_depth = depth
+            successors = list(self._successors(state))
+            if not successors and not is_final(state):
+                return ReachabilityResult(
+                    explored=len(visited), complete=True, witness=state,
+                    path=self._reconstruct_path(parent, state), depth=depth)
+            for successor in successors:
+                if successor in visited:
+                    continue
+                if len(visited) >= max_states:
+                    complete = False
+                    break
+                visited.add(successor)
+                parent[successor] = state
+                depth_of[successor] = depth + 1
+                queue.append(successor)
+        return ReachabilityResult(explored=len(visited), complete=complete,
+                                  witness=None, depth=max_seen_depth)
 
     @staticmethod
     def _reconstruct_path(parent: Dict[S, Optional[S]], state: S) -> List[S]:

@@ -7,9 +7,16 @@ Usage (after ``pip install -e .``)::
     python -m repro table1 --width 4 --height 4
     python -m repro depgraph --width 2 --height 2 --dot fig3.dot
     python -m repro deadlock --design clockwise-ring --size 4
+    python -m repro batch --mesh-sizes 3 4 --ring-sizes 4
 
 Each sub-command drives one part of the library's public API; the examples in
-``examples/`` show the same flows as scripts.
+``examples/`` show the same flows as scripts.  The ``batch`` command is the
+portfolio driver (:mod:`repro.core.portfolio`): it sweeps topology x routing
+x switching scenarios through one incremental CDCL session per topology.
+For programmatic incremental use, see
+:class:`repro.core.deadlock.DeadlockQuerySession` (encode a dependency-edge
+universe once, then re-query under assumptions) and
+:class:`repro.checking.incremental.AcyclicityOracle`.
 """
 
 from __future__ import annotations
@@ -63,10 +70,26 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write a Graphviz DOT file to this path")
 
     deadlock = commands.add_parser(
-        "deadlock", help="demonstrate Theorem 1 on a deadlock-prone design")
+        "deadlock",
+        help="demonstrate Theorem 1 on a deadlock-prone design "
+             "(incl. incremental escape-edge analysis)")
     deadlock.add_argument("--design", choices=["clockwise-ring", "zigzag-mesh"],
                           default="clockwise-ring")
     deadlock.add_argument("--size", type=int, default=4)
+
+    batch = commands.add_parser(
+        "batch",
+        help="portfolio driver: sweep topology x routing x switching "
+             "scenarios through shared incremental CDCL sessions")
+    batch.add_argument("--mesh-sizes", type=int, nargs="*", default=[3, 4],
+                       help="square mesh sizes to sweep (default: 3 4)")
+    batch.add_argument("--ring-sizes", type=int, nargs="*", default=[4],
+                       help="ring sizes to sweep (default: 4)")
+    batch.add_argument("--buffers", type=int, default=2,
+                       help="1-flit buffers per port (default 2)")
+    batch.add_argument("--cross-check", action="store_true",
+                       help="re-derive every verdict with the DFS cycle "
+                            "check and assert agreement")
 
     return parser
 
@@ -169,6 +192,19 @@ def _cmd_deadlock(args: argparse.Namespace) -> int:
         return 0
     cycle = find_cycle_dfs(routing_dependency_graph(instance.routing)).cycle
     print("dependency cycle: " + " -> ".join(str(p) for p in cycle))
+
+    # Incremental escape analysis: one solver session, one solve per
+    # candidate edge removal.
+    from repro.core.deadlock import DeadlockQuerySession
+
+    session = DeadlockQuerySession.for_routing(instance.routing)
+    escapes = session.escape_edges()
+    if escapes:
+        print("escape fixes (single-edge removals restoring freedom):")
+        for source, target in escapes:
+            print(f"  remove {source} -> {target}")
+    else:
+        print("no single dependency-edge removal restores deadlock freedom")
     roundtrip = verify_witness_roundtrip(cycle, instance.routing,
                                          instance.switching, witness_fn,
                                          capacity=1)
@@ -179,12 +215,29 @@ def _cmd_deadlock(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.core.portfolio import run_portfolio, standard_portfolio
+
+    scenarios = standard_portfolio(mesh_sizes=args.mesh_sizes,
+                                   ring_sizes=args.ring_sizes,
+                                   buffer_capacity=args.buffers)
+    report = run_portfolio(scenarios, cross_check=args.cross_check)
+    print(report.formatted())
+    print(report.summary())
+    for group, stats in report.session_stats.items():
+        print(f"  session {group}: {stats['solves']} incremental solves, "
+              f"{stats['learned']} clauses learned, "
+              f"{stats['conflicts']} conflicts")
+    return 0
+
+
 _COMMANDS = {
     "verify": _cmd_verify,
     "simulate": _cmd_simulate,
     "table1": _cmd_table1,
     "depgraph": _cmd_depgraph,
     "deadlock": _cmd_deadlock,
+    "batch": _cmd_batch,
 }
 
 

@@ -21,6 +21,7 @@ from repro.core.constituents import (
 )
 from repro.core.deadlock import (
     DeadlockAnalysis,
+    DeadlockQuerySession,
     analyse_deadlock,
     is_deadlock,
 )
@@ -52,9 +53,17 @@ from repro.core.obligations import (
     check_c1,
     check_c2,
     check_c3,
+    check_c3_incremental,
     check_c3_routing_induced,
     check_c4,
     check_c5,
+)
+from repro.core.portfolio import (
+    PortfolioReport,
+    Scenario,
+    ScenarioVerdict,
+    run_portfolio,
+    standard_portfolio,
 )
 from repro.core.pipeline import (
     VerificationReport,
@@ -66,6 +75,7 @@ from repro.core.theorems import (
     TheoremResult,
     check_correctness,
     check_deadlock_freedom,
+    check_deadlock_freedom_incremental,
     check_evacuation,
     check_no_reachable_deadlock,
     derive_evacuation,
@@ -88,6 +98,7 @@ __all__ = [
     "RoutingFunction",
     "SwitchingPolicy",
     "DeadlockAnalysis",
+    "DeadlockQuerySession",
     "analyse_deadlock",
     "is_deadlock",
     "AcyclicityReport",
@@ -113,9 +124,15 @@ __all__ = [
     "check_c1",
     "check_c2",
     "check_c3",
+    "check_c3_incremental",
     "check_c3_routing_induced",
     "check_c4",
     "check_c5",
+    "PortfolioReport",
+    "Scenario",
+    "ScenarioVerdict",
+    "run_portfolio",
+    "standard_portfolio",
     "VerificationReport",
     "discharge_obligations",
     "verify_instance",
@@ -123,6 +140,7 @@ __all__ = [
     "TheoremResult",
     "check_correctness",
     "check_deadlock_freedom",
+    "check_deadlock_freedom_incremental",
     "check_evacuation",
     "check_no_reachable_deadlock",
     "derive_evacuation",

@@ -7,12 +7,21 @@ this module adds the analysis used by the *necessity* direction of
 Theorem 1: from a deadlock configuration, extract the set ``P`` of
 unavailable ports, show that the next hop of every blocked message lies in
 ``P`` and derive a cycle among the ports of ``P``.
+
+:class:`DeadlockQuerySession` is the incremental counterpart: the
+dependency-edge universe of an instance is SAT-encoded **once** (one
+selector variable per edge, see
+:class:`repro.checking.incremental.AcyclicityOracle`) and every subsequent
+deadlock question -- the full Theorem 1 condition, the condition restricted
+to a port subset ``P'``, the condition after removing candidate escape
+edges -- is a single solve under assumptions on the same solver, reusing
+everything learned by earlier queries.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.configuration import Configuration, NOT_INJECTED
 from repro.core.constituents import SwitchingPolicy
@@ -146,6 +155,132 @@ def _find_cycle_in_functional_graph(successor: Dict[Port, Port]
             current = successor.get(current)
         visited_globally.update(path)
     return None
+
+
+class DeadlockQuerySession:
+    """Incremental Theorem 1 queries over one dependency-edge universe.
+
+    Built once from a dependency graph (declared or routing-induced), the
+    session answers any number of deadlock-freedom questions through the
+    same live CDCL solver:
+
+    * :meth:`is_deadlock_free` -- the Theorem 1 condition itself;
+    * :meth:`is_deadlock_free_for` -- the condition restricted to a port
+      subset ``P'`` (obligation (C-3)'s literal ``∀ P' ⊆ P`` quantifier);
+    * :meth:`is_deadlock_free_without` -- the condition after removing
+      candidate escape edges;
+    * :meth:`cycle_core` -- an UNSAT-core-derived edge subset that already
+      contains a dependency cycle;
+    * :meth:`escape_edges` -- the single-edge removals that would break
+      every cycle.
+
+    Every query is one ``solve`` under assumptions; learned clauses are
+    shared, so related queries get cheaper as the session ages.
+    """
+
+    def __init__(self, graph, name: str = "dependency graph",
+                 seed: int = 2010) -> None:
+        from repro.checking.incremental import AcyclicityOracle
+
+        self.name = name
+        self._oracle = AcyclicityOracle(graph, seed=seed)
+
+    # -- constructors ---------------------------------------------------------
+    @classmethod
+    def for_instance(cls, instance) -> "DeadlockQuerySession":
+        """A session over the instance's declared dependency graph.
+
+        Falls back to the routing-induced graph when the instance declares
+        none (the deliberately deadlock-prone baselines).
+        """
+        if instance.dependency_spec is not None:
+            return cls(instance.dependency_spec.to_graph(),
+                       name=f"{instance.name} (declared)")
+        return cls.for_routing(instance.routing, name=instance.name)
+
+    @classmethod
+    def for_routing(cls, routing,
+                    name: Optional[str] = None) -> "DeadlockQuerySession":
+        """A session over the routing-induced dependency graph."""
+        from repro.core.dependency import routing_dependency_graph
+
+        graph = routing_dependency_graph(routing)
+        return cls(graph, name=name or f"{routing.name()} (induced)")
+
+    # -- introspection --------------------------------------------------------
+    @property
+    def edges(self) -> List[Tuple[Port, Port]]:
+        return self._oracle.edges
+
+    @property
+    def edge_count(self) -> int:
+        return len(self._oracle.edges)
+
+    @property
+    def queries(self) -> int:
+        return self._oracle.stats_queries
+
+    @property
+    def solver_stats(self) -> Dict[str, int]:
+        return self._oracle.solver_stats
+
+    # -- growing the universe -------------------------------------------------
+    def add_edge(self, source: Port, target: Port) -> None:
+        """Add a dependency edge to the universe (idempotent).
+
+        Used by the portfolio driver to merge several routing functions'
+        dependency graphs into one shared encoding.
+        """
+        self._oracle.add_edge(source, target)
+
+    def has_edge(self, source: Port, target: Port) -> bool:
+        return self._oracle.has_edge(source, target)
+
+    # -- queries --------------------------------------------------------------
+    def is_deadlock_free(self) -> bool:
+        """Theorem 1 condition: the dependency graph has no cycle."""
+        return self._oracle.is_acyclic()
+
+    def is_deadlock_free_edges(
+            self, edges: Iterable[Tuple[Port, Port]]) -> bool:
+        """The condition on an explicit edge subset of the universe."""
+        return self._oracle.is_acyclic(edges)
+
+    def cycle_core_for(self, edges: Iterable[Tuple[Port, Port]]
+                       ) -> Optional[List[Tuple[Port, Port]]]:
+        """Cycle-witness core for an explicit edge subset."""
+        return self._oracle.cycle_core(edges)
+
+    def is_deadlock_free_for(self, ports: Iterable[Port]) -> bool:
+        """The condition restricted to the subgraph induced by ``ports``."""
+        return self._oracle.is_acyclic_restricted_to(ports)
+
+    def is_deadlock_free_without(
+            self, removed: Iterable[Tuple[Port, Port]]) -> bool:
+        """The condition on the universe minus the given (escape) edges."""
+        return self._oracle.is_acyclic_without(removed)
+
+    def cycle_core(self) -> Optional[List[Tuple[Port, Port]]]:
+        """An edge subset that already contains a cycle (``None`` if acyclic)."""
+        return self._oracle.cycle_core()
+
+    def escape_edges(self,
+                     candidates: Optional[Iterable[Tuple[Port, Port]]] = None
+                     ) -> List[Tuple[Port, Port]]:
+        """Edges whose individual removal restores deadlock freedom.
+
+        When ``candidates`` is ``None`` the UNSAT core is used as the
+        candidate pool (an edge outside every cycle can never help), keeping
+        the number of incremental solves proportional to the cycle, not to
+        the graph.
+        """
+        if candidates is None:
+            candidates = self.cycle_core() or []
+        return self._oracle.critical_edges(candidates)
+
+    def numbering(self) -> Dict[Port, int]:
+        """A topological numbering witnessing deadlock freedom."""
+        return self._oracle.numbering()
 
 
 def count_blocked_messages(config: Configuration,

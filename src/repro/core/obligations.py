@@ -199,6 +199,36 @@ def check_c3(spec: DependencyGraphSpec,
     return _timed(run, "C-3")
 
 
+def check_c3_incremental(spec: DependencyGraphSpec,
+                         session=None) -> ObligationResult:
+    """(C-3) discharged through a reusable incremental solver session.
+
+    Equivalent to ``check_c3(spec, methods=("sat-incremental",))`` for a
+    single call, but the :class:`~repro.core.deadlock.DeadlockQuerySession`
+    built here (or passed in) can afterwards answer restricted-subset and
+    escape-edge queries without re-encoding -- that is the point of the
+    incremental route.  The session is returned in ``details["session"]``.
+    """
+
+    def run() -> Tuple[bool, int, List[str], Dict[str, object]]:
+        from repro.core.deadlock import DeadlockQuerySession
+
+        live = session if session is not None \
+            else DeadlockQuerySession(spec.to_graph())
+        queries_before = live.queries
+        acyclic = live.is_deadlock_free()
+        counterexamples: List[str] = []
+        if not acyclic:
+            core = live.cycle_core() or []
+            counterexamples.append(
+                "dependency cycle within: "
+                + " , ".join(f"{s} -> {t}" for s, t in core[:8]))
+        return (acyclic, live.queries - queries_before, counterexamples,
+                {"edges": live.edge_count, "session": live})
+
+    return _timed(run, "C-3(incremental)")
+
+
 def check_c3_routing_induced(routing: RoutingFunction,
                              methods: Sequence[str] = ("dfs",),
                              ) -> ObligationResult:

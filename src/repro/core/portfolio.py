@@ -1,0 +1,251 @@
+"""Batch verification portfolios: many scenarios, one incremental solver.
+
+The paper verifies one instantiation (HERMES / XY / wormhole).  A
+production verification flow instead sweeps a *portfolio* of
+topology x routing x switching scenarios -- is each candidate design
+deadlock-free, and if not, which escape edges would fix it?  This module is
+the batch driver for that sweep, built on the incremental CDCL engine:
+
+* scenarios are grouped by topology;
+* per topology group, **one** :class:`~repro.core.deadlock.DeadlockQuerySession`
+  hosts the union of every scenario's dependency edges, each behind a
+  selector variable (encoded the first time a scenario contributes it);
+* each scenario's verdict is then a single solve under assumptions --
+  clauses learned while deciding one routing function speed up the next.
+
+Compare :func:`run_portfolio` (shared incremental sessions) with
+``check_c3_routing_induced`` in a loop (fresh graph check per scenario):
+the verdicts agree (cross-checked when ``cross_check=True``), the
+incremental route additionally yields UNSAT-core cycle witnesses and
+escape-edge suggestions for the failing designs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.checking.graphs import DirectedGraph
+from repro.core.deadlock import DeadlockQuerySession
+from repro.core.dependency import routing_dependency_graph
+from repro.core.instance import NoCInstance
+from repro.network.port import Port
+
+
+@dataclass
+class Scenario:
+    """One topology x routing x switching point of the sweep."""
+
+    name: str
+    instance: NoCInstance
+    #: Scenarios with equal group share one incremental session (their
+    #: topologies must have compatible port sets).  Defaults to the
+    #: instance's topology shape.
+    group: Optional[str] = None
+
+    def group_key(self) -> str:
+        if self.group is not None:
+            return self.group
+        topology = self.instance.topology
+        return f"{type(topology).__name__}[{len(topology.ports)} ports]"
+
+
+@dataclass
+class ScenarioVerdict:
+    """The batch driver's answer for one scenario."""
+
+    scenario: str
+    topology: str
+    routing: str
+    switching: str
+    deadlock_free: bool
+    #: Dependency edges of this scenario's routing function.
+    edges: int
+    #: Edges this scenario newly contributed to the shared encoding (0 for
+    #: a scenario whose edges were all seen before -- its query is purely
+    #: incremental).
+    new_edges: int
+    elapsed_seconds: float
+    #: For deadlock-prone designs: the UNSAT-core cycle witness and the
+    #: single-edge removals that would restore deadlock freedom.
+    cycle_core: List[Tuple[Port, Port]] = field(default_factory=list)
+    escape_edges: List[Tuple[Port, Port]] = field(default_factory=list)
+
+
+@dataclass
+class PortfolioReport:
+    """All verdicts of one portfolio run plus session statistics."""
+
+    verdicts: List[ScenarioVerdict]
+    elapsed_seconds: float
+    #: Per topology group: solver statistics of the shared session.
+    session_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def deadlock_free_count(self) -> int:
+        return sum(1 for verdict in self.verdicts if verdict.deadlock_free)
+
+    def formatted(self) -> str:
+        from repro.reporting.tables import format_table
+
+        rows = []
+        for verdict in self.verdicts:
+            fixes = ", ".join(f"{s}->{t}" for s, t in verdict.escape_edges[:2])
+            if len(verdict.escape_edges) > 2:
+                fixes += ", ..."
+            rows.append([
+                verdict.scenario, verdict.routing, verdict.switching,
+                "free" if verdict.deadlock_free else "DEADLOCK-PRONE",
+                verdict.edges, verdict.new_edges,
+                f"{verdict.elapsed_seconds * 1000:.1f}",
+                fixes or "-",
+            ])
+        return format_table(
+            ["scenario", "routing", "switching", "verdict", "dep edges",
+             "new edges", "ms", "escape fixes"], rows)
+
+    def summary(self) -> str:
+        prone = len(self.verdicts) - self.deadlock_free_count
+        return (f"portfolio: {len(self.verdicts)} scenarios, "
+                f"{self.deadlock_free_count} deadlock-free, {prone} "
+                f"deadlock-prone, {self.elapsed_seconds:.3f}s total")
+
+
+def run_portfolio(scenarios: Sequence[Scenario],
+                  seed: int = 2010,
+                  analyse_failures: bool = True,
+                  cross_check: bool = False) -> PortfolioReport:
+    """Run every scenario through shared incremental deadlock sessions.
+
+    ``analyse_failures`` additionally extracts the cycle core and the
+    escape-edge suggestions for deadlock-prone scenarios (a handful of
+    extra incremental solves each).  ``cross_check`` re-derives every
+    verdict with the linear-time DFS cycle check and asserts agreement --
+    the belt-and-braces mode used by the tests.
+    """
+    start = time.perf_counter()
+    sessions: Dict[str, DeadlockQuerySession] = {}
+    known_edges: Dict[str, set] = {}
+    verdicts: List[ScenarioVerdict] = []
+
+    for scenario in scenarios:
+        scenario_start = time.perf_counter()
+        instance = scenario.instance
+        key = scenario.group_key()
+        graph = routing_dependency_graph(instance.routing)
+        if key not in sessions:
+            # Seed the session with the topology's port set and this first
+            # scenario's edges; later scenarios grow the edge universe.
+            base: DirectedGraph[Port] = DirectedGraph()
+            for port in instance.topology.ports:
+                base.add_vertex(port)
+            sessions[key] = DeadlockQuerySession(base, name=key, seed=seed)
+            known_edges[key] = set()
+        session = sessions[key]
+        edges = graph.edges()
+        new_edges = 0
+        for source, target in edges:
+            if (source, target) not in known_edges[key]:
+                session.add_edge(source, target)
+                known_edges[key].add((source, target))
+                new_edges += 1
+        deadlock_free = session.is_deadlock_free_edges(edges)
+
+        cycle_core: List[Tuple[Port, Port]] = []
+        escape: List[Tuple[Port, Port]] = []
+        if not deadlock_free and analyse_failures:
+            cycle_core = session.cycle_core_for(edges) or []
+            escape = [edge for edge in cycle_core
+                      if session.is_deadlock_free_edges(
+                          e for e in edges if e != edge)]
+
+        if cross_check:
+            from repro.checking.graphs import find_cycle_dfs
+
+            reference = find_cycle_dfs(graph).acyclic
+            if reference != deadlock_free:
+                raise AssertionError(
+                    f"portfolio verdict disagrees with DFS for "
+                    f"{scenario.name}: sat={deadlock_free} dfs={reference}")
+
+        verdicts.append(ScenarioVerdict(
+            scenario=scenario.name,
+            topology=type(instance.topology).__name__,
+            routing=instance.routing.name(),
+            switching=instance.switching.name(),
+            deadlock_free=deadlock_free,
+            edges=len(edges),
+            new_edges=new_edges,
+            elapsed_seconds=time.perf_counter() - scenario_start,
+            cycle_core=cycle_core,
+            escape_edges=escape,
+        ))
+
+    return PortfolioReport(
+        verdicts=verdicts,
+        elapsed_seconds=time.perf_counter() - start,
+        session_stats={key: session.solver_stats
+                       for key, session in sessions.items()})
+
+
+def standard_portfolio(mesh_sizes: Iterable[int] = (3, 4),
+                       ring_sizes: Iterable[int] = (4,),
+                       buffer_capacity: int = 2) -> List[Scenario]:
+    """The library's standard sweep: every routing function on square
+    meshes (wormhole and virtual cut-through for the paper's pair), plus
+    the deadlock-free and deadlock-prone ring instantiations."""
+    from repro.hermes import build_hermes_instance
+    from repro.ringnoc import (
+        build_chain_ring_instance,
+        build_clockwise_ring_instance,
+    )
+    from repro.routing.adaptive import (
+        FullyAdaptiveMinimalRouting,
+        ZigZagRouting,
+    )
+    from repro.routing.turn_model import (
+        NegativeFirstRouting,
+        NorthLastRouting,
+        WestFirstRouting,
+    )
+    from repro.routing.xy import XYRouting
+    from repro.routing.yx import YXRouting
+    from repro.network.mesh import Mesh2D
+    from repro.switching.virtual_cut_through import VirtualCutThroughSwitching
+    from repro.switching.wormhole import WormholeSwitching
+
+    scenarios: List[Scenario] = []
+    for size in mesh_sizes:
+        mesh = Mesh2D(size, size)
+        group = f"mesh-{size}x{size}"
+        routings = [XYRouting(mesh), YXRouting(mesh),
+                    WestFirstRouting(mesh), NorthLastRouting(mesh),
+                    NegativeFirstRouting(mesh),
+                    FullyAdaptiveMinimalRouting(mesh), ZigZagRouting(mesh)]
+        for routing in routings:
+            scenarios.append(Scenario(
+                name=f"{group}/{routing.name()}/Swh",
+                instance=build_hermes_instance(
+                    size, size, buffer_capacity=buffer_capacity,
+                    routing=routing),
+                group=group))
+        # The paper's pair of switching policies on the paper's routing.
+        scenarios.append(Scenario(
+            name=f"{group}/Rxy/Svct",
+            instance=build_hermes_instance(
+                size, size, buffer_capacity=buffer_capacity,
+                routing=XYRouting(mesh),
+                switching=VirtualCutThroughSwitching()),
+            group=group))
+    for size in ring_sizes:
+        scenarios.append(Scenario(
+            name=f"ring-{size}/chain",
+            instance=build_chain_ring_instance(
+                size, buffer_capacity=buffer_capacity),
+            group=f"ring-{size}"))
+        scenarios.append(Scenario(
+            name=f"ring-{size}/clockwise",
+            instance=build_clockwise_ring_instance(size),
+            group=f"ring-{size}"))
+    return scenarios

@@ -176,6 +176,82 @@ def check_deadlock_freedom(instance: NoCInstance,
         details={"methods": list(methods)})
 
 
+def check_deadlock_freedom_incremental(
+        instance: NoCInstance,
+        session: Optional["DeadlockQuerySession"] = None,
+        spot_check_subsets: int = 3) -> TheoremResult:
+    """DeadThm via the incremental solver session (encode once, re-query).
+
+    Discharges the Theorem 1 condition through a
+    :class:`~repro.core.deadlock.DeadlockQuerySession`: the dependency-edge
+    universe is SAT-encoded once and the condition -- plus a few restricted
+    ``P' ⊆ P`` spot checks mirroring (C-3)'s quantifier, plus escape-edge
+    analysis when the condition fails -- is answered by incremental solves
+    on the same solver.  Pass a ``session`` to share the encoding across
+    many checks (the portfolio driver does).
+    """
+    from repro.core.deadlock import DeadlockQuerySession
+    from repro.core.dependency import routing_dependency_graph
+
+    start = time.perf_counter()
+    # The instance's own dependency edges: a shared session's universe may
+    # contain other routings' edges too, so every query below is restricted
+    # to this edge list (on a fresh session the two coincide).
+    if instance.dependency_spec is not None:
+        graph = instance.dependency_spec.to_graph()
+    else:
+        graph = routing_dependency_graph(instance.routing)
+    edges = [tuple(edge) for edge in graph.edges()]
+    if session is None:
+        session = DeadlockQuerySession.for_instance(instance)
+    else:
+        for source, target in edges:
+            session.add_edge(source, target)
+    queries_before = session.queries
+    holds = session.is_deadlock_free_edges(edges)
+    counterexamples: List[str] = []
+    details: Dict[str, object] = {
+        "edges": len(edges),
+        "session": session.name,
+    }
+
+    # Spot-check the subset quantifier of (C-3): by monotonicity the full
+    # query subsumes every subset, but the restricted queries exercise the
+    # assumptions machinery and are what a user asks about a region.
+    if holds and spot_check_subsets > 0:
+        ports = sorted({port for edge in edges for port in edge}, key=str)
+        stride = spot_check_subsets
+        for index in range(spot_check_subsets):
+            subset = set(ports[index::stride])
+            restricted = [edge for edge in edges
+                          if edge[0] in subset and edge[1] in subset]
+            if restricted and not session.is_deadlock_free_edges(restricted):
+                counterexamples.append(
+                    f"restricted subgraph P' (#{index}) has a cycle although "
+                    f"the full graph does not -- solver inconsistency")
+                holds = False
+
+    if not holds and not counterexamples:
+        core = session.cycle_core_for(edges) or []
+        counterexamples.append(
+            "dependency cycle within: "
+            + " , ".join(f"{s} -> {t}" for s, t in core[:8])
+            + (" ..." if len(core) > 8 else ""))
+        edge_set = set(edges)
+        escapes = [edge for edge in core
+                   if session.is_deadlock_free_edges(edge_set - {edge})]
+        details["cycle_core_edges"] = len(core)
+        details["escape_edges"] = [f"{s} -> {t}" for s, t in escapes[:8]]
+
+    elapsed = time.perf_counter() - start
+    details["incremental_queries"] = session.queries - queries_before
+    return TheoremResult(
+        name="DeadThm(incremental)", holds=holds,
+        checks=session.queries - queries_before,
+        counterexamples=counterexamples, elapsed_seconds=elapsed,
+        details=details)
+
+
 def check_no_reachable_deadlock(instance: NoCInstance,
                                 travels: Sequence[Travel],
                                 capacity: int = 1,

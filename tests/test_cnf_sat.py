@@ -28,6 +28,11 @@ from repro.checking.dimacs import dimacs_string, parse_dimacs
 from repro.checking.sat import SatSolver, brute_force_satisfiable, solve_cnf
 from repro.checking.tseitin import TseitinEncoder, to_cnf
 
+# Imported at module level: importing a test module *inside* a Hypothesis
+# test (as the nested-@given health check sees it) fails the health check,
+# because applying ``@given(expressions())`` happens at module-exec time.
+from tests.test_bool_expr import expressions
+
 
 class TestCNF:
     def test_new_var_and_names(self):
@@ -228,8 +233,6 @@ class TestTseitin:
     @given(st.data())
     @settings(max_examples=60, deadline=None)
     def test_tseitin_preserves_satisfiability(self, data):
-        from tests.test_bool_expr import expressions
-
         expr = data.draw(expressions())
         expected = is_satisfiable_brute_force(expr)
         assert solve_cnf(to_cnf(expr)).satisfiable == expected

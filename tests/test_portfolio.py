@@ -1,0 +1,235 @@
+"""Tests for the incremental deadlock-query session, the portfolio batch
+driver, and the fast key-level wormhole stepper of the state-space
+explorer (cross-validated against the generic decode-based path)."""
+
+from collections import deque
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.checking.bmc import ConfigurationSpace, explore_configuration_space
+from repro.core.deadlock import DeadlockQuerySession
+from repro.core.obligations import check_c3_incremental
+from repro.core.portfolio import (
+    PortfolioReport,
+    Scenario,
+    run_portfolio,
+    standard_portfolio,
+)
+from repro.core.theorems import (
+    check_deadlock_freedom,
+    check_deadlock_freedom_incremental,
+)
+from repro.hermes import build_hermes_instance
+from repro.network.mesh import Mesh2D
+from repro.ringnoc import (
+    build_chain_ring_instance,
+    build_clockwise_ring_instance,
+)
+from repro.routing.adaptive import ZigZagRouting
+from repro.switching.store_and_forward import StoreAndForwardSwitching
+from repro.switching.virtual_cut_through import VirtualCutThroughSwitching
+
+
+class TestDeadlockQuerySession:
+    def test_declared_graph_session_agrees_with_theorem(self):
+        instance = build_hermes_instance(3, 3)
+        session = DeadlockQuerySession.for_instance(instance)
+        assert session.is_deadlock_free()
+        assert check_deadlock_freedom(instance).holds
+
+    def test_repeated_queries_on_one_session(self):
+        instance = build_clockwise_ring_instance(4)
+        session = DeadlockQuerySession.for_instance(instance)
+        assert not session.is_deadlock_free()
+        # Re-queries on the same session keep answering consistently.
+        assert not session.is_deadlock_free()
+        core = session.cycle_core()
+        assert core, "a cyclic graph must yield a cycle core"
+        assert not session.is_deadlock_free_edges(core)
+        # Removing all wrap-edges of the core restores freedom for the rest.
+        assert session.is_deadlock_free_without(core)
+
+    def test_escape_edges_break_the_ring_cycle(self):
+        instance = build_clockwise_ring_instance(4)
+        session = DeadlockQuerySession.for_instance(instance)
+        escapes = session.escape_edges()
+        assert escapes, "a single dateline edge removal must fix the ring"
+        for edge in escapes:
+            assert session.is_deadlock_free_without([edge])
+
+    def test_subset_queries_are_monotone(self):
+        instance = build_hermes_instance(2, 2)
+        session = DeadlockQuerySession.for_instance(instance)
+        assert session.is_deadlock_free()
+        ports = sorted({p for e in session.edges for p in e}, key=str)
+        # Every subset of an acyclic graph is acyclic.
+        assert session.is_deadlock_free_for(ports[::2])
+        assert session.is_deadlock_free_for(ports[::3])
+
+    def test_numbering_decreases_along_edges(self):
+        instance = build_hermes_instance(2, 2)
+        session = DeadlockQuerySession.for_instance(instance)
+        numbering = session.numbering()
+        for source, target in session.edges:
+            assert numbering[target] < numbering[source]
+
+
+class TestIncrementalTheorem:
+    def test_incremental_matches_classic_on_hermes(self):
+        instance = build_hermes_instance(3, 3)
+        classic = check_deadlock_freedom(instance)
+        incremental = check_deadlock_freedom_incremental(instance)
+        assert classic.holds and incremental.holds
+
+    def test_incremental_detects_ring_cycle_with_escapes(self):
+        result = check_deadlock_freedom_incremental(
+            build_clockwise_ring_instance(4))
+        assert not result.holds
+        assert result.counterexamples
+        assert result.details.get("escape_edges")
+
+    def test_shared_session_restricts_to_instance_edges(self):
+        """A session grown with another routing's edges must not change the
+        verdict for an instance whose own dependency graph is acyclic."""
+        instance = build_hermes_instance(3, 3)
+        session = DeadlockQuerySession.for_instance(instance)
+        # Pollute the shared universe with the cyclic edges of a zigzag
+        # routing on the same mesh (cyclic from 3x3 upwards).
+        from repro.core.dependency import routing_dependency_graph
+
+        cyclic = routing_dependency_graph(
+            ZigZagRouting(Mesh2D(3, 3)))
+        for source, target in cyclic.edges():
+            session.add_edge(source, target)
+        assert not session.is_deadlock_free()  # the union is cyclic
+        result = check_deadlock_freedom_incremental(instance, session=session)
+        assert result.holds, \
+            "instance verdict must be restricted to its own edges"
+
+    def test_spot_check_subsets_parameter_is_honoured(self):
+        instance = build_hermes_instance(2, 2)
+        result = check_deadlock_freedom_incremental(instance,
+                                                    spot_check_subsets=5)
+        assert result.holds
+        # 1 full query + up to 5 restricted-subset queries (subsets whose
+        # induced edge set is empty are trivially acyclic and skipped) --
+        # strictly more than the old hardcoded cap of 3 allowed.
+        assert 5 <= result.details["incremental_queries"] <= 6
+
+    def test_c3_incremental_matches_check_c3(self):
+        instance = build_hermes_instance(3, 3)
+        result = check_c3_incremental(instance.dependency_spec)
+        assert result.holds
+        session = result.details["session"]
+        # The session stays usable for follow-up queries.
+        assert session.is_deadlock_free()
+
+
+class TestPortfolioDriver:
+    def test_standard_portfolio_verdicts(self):
+        report = run_portfolio(
+            standard_portfolio(mesh_sizes=(3,), ring_sizes=(4,)),
+            cross_check=True)
+        verdicts = {v.scenario: v.deadlock_free for v in report.verdicts}
+        assert verdicts["mesh-3x3/Rxy/Swh"]
+        assert verdicts["mesh-3x3/Ryx/Swh"]
+        assert verdicts["mesh-3x3/Rwest-first/Swh"]
+        assert not verdicts["mesh-3x3/Radaptive/Swh"]
+        assert not verdicts["mesh-3x3/Rzigzag/Swh"]
+        assert verdicts["mesh-3x3/Rxy/Svct"]
+        assert verdicts["ring-4/chain"]
+        assert not verdicts["ring-4/clockwise"]
+
+    def test_sessions_are_shared_within_groups(self):
+        report = run_portfolio(
+            standard_portfolio(mesh_sizes=(3,), ring_sizes=()))
+        assert list(report.session_stats) == ["mesh-3x3"]
+        # Later scenarios re-use earlier encodings: at least one scenario
+        # contributed no new edges at all.
+        assert any(v.new_edges == 0 for v in report.verdicts[1:])
+
+    def test_failure_analysis_on_ring(self):
+        report = run_portfolio(
+            standard_portfolio(mesh_sizes=(), ring_sizes=(4,)))
+        prone = [v for v in report.verdicts if not v.deadlock_free]
+        assert len(prone) == 1
+        assert prone[0].cycle_core
+        assert prone[0].escape_edges
+        assert report.formatted()
+        assert "deadlock-prone" in report.summary()
+
+
+def _full_space_successor_sets(space_a, space_b):
+    """BFS the full reachable space, comparing successor sets pointwise."""
+    start = space_a.encode(space_a.initial_configuration)
+    seen = {start}
+    queue = deque([start])
+    while queue:
+        state = queue.popleft()
+        fast = sorted(space_a.successors(state))
+        slow = sorted(space_b.generic_successors(state))
+        assert fast == slow, f"successor mismatch at {state}"
+        for successor in fast:
+            if successor not in seen:
+                seen.add(successor)
+                queue.append(successor)
+    return len(seen)
+
+
+class TestFastWormholeStepper:
+    def test_ring_space_matches_generic(self):
+        instance = build_clockwise_ring_instance(4)
+        travels = [instance.make_travel((i, 0), ((i + 2) % 4, 0), num_flits=3)
+                   for i in range(4)]
+        fast = ConfigurationSpace(instance, travels, capacity=1)
+        slow = ConfigurationSpace(instance, travels, capacity=1,
+                                  use_fast_stepper=False)
+        assert fast._fast_stepper is not None
+        assert slow._fast_stepper is None
+        assert _full_space_successor_sets(fast, slow) > 1000
+
+    @given(st.data())
+    @settings(max_examples=12, deadline=None)
+    def test_random_mesh_workloads_match_generic(self, data):
+        instance = build_hermes_instance(2, 2, buffer_capacity=1)
+        nodes = [(x, y) for x in range(2) for y in range(2)]
+        travels = []
+        for _ in range(data.draw(st.integers(1, 3))):
+            source = data.draw(st.sampled_from(nodes))
+            destination = data.draw(st.sampled_from(
+                [n for n in nodes if n != source]))
+            travels.append(instance.make_travel(
+                source, destination,
+                num_flits=data.draw(st.integers(1, 3))))
+        fast = ConfigurationSpace(instance, travels, capacity=1)
+        slow = ConfigurationSpace(instance, travels, capacity=1,
+                                  use_fast_stepper=False)
+        _full_space_successor_sets(fast, slow)
+
+    def test_non_wormhole_policies_use_generic_path(self):
+        for switching in (StoreAndForwardSwitching(),
+                          VirtualCutThroughSwitching()):
+            instance = build_hermes_instance(2, 2, switching=switching)
+            travels = [instance.make_travel((0, 0), (1, 1), num_flits=2)]
+            space = ConfigurationSpace(instance, travels, capacity=1)
+            assert space._fast_stepper is None
+            with pytest.raises(TypeError):
+                ConfigurationSpace(instance, travels, capacity=1,
+                                   use_fast_stepper=True)
+
+    def test_explore_still_finds_the_ring_deadlock(self):
+        instance = build_clockwise_ring_instance(4)
+        travels = [instance.make_travel((i, 0), ((i + 2) % 4, 0), num_flits=3)
+                   for i in range(4)]
+        result = explore_configuration_space(instance, travels, capacity=1)
+        assert result.deadlock_found
+        assert result.complete
+
+    def test_explore_hermes_has_no_deadlock(self):
+        instance = build_hermes_instance(2, 2, buffer_capacity=1)
+        travels = [instance.make_travel((0, 0), (1, 1), num_flits=2),
+                   instance.make_travel((1, 1), (0, 0), num_flits=2)]
+        result = explore_configuration_space(instance, travels, capacity=1)
+        assert result.complete
+        assert not result.deadlock_found
