@@ -249,6 +249,21 @@ class AcyclicityOracle:
             edge for edge in self._edges
             if edge[0] in subset and edge[1] in subset)
 
+    def edges_where(self, predicate) -> List[Tuple[V, V]]:
+        """The universe edges whose endpoints both satisfy ``predicate``.
+
+        The vertex-predicate counterpart of an explicit vertex subset; used
+        by the VC-granular deadlock queries to restrict the universe to one
+        VC class (e.g. the escape class) without materialising the class's
+        vertex set.
+        """
+        return [edge for edge in self._edges
+                if predicate(edge[0]) and predicate(edge[1])]
+
+    def is_acyclic_where(self, predicate) -> bool:
+        """Acyclicity of the subgraph induced by a vertex predicate."""
+        return self.is_acyclic(self.edges_where(predicate))
+
     def cycle_core(self,
                    edges: Optional[Iterable[Tuple[V, V]]] = None
                    ) -> Optional[List[Tuple[V, V]]]:

@@ -64,18 +64,40 @@ def build_parser() -> argparse.ArgumentParser:
     _add_mesh_arguments(table1)
 
     depgraph = commands.add_parser(
-        "depgraph", help="print Fig. 3 statistics / export the graph as DOT")
+        "depgraph", help="print Fig. 3 statistics / export the graph as DOT "
+                         "(VC-coloured channel graph with --vcs)")
     _add_mesh_arguments(depgraph)
     depgraph.add_argument("--dot", type=str, default=None,
                           help="write a Graphviz DOT file to this path")
+    depgraph.add_argument("--vcs", type=int, default=0,
+                          help="virtual channels: export the (port, vc) "
+                               "channel graph of the escape-routing relation "
+                               "instead of Exy_dep (default: 0 = port graph)")
 
     deadlock = commands.add_parser(
         "deadlock",
-        help="demonstrate Theorem 1 on a deadlock-prone design "
-             "(incl. incremental escape-edge analysis)")
-    deadlock.add_argument("--design", choices=["clockwise-ring", "zigzag-mesh"],
-                          default="clockwise-ring")
-    deadlock.add_argument("--size", type=int, default=4)
+        help="demonstrate Theorem 1 on a deadlock-prone design, or its "
+             "virtual-channel repair with --vcs (incl. incremental "
+             "escape analysis)")
+    deadlock.add_argument("--design",
+                          choices=["clockwise-ring", "zigzag-mesh",
+                                   "adaptive-mesh"],
+                          default=None,
+                          help="defaults to clockwise-ring, or adaptive-mesh "
+                               "when --vcs is given")
+    deadlock.add_argument("--size", type=int, default=None,
+                          help="design size (default: 4 for rings, 3 for "
+                               "meshes)")
+    deadlock.add_argument("--vcs", type=int, default=None,
+                          help="virtual channels per port: with >= 2 the "
+                               "deadlock-prone design is re-verified at VC "
+                               "granularity with an escape class (default: "
+                               "1, or 2 for --design adaptive-mesh)")
+    deadlock.add_argument("--escape", choices=["xy", "dateline"],
+                          default=None,
+                          help="escape class style: xy (mesh) or dateline "
+                               "(ring/torus); defaults to the design's "
+                               "natural style")
 
     batch = commands.add_parser(
         "batch",
@@ -87,9 +109,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="ring sizes to sweep (default: 4)")
     batch.add_argument("--buffers", type=int, default=2,
                        help="1-flit buffers per port (default 2)")
+    batch.add_argument("--vcs", type=int, nargs="*", default=[],
+                       help="also sweep virtual-channel escape scenarios at "
+                            "these VC counts (e.g. --vcs 1 2 4)")
+    batch.add_argument("--vc-mesh-sizes", type=int, nargs="*", default=[3],
+                       help="mesh sizes for the VC escape scenarios "
+                            "(default: 3)")
+    batch.add_argument("--torus-sizes", type=int, nargs="*", default=[],
+                       help="torus sizes for the VC escape scenarios "
+                            "(default: none)")
     batch.add_argument("--cross-check", action="store_true",
-                       help="re-derive every verdict with the DFS cycle "
+                       help="re-derive every verdict with the explicit "
                             "check and assert agreement")
+    batch.add_argument("--json", type=str, default=None, metavar="PATH",
+                       help="write the machine-readable report "
+                            "(scenarios, verdicts, solver stats) to PATH")
 
     return parser
 
@@ -131,10 +165,41 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 
 def _cmd_depgraph(args: argparse.Namespace) -> int:
     from repro.core import check_acyclicity, graph_statistics
-    from repro.hermes import build_exy_graph
     from repro.network.mesh import Mesh2D
 
     mesh = Mesh2D(args.width, args.height)
+    if args.vcs > 0:
+        from repro.core.dependency import (
+            channel_dependency_graph,
+            class_subgraph,
+        )
+        from repro.routing.escape import mesh_escape_routing
+
+        relation = mesh_escape_routing(mesh, num_vcs=args.vcs)
+        graph = channel_dependency_graph(relation)
+        escape = class_subgraph(graph, relation.escape_vcs)
+        print(f"channel dependency graph of a {args.width}x{args.height} "
+              f"mesh with {args.vcs} VCs ({relation.name()}):")
+        for key, value in graph_statistics(graph).items():
+            print(f"  {key}: {value}")
+        report = check_acyclicity(graph, methods=("dfs",))
+        escape_report = check_acyclicity(escape,
+                                         methods=("dfs", "scc", "toposort"))
+        print(f"  full graph acyclic  : {report.acyclic}")
+        print(f"  escape class acyclic: {escape_report.acyclic} "
+              f"({escape.edge_count} escape edges)")
+        if args.dot:
+            from repro.reporting.dot import write_dot
+
+            write_dot(graph, args.dot,
+                      title=f"channel_dep {args.width}x{args.height} "
+                            f"{args.vcs}vc",
+                      escape_vcs=relation.escape_vcs)
+            print(f"  DOT written to {args.dot}")
+        return 0 if escape_report.acyclic else 1
+
+    from repro.hermes import build_exy_graph
+
     graph = build_exy_graph(mesh)
     print(f"Exy_dep of a {args.width}x{args.height} mesh:")
     for key, value in graph_statistics(graph).items():
@@ -150,6 +215,103 @@ def _cmd_depgraph(args: argparse.Namespace) -> int:
     return 0 if report.acyclic else 1
 
 
+def _build_vc_relation(design: str, size: int, escape: Optional[str],
+                       num_vcs: int):
+    """The escape-channel relation demonstrating a design's VC repair."""
+    from repro.routing.escape import (
+        EscapeChannelRouting,
+        mesh_escape_routing,
+        ring_escape_routing,
+    )
+
+    if design == "clockwise-ring":
+        if escape == "xy":
+            raise SystemExit(
+                "the ring designs use the dateline escape style; "
+                "drop --escape or pass --escape dateline")
+        from repro.network.ring import Ring
+        from repro.routing.ring import ClockwiseRingRouting
+
+        # The dateline pair repairs the *clockwise* routing itself -- the
+        # same function the non-VC demo exhibits the cycle for.
+        ring = Ring(size, bidirectional=True)
+        return ring_escape_routing(ring, num_vcs=num_vcs,
+                                   base_routing=ClockwiseRingRouting(ring))
+    if escape == "dateline":
+        raise SystemExit(
+            "the mesh designs use the xy escape style; "
+            "drop --escape or pass --escape xy")
+    from repro.network.mesh import Mesh2D
+    from repro.network.vc import VCTopology
+
+    mesh = Mesh2D(size, size)
+    if design == "zigzag-mesh":
+        from repro.routing.adaptive import ZigZagRouting
+        from repro.routing.xy import XYRouting
+
+        return EscapeChannelRouting(
+            VCTopology(mesh, num_vcs),
+            escape_routing=XYRouting(mesh),
+            adaptive_routing=ZigZagRouting(mesh),
+            escape_vc_count=1,
+            style="xy")
+    return mesh_escape_routing(mesh, num_vcs=num_vcs)
+
+
+def _cmd_deadlock_vc(design: str, args: argparse.Namespace,
+                     num_vcs: int) -> int:
+    """The VC repair demo: deadlock-prone at 1 VC, proved free with escape."""
+    from repro.core.theorems import (
+        check_deadlock_freedom_vc,
+        check_deadlock_freedom_vc_incremental,
+    )
+
+    size = args.size
+    if size is None:
+        size = 3 if design.endswith("-mesh") else 4
+    baseline = _build_vc_relation(design, size, args.escape, num_vcs=1)
+    base_thm = check_deadlock_freedom_vc(baseline)
+    print(f"single-VC baseline {baseline.name()}: "
+          f"{'free' if base_thm.holds else 'DEADLOCK-PRONE'}")
+    for counterexample in base_thm.counterexamples[:1]:
+        print(f"  {counterexample}")
+
+    relation = _build_vc_relation(design, size, args.escape,
+                                  num_vcs=num_vcs)
+    print(f"\nVC repair {relation.name()}: escape class "
+          f"{list(relation.escape_vcs)}, adaptive class "
+          f"{list(relation.adaptive_vcs)}")
+    # Enumerate the channel graph and the (V-1) coverage once; both the
+    # explicit and the incremental check consume them.
+    from repro.core.dependency import channel_dependency_graph
+    from repro.core.obligations import check_v1_escape_coverage
+
+    graph = channel_dependency_graph(relation)
+    coverage = check_v1_escape_coverage(relation)
+    explicit = check_deadlock_freedom_vc(relation, graph=graph,
+                                         coverage=coverage)
+    incremental = check_deadlock_freedom_vc_incremental(relation,
+                                                        graph=graph,
+                                                        coverage=coverage)
+    if explicit.holds != incremental.holds:
+        raise AssertionError(
+            f"explicit and incremental VC verdicts disagree: "
+            f"{explicit.holds} vs {incremental.holds}")
+    for result in (explicit, incremental):
+        status = "holds" if result.holds else "VIOLATED"
+        print(f"  {result.name}: {status} ({result.checks} checks, "
+              f"{result.elapsed_seconds:.3f}s)")
+        for counterexample in result.counterexamples[:2]:
+            print(f"    {counterexample}")
+    if explicit.holds:
+        print(f"\n=> the deadlock-prone design is proved deadlock-free "
+              f"with {num_vcs} VCs ({len(relation.escape_vcs)} escape), "
+              f"by both the explicit checker and the incremental CDCL "
+              f"session ({incremental.details['incremental_queries']} "
+              f"incremental queries).")
+    return 0 if explicit.holds else 1
+
+
 def _cmd_deadlock(args: argparse.Namespace) -> int:
     from repro.checking.bmc import explore_configuration_space
     from repro.checking.graphs import find_cycle_dfs
@@ -159,15 +321,31 @@ def _cmd_deadlock(args: argparse.Namespace) -> int:
         verify_witness_roundtrip,
     )
 
-    if args.design == "clockwise-ring":
+    design = args.design or ("adaptive-mesh" if (args.vcs or 1) > 1
+                             else "clockwise-ring")
+    num_vcs = args.vcs
+    if num_vcs is None:
+        # The adaptive mesh only makes sense as the VC repair demo, so it
+        # defaults to the repaired configuration.
+        num_vcs = 2 if design == "adaptive-mesh" else 1
+    if num_vcs < 1:
+        raise SystemExit("--vcs must be at least 1")
+    if num_vcs > 1 or design == "adaptive-mesh":
+        return _cmd_deadlock_vc(design, args, num_vcs)
+    if args.escape is not None:
+        raise SystemExit(
+            "--escape only applies to the virtual-channel demo; "
+            "add --vcs 2 (or --design adaptive-mesh)")
+
+    size = args.size if args.size is not None else 4
+    if design == "clockwise-ring":
         from repro.ringnoc import (
             build_clockwise_ring_instance,
             ring_witness_destination,
         )
 
-        instance = build_clockwise_ring_instance(args.size)
+        instance = build_clockwise_ring_instance(size)
         witness_fn = ring_witness_destination(instance.topology)
-        size = args.size
         travels = [instance.make_travel((i, 0), ((i + 2) % size, 0),
                                         num_flits=3) for i in range(size)]
     else:
@@ -175,8 +353,8 @@ def _cmd_deadlock(args: argparse.Namespace) -> int:
         from repro.network.mesh import Mesh2D
         from repro.routing.adaptive import ZigZagRouting
 
-        mesh = Mesh2D(args.size, args.size)
-        instance = build_hermes_instance(args.size, args.size,
+        mesh = Mesh2D(size, size)
+        instance = build_hermes_instance(size, size,
                                          routing=ZigZagRouting(mesh))
 
         def witness_fn(source, target):
@@ -216,11 +394,22 @@ def _cmd_deadlock(args: argparse.Namespace) -> int:
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
-    from repro.core.portfolio import run_portfolio, standard_portfolio
+    from repro.core.portfolio import (
+        run_portfolio,
+        standard_portfolio,
+        vc_escape_portfolio,
+    )
 
     scenarios = standard_portfolio(mesh_sizes=args.mesh_sizes,
                                    ring_sizes=args.ring_sizes,
                                    buffer_capacity=args.buffers)
+    if args.vcs:
+        if any(count < 1 for count in args.vcs):
+            raise SystemExit("--vcs counts must be at least 1")
+        scenarios += vc_escape_portfolio(mesh_sizes=args.vc_mesh_sizes,
+                                         torus_sizes=args.torus_sizes,
+                                         vc_counts=args.vcs,
+                                         buffer_capacity=args.buffers)
     report = run_portfolio(scenarios, cross_check=args.cross_check)
     print(report.formatted())
     print(report.summary())
@@ -228,6 +417,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print(f"  session {group}: {stats['solves']} incremental solves, "
               f"{stats['learned']} clauses learned, "
               f"{stats['conflicts']} conflicts")
+    if args.json:
+        report.write_json(args.json)
+        print(f"JSON report written to {args.json}")
     return 0
 
 

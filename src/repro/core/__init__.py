@@ -29,7 +29,9 @@ from repro.core.dependency import (
     AcyclicityReport,
     DependencyGraphSpec,
     ExplicitDependencySpec,
+    channel_dependency_graph,
     check_acyclicity,
+    class_subgraph,
     graph_statistics,
     routing_dependency_graph,
 )
@@ -57,6 +59,9 @@ from repro.core.obligations import (
     check_c3_routing_induced,
     check_c4,
     check_c5,
+    check_v1_escape_coverage,
+    check_v2_escape_acyclicity,
+    check_v2_incremental,
 )
 from repro.core.portfolio import (
     PortfolioReport,
@@ -64,6 +69,7 @@ from repro.core.portfolio import (
     ScenarioVerdict,
     run_portfolio,
     standard_portfolio,
+    vc_escape_portfolio,
 )
 from repro.core.pipeline import (
     VerificationReport,
@@ -76,6 +82,8 @@ from repro.core.theorems import (
     check_correctness,
     check_deadlock_freedom,
     check_deadlock_freedom_incremental,
+    check_deadlock_freedom_vc,
+    check_deadlock_freedom_vc_incremental,
     check_evacuation,
     check_no_reachable_deadlock,
     derive_evacuation,
@@ -104,7 +112,9 @@ __all__ = [
     "AcyclicityReport",
     "DependencyGraphSpec",
     "ExplicitDependencySpec",
+    "channel_dependency_graph",
     "check_acyclicity",
+    "class_subgraph",
     "graph_statistics",
     "routing_dependency_graph",
     "GeNoCError",
@@ -128,11 +138,15 @@ __all__ = [
     "check_c3_routing_induced",
     "check_c4",
     "check_c5",
+    "check_v1_escape_coverage",
+    "check_v2_escape_acyclicity",
+    "check_v2_incremental",
     "PortfolioReport",
     "Scenario",
     "ScenarioVerdict",
     "run_portfolio",
     "standard_portfolio",
+    "vc_escape_portfolio",
     "VerificationReport",
     "discharge_obligations",
     "verify_instance",
@@ -141,6 +155,8 @@ __all__ = [
     "check_correctness",
     "check_deadlock_freedom",
     "check_deadlock_freedom_incremental",
+    "check_deadlock_freedom_vc",
+    "check_deadlock_freedom_vc_incremental",
     "check_evacuation",
     "check_no_reachable_deadlock",
     "derive_evacuation",

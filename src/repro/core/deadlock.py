@@ -255,6 +255,41 @@ class DeadlockQuerySession:
         """The condition restricted to the subgraph induced by ``ports``."""
         return self._oracle.is_acyclic_restricted_to(ports)
 
+    # -- VC-class restrictions ------------------------------------------------
+    def class_edges(self, vc_classes: Iterable[int]
+                    ) -> List[Tuple[Port, Port]]:
+        """The universe edges lying inside the given VC classes.
+
+        Plain ports count as VC 0 (the degenerate single-channel case), so
+        on a port-vertex universe ``class_edges({0})`` is the whole
+        universe.
+        """
+        from repro.network.vc import vc_of
+
+        classes = set(vc_classes)
+        return self._oracle.edges_where(
+            lambda vertex: vc_of(vertex) in classes)
+
+    def is_deadlock_free_for_class(self,
+                                   vc_classes: Iterable[int]) -> bool:
+        """The condition restricted to one VC class of the universe.
+
+        The per-VC-class analogue of the port-subset restriction
+        :meth:`is_deadlock_free_for`: restricted to the escape class this is
+        exactly the acyclicity half of the Duato-style VC deadlock
+        condition (obligation (V-2)), answered by one incremental solve.
+        """
+        from repro.network.vc import vc_of
+
+        classes = set(vc_classes)
+        return self._oracle.is_acyclic_where(
+            lambda vertex: vc_of(vertex) in classes)
+
+    def cycle_core_for_class(self, vc_classes: Iterable[int]
+                             ) -> Optional[List[Tuple[Port, Port]]]:
+        """Cycle-witness core of one VC class (``None`` when acyclic)."""
+        return self._oracle.cycle_core(self.class_edges(vc_classes))
+
     def is_deadlock_free_without(
             self, removed: Iterable[Tuple[Port, Port]]) -> bool:
         """The condition on the universe minus the given (escape) edges."""

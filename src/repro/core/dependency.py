@@ -200,6 +200,53 @@ def check_acyclicity(graph: DirectedGraph[Port],
     return report
 
 
+def channel_dependency_graph(relation) -> DirectedGraph:
+    """The ``(port, vc)``-granular dependency graph of a VC routing relation.
+
+    A :class:`~repro.routing.escape.EscapeChannelRouting` (or any routing
+    relation over a :class:`~repro.network.vc.VCTopology`) is a routing
+    function whose "ports" are channels, so the graph is the plain
+    routing-induced enumeration -- the VC-selection function being part of
+    the relation is what puts the edges at channel granularity.  Named
+    separately because the *verdict* read off this graph differs: for a
+    relation with a separated escape class the deadlock condition is not
+    whole-graph acyclicity but the (V-1)/(V-2) pair of
+    :func:`repro.core.theorems.check_deadlock_freedom_vc`.
+    """
+    return routing_dependency_graph(relation)
+
+
+def class_edges(graph: DirectedGraph, vc_classes: Iterable[int]
+                ) -> List[Tuple]:
+    """The edges of a channel graph lying inside the given VC classes.
+
+    The edge-list form of :func:`class_subgraph`, shared by the (V-2)
+    checkers and the portfolio driver so the class filter has one
+    definition.
+    """
+    from repro.network.vc import vc_of
+
+    classes = set(vc_classes)
+    return [(source, target) for source, target in graph.edges()
+            if vc_of(source) in classes and vc_of(target) in classes]
+
+
+def class_subgraph(graph: DirectedGraph, vc_classes: Iterable[int]
+                   ) -> DirectedGraph:
+    """The subgraph of a channel graph induced by the given VC classes.
+
+    Plain ports count as VC 0, so on a port-vertex graph
+    ``class_subgraph(graph, {0})`` is the graph itself -- the degenerate
+    single-VC case under which (V-2) coincides with the paper's Theorem 1
+    condition.
+    """
+    from repro.network.vc import vc_of
+
+    classes = set(vc_classes)
+    return graph.subgraph(vertex for vertex in graph.vertices
+                          if vc_of(vertex) in classes)
+
+
 def graph_statistics(graph: DirectedGraph[Port]) -> Dict[str, int]:
     """Vertex/edge statistics used by the Fig. 3 benchmark."""
     in_degrees = graph.in_degrees()

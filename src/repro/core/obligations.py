@@ -260,6 +260,167 @@ def check_c3_routing_induced(routing: RoutingFunction,
 
 
 # ---------------------------------------------------------------------------
+# (V-1) and (V-2): the VC-granular (Duato-style) deadlock obligations
+# ---------------------------------------------------------------------------
+
+def check_v1_escape_coverage(relation,
+                             max_counterexamples: int = 10
+                             ) -> ObligationResult:
+    """(V-1): every waiting channel has the escape class to fall back on.
+
+    For a VC routing relation with a separated escape class this checks,
+    over every reachable ``(channel, destination)`` pair where a header can
+    wait (an in-channel or injection channel of a non-destination node):
+
+    * at least one next hop is an escape-class channel (*coverage* -- a
+      blocked packet can always request the escape network), and
+    * if the channel itself is escape-class, **all** its next hops are
+      escape-class (*closure* -- "once on escape, stay on escape", which
+      keeps waiting chains rooted in escape channels inside the acyclic
+      escape subgraph).
+
+    Out-channels need no coverage: under the credit-based allocation of
+    :class:`~repro.switching.wormhole.VCWormholeSwitching` a header only
+    enters a cardinal out-channel together with a guaranteed slot in the
+    downstream in-channel, so headers never *wait* inside out-channels --
+    every waiting point is a VC-allocation point where the escape class is
+    on offer.
+
+    In the degenerate shared case (adaptive and escape on the same VCs,
+    e.g. ``num_vcs = 1``) closure is vacuous and freedom falls back to
+    whole-graph acyclicity, which (V-2) then checks.
+    """
+
+    def run() -> Tuple[bool, int, List[str], Dict[str, object]]:
+        from repro.network.vc import port_of
+
+        topology = relation.topology
+        destinations = relation.destinations()
+        separated = relation.classes_separated
+        checks = 0
+        counterexamples: List[str] = []
+        for channel in topology.ports:
+            port = port_of(channel)
+            if not port.is_input:
+                continue  # headers wait at in-channels only (credits)
+            escape_channel = relation.is_escape_resource(channel)
+            for destination in destinations:
+                if channel == destination:
+                    continue
+                if port.node == port_of(destination).node:
+                    continue  # ejection is always possible at the target node
+                if not relation.reachable(channel, destination):
+                    continue
+                checks += 1
+                hops = relation.next_hops(channel, destination)
+                escapes = [hop for hop in hops
+                           if relation.is_escape_resource(hop)]
+                if not escapes:
+                    if len(counterexamples) < max_counterexamples:
+                        counterexamples.append(
+                            f"{channel} has no escape-class hop towards "
+                            f"{destination}")
+                elif (separated and escape_channel and not port.is_local
+                        and len(escapes) != len(hops)):
+                    if len(counterexamples) < max_counterexamples:
+                        counterexamples.append(
+                            f"escape channel {channel} may leave the escape "
+                            f"class towards {destination}")
+        return (not counterexamples, checks, counterexamples,
+                {"escape_vcs": list(relation.escape_vcs),
+                 "classes_separated": separated})
+
+    return _timed(run, "V-1")
+
+
+def check_v2_escape_acyclicity(relation,
+                               methods: Sequence[str] = ("dfs", "scc",
+                                                         "toposort"),
+                               graph: Optional[DirectedGraph] = None,
+                               ) -> ObligationResult:
+    """(V-2): the escape-class subgraph of the channel graph is acyclic.
+
+    With a separated escape class this is the acyclicity half of the
+    Duato-style condition; in the degenerate shared case the escape class
+    spans every channel and the check *is* the paper's Theorem 1 condition
+    on the full ``(port, vc)`` dependency graph.
+    """
+
+    def run() -> Tuple[bool, int, List[str], Dict[str, object]]:
+        from repro.core.dependency import (
+            channel_dependency_graph,
+            class_subgraph,
+        )
+
+        full = graph if graph is not None \
+            else channel_dependency_graph(relation)
+        escape = class_subgraph(full, relation.escape_vcs)
+        report = check_acyclicity(escape, methods=methods)
+        counterexamples: List[str] = []
+        if not report.acyclic:
+            cycle = report.cycle or []
+            counterexamples.append(
+                "escape-class dependency cycle: "
+                + " -> ".join(str(c) for c in cycle))
+        details: Dict[str, object] = {
+            "channels": full.vertex_count,
+            "edges": full.edge_count,
+            "escape_channels": escape.vertex_count,
+            "escape_edges": escape.edge_count,
+            "methods": dict(report.by_method),
+        }
+        if report.cycle:
+            details["cycle"] = [str(c) for c in report.cycle]
+        return (report.acyclic, escape.edge_count * len(methods),
+                counterexamples, details)
+
+    return _timed(run, "V-2")
+
+
+def check_v2_incremental(relation, session=None,
+                         graph: Optional[DirectedGraph] = None
+                         ) -> ObligationResult:
+    """(V-2) discharged through an incremental solver session.
+
+    The channel-edge universe is encoded once into a
+    :class:`~repro.core.deadlock.DeadlockQuerySession` (or merged into a
+    shared one) and the escape-class restriction is a single solve under
+    assumptions -- the per-VC-class analogue of the restricted ``P' ⊆ P``
+    query.  The live session is returned in ``details["session"]``.
+    """
+
+    def run() -> Tuple[bool, int, List[str], Dict[str, object]]:
+        from repro.core.deadlock import DeadlockQuerySession
+        from repro.core.dependency import (
+            channel_dependency_graph,
+            class_edges,
+        )
+
+        full = graph if graph is not None \
+            else channel_dependency_graph(relation)
+        if session is None:
+            live = DeadlockQuerySession(full, name=relation.name())
+        else:
+            live = session
+            for source, target in full.edges():
+                live.add_edge(source, target)
+        edges = class_edges(full, relation.escape_vcs)
+        queries_before = live.queries
+        acyclic = live.is_deadlock_free_edges(edges)
+        counterexamples: List[str] = []
+        if not acyclic:
+            core = live.cycle_core_for(edges) or []
+            counterexamples.append(
+                "escape-class dependency cycle within: "
+                + " , ".join(f"{s} -> {t}" for s, t in core[:8]))
+        return (acyclic, live.queries - queries_before, counterexamples,
+                {"escape_edges": len(edges), "escape_edge_list": edges,
+                 "session": live})
+
+    return _timed(run, "V-2(incremental)")
+
+
+# ---------------------------------------------------------------------------
 # (C-4): the injection method is the identity
 # ---------------------------------------------------------------------------
 

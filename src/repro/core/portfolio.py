@@ -71,6 +71,29 @@ class ScenarioVerdict:
     #: single-edge removals that would restore deadlock freedom.
     cycle_core: List[Tuple[Port, Port]] = field(default_factory=list)
     escape_edges: List[Tuple[Port, Port]] = field(default_factory=list)
+    #: Which deadlock condition produced the verdict: ``"theorem1"``
+    #: (whole-graph acyclicity) or ``"vc-escape"`` (the (V-1)/(V-2)
+    #: escape-class condition of a virtual-channel scenario).
+    condition: str = "theorem1"
+    #: Virtual channels of the scenario (1 for the single-VC model).
+    num_vcs: int = 1
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """A JSON-serialisable summary of this verdict."""
+        return {
+            "scenario": self.scenario,
+            "topology": self.topology,
+            "routing": self.routing,
+            "switching": self.switching,
+            "condition": self.condition,
+            "num_vcs": self.num_vcs,
+            "deadlock_free": self.deadlock_free,
+            "edges": self.edges,
+            "new_edges": self.new_edges,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "cycle_core": [f"{s} -> {t}" for s, t in self.cycle_core],
+            "escape_edges": [f"{s} -> {t}" for s, t in self.escape_edges],
+        }
 
 
 @dataclass
@@ -85,6 +108,36 @@ class PortfolioReport:
     @property
     def deadlock_free_count(self) -> int:
         return sum(1 for verdict in self.verdicts if verdict.deadlock_free)
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """Machine-readable export: scenarios, verdicts, solver statistics.
+
+        The payload is what bench trajectories track across PRs, so its
+        shape is versioned via ``schema``.
+        """
+        return {
+            "schema": 1,
+            "kind": "repro-portfolio-report",
+            "scenarios": [verdict.to_json_dict()
+                          for verdict in self.verdicts],
+            "summary": {
+                "scenarios": len(self.verdicts),
+                "deadlock_free": self.deadlock_free_count,
+                "deadlock_prone": (len(self.verdicts)
+                                   - self.deadlock_free_count),
+                "elapsed_seconds": round(self.elapsed_seconds, 6),
+            },
+            "session_stats": {group: dict(stats)
+                              for group, stats in self.session_stats.items()},
+        }
+
+    def write_json(self, path: str) -> None:
+        """Write :meth:`to_json_dict` to ``path`` (pretty-printed)."""
+        import json
+
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_json_dict(), handle, indent=2, sort_keys=False)
+            handle.write("\n")
 
     def formatted(self) -> str:
         from repro.reporting.tables import format_table
@@ -121,13 +174,33 @@ def run_portfolio(scenarios: Sequence[Scenario],
     ``analyse_failures`` additionally extracts the cycle core and the
     escape-edge suggestions for deadlock-prone scenarios (a handful of
     extra incremental solves each).  ``cross_check`` re-derives every
-    verdict with the linear-time DFS cycle check and asserts agreement --
+    verdict with the linear-time explicit check (DFS cycle search, or the
+    explicit (V-1)/(V-2) checker for VC scenarios) and asserts agreement --
     the belt-and-braces mode used by the tests.
+
+    Scenarios whose routing is a
+    :class:`~repro.routing.escape.EscapeChannelRouting` are decided by the
+    VC-granular escape condition: (V-1) by explicit enumeration, (V-2) as
+    an incremental solve restricted to the escape-class edges of the shared
+    universe.  Their group sessions therefore host *channel* vertices; mix
+    VC and single-VC scenarios in one group only if their vertex universes
+    agree.
     """
+    from repro.routing.escape import EscapeChannelRouting
+
     start = time.perf_counter()
     sessions: Dict[str, DeadlockQuerySession] = {}
     known_edges: Dict[str, set] = {}
     verdicts: List[ScenarioVerdict] = []
+
+    # Seed each group's session with the union of the group's vertex
+    # universes, so scenarios over growing channel sets (1, 2, 4 VCs of one
+    # topology) can share one encoding.
+    group_vertices: Dict[str, Dict[Port, None]] = {}
+    for scenario in scenarios:
+        vertices = group_vertices.setdefault(scenario.group_key(), {})
+        for port in scenario.instance.topology.ports:
+            vertices.setdefault(port)
 
     for scenario in scenarios:
         scenario_start = time.perf_counter()
@@ -135,10 +208,8 @@ def run_portfolio(scenarios: Sequence[Scenario],
         key = scenario.group_key()
         graph = routing_dependency_graph(instance.routing)
         if key not in sessions:
-            # Seed the session with the topology's port set and this first
-            # scenario's edges; later scenarios grow the edge universe.
             base: DirectedGraph[Port] = DirectedGraph()
-            for port in instance.topology.ports:
+            for port in group_vertices[key]:
                 base.add_vertex(port)
             sessions[key] = DeadlockQuerySession(base, name=key, seed=seed)
             known_edges[key] = set()
@@ -150,28 +221,56 @@ def run_portfolio(scenarios: Sequence[Scenario],
                 session.add_edge(source, target)
                 known_edges[key].add((source, target))
                 new_edges += 1
-        deadlock_free = session.is_deadlock_free_edges(edges)
+
+        relation = (instance.routing
+                    if isinstance(instance.routing, EscapeChannelRouting)
+                    else None)
+        coverage = None
+        if relation is None:
+            condition = "theorem1"
+            num_vcs = 1
+            query_edges = edges
+            deadlock_free = session.is_deadlock_free_edges(edges)
+        else:
+            # The VC-granular Duato condition: explicit (V-1) coverage plus
+            # the escape-class restriction of (V-2) on the shared session.
+            from repro.core.dependency import class_edges
+            from repro.core.obligations import check_v1_escape_coverage
+
+            condition = "vc-escape"
+            num_vcs = relation.num_vcs
+            query_edges = class_edges(graph, relation.escape_vcs)
+            coverage = check_v1_escape_coverage(relation)
+            deadlock_free = (coverage.holds
+                             and session.is_deadlock_free_edges(query_edges))
 
         cycle_core: List[Tuple[Port, Port]] = []
         escape: List[Tuple[Port, Port]] = []
         if not deadlock_free and analyse_failures:
-            cycle_core = session.cycle_core_for(edges) or []
+            cycle_core = session.cycle_core_for(query_edges) or []
             escape = [edge for edge in cycle_core
                       if session.is_deadlock_free_edges(
-                          e for e in edges if e != edge)]
+                          e for e in query_edges if e != edge)]
 
         if cross_check:
-            from repro.checking.graphs import find_cycle_dfs
+            if relation is None:
+                from repro.checking.graphs import find_cycle_dfs
 
-            reference = find_cycle_dfs(graph).acyclic
+                reference = find_cycle_dfs(graph).acyclic
+            else:
+                from repro.core.theorems import check_deadlock_freedom_vc
+
+                reference = check_deadlock_freedom_vc(
+                    relation, graph=graph, coverage=coverage).holds
             if reference != deadlock_free:
                 raise AssertionError(
-                    f"portfolio verdict disagrees with DFS for "
-                    f"{scenario.name}: sat={deadlock_free} dfs={reference}")
+                    f"portfolio verdict disagrees with the explicit check "
+                    f"for {scenario.name}: sat={deadlock_free} "
+                    f"explicit={reference}")
 
         verdicts.append(ScenarioVerdict(
             scenario=scenario.name,
-            topology=type(instance.topology).__name__,
+            topology=str(instance.topology),
             routing=instance.routing.name(),
             switching=instance.switching.name(),
             deadlock_free=deadlock_free,
@@ -180,6 +279,8 @@ def run_portfolio(scenarios: Sequence[Scenario],
             elapsed_seconds=time.perf_counter() - scenario_start,
             cycle_core=cycle_core,
             escape_edges=escape,
+            condition=condition,
+            num_vcs=num_vcs,
         ))
 
     return PortfolioReport(
@@ -248,4 +349,42 @@ def standard_portfolio(mesh_sizes: Iterable[int] = (3, 4),
             name=f"ring-{size}/clockwise",
             instance=build_clockwise_ring_instance(size),
             group=f"ring-{size}"))
+    return scenarios
+
+
+def vc_escape_portfolio(mesh_sizes: Iterable[int] = (3,),
+                        torus_sizes: Iterable[int] = (4,),
+                        vc_counts: Sequence[int] = (1, 2, 4),
+                        buffer_capacity: int = 2) -> List[Scenario]:
+    """The virtual-channel escape sweep: one shared session per topology.
+
+    For every mesh size, fully-adaptive minimal routing with an XY escape
+    VC at each VC count; for every torus size, dimension-order routing with
+    a dateline escape pair (plus an adaptive class from 3 VCs up).  All VC
+    counts of one topology share a group (their channel universes nest), so
+    the sweep exercises the incremental encoding across growing VC counts:
+    the 1-VC verdict is deadlock-prone, the multi-VC verdicts are proved
+    free by the escape condition on the same solver.
+    """
+    from repro.vcnoc import build_vc_mesh_instance, build_vc_torus_instance
+
+    scenarios: List[Scenario] = []
+    for size in mesh_sizes:
+        group = f"vc-mesh-{size}x{size}"
+        for vcs in vc_counts:
+            scenarios.append(Scenario(
+                name=f"{group}/Radaptive+esc-xy/{vcs}vc",
+                instance=build_vc_mesh_instance(
+                    size, size, num_vcs=vcs,
+                    buffer_capacity=buffer_capacity),
+                group=group))
+    for size in torus_sizes:
+        group = f"vc-torus-{size}x{size}"
+        for vcs in vc_counts:
+            scenarios.append(Scenario(
+                name=f"{group}/Rxy-torus+esc-dateline/{vcs}vc",
+                instance=build_vc_torus_instance(
+                    size, size, num_vcs=vcs,
+                    buffer_capacity=buffer_capacity),
+                group=group))
     return scenarios

@@ -252,6 +252,128 @@ def check_deadlock_freedom_incremental(
         details=details)
 
 
+def check_deadlock_freedom_vc(relation,
+                              methods: Sequence[str] = ("dfs", "scc",
+                                                        "toposort"),
+                              graph=None,
+                              coverage: Optional["ObligationResult"] = None,
+                              ) -> TheoremResult:
+    """DeadThm at VC granularity: the Duato-style escape-channel condition.
+
+    For a routing relation over ``(port, vc)`` channels
+    (:class:`~repro.routing.escape.EscapeChannelRouting`), deadlock freedom
+    follows from
+
+    * **(V-1)** escape coverage/closure -- every channel a header can wait
+      at offers an escape-class hop, and escape channels never leave the
+      escape class, and
+    * **(V-2)** escape acyclicity -- the subgraph of the channel dependency
+      graph induced by the escape-class channels is acyclic
+
+    instead of whole-graph acyclicity: the adaptive class may contain
+    cycles, a blocked packet escapes them.  With a single VC the two
+    classes coincide, (V-2) degenerates to the paper's Theorem 1 condition
+    on the full graph and the verdict is the classic single-channel one.
+    """
+    from repro.core.dependency import channel_dependency_graph
+    from repro.core.obligations import (
+        check_v1_escape_coverage,
+        check_v2_escape_acyclicity,
+    )
+
+    start = time.perf_counter()
+    if graph is None:
+        graph = channel_dependency_graph(relation)
+    v1 = coverage if coverage is not None \
+        else check_v1_escape_coverage(relation)
+    v2 = check_v2_escape_acyclicity(relation, methods=methods, graph=graph)
+    holds = v1.holds and v2.holds
+    elapsed = time.perf_counter() - start
+    return TheoremResult(
+        name="DeadThm(vc)", holds=holds, obligations=[v1, v2],
+        checks=v1.checks + v2.checks,
+        counterexamples=v1.counterexamples + v2.counterexamples,
+        elapsed_seconds=elapsed,
+        details={
+            "num_vcs": relation.num_vcs,
+            "escape_vcs": list(relation.escape_vcs),
+            "adaptive_vcs": list(relation.adaptive_vcs),
+            "classes_separated": relation.classes_separated,
+            "channels": graph.vertex_count,
+            "edges": graph.edge_count,
+            "methods": list(methods),
+        })
+
+
+def check_deadlock_freedom_vc_incremental(
+        relation,
+        session: Optional["DeadlockQuerySession"] = None,
+        graph=None,
+        coverage: Optional["ObligationResult"] = None) -> TheoremResult:
+    """DeadThm at VC granularity via the incremental solver session.
+
+    The channel-edge universe is SAT-encoded once (or merged into a shared
+    ``session``) and the escape-class restriction of (V-2) is answered by a
+    solve under assumptions -- the per-VC-class analogue of the restricted
+    ``P' ⊆ P`` query.  (V-1) is discharged by cheap explicit enumeration,
+    exactly as in :func:`check_deadlock_freedom_vc`.  On failure the
+    escape-class cycle core and the single-edge removals that would restore
+    freedom are extracted from the same session.
+    """
+    from repro.core.dependency import channel_dependency_graph
+    from repro.core.obligations import (
+        check_v1_escape_coverage,
+        check_v2_incremental,
+    )
+
+    start = time.perf_counter()
+    fresh_session = session is None
+    if graph is None:
+        graph = channel_dependency_graph(relation)
+    queries_before = session.queries if session is not None else 0
+
+    v1 = coverage if coverage is not None \
+        else check_v1_escape_coverage(relation)
+    v2 = check_v2_incremental(relation, session=session, graph=graph)
+    session = v2.details["session"]
+    escape_acyclic = v2.holds
+    holds = v1.holds and escape_acyclic
+
+    counterexamples: List[str] = v1.counterexamples + v2.counterexamples
+    details: Dict[str, object] = {
+        "num_vcs": relation.num_vcs,
+        "escape_vcs": sorted(relation.escape_vcs),
+        "edges": graph.edge_count,
+        "escape_edges": v2.details["escape_edges"],
+        "session": session.name,
+    }
+    if fresh_session:
+        # On a fresh session the universe is exactly this relation's edge
+        # set, so the class-restriction query must agree with the explicit
+        # edge-list restriction -- a solver self-check for free.
+        by_class = session.is_deadlock_free_for_class(relation.escape_vcs)
+        if by_class != escape_acyclic:
+            raise AssertionError(
+                f"class-restricted query disagrees with edge-restricted "
+                f"query: {by_class} vs {escape_acyclic}")
+    if not escape_acyclic:
+        escape_edges = v2.details["escape_edge_list"]
+        core = session.cycle_core_for(escape_edges) or []
+        edge_set = set(escape_edges)
+        escapes = [edge for edge in core
+                   if session.is_deadlock_free_edges(edge_set - {edge})]
+        details["cycle_core_edges"] = len(core)
+        details["escape_edges_fixes"] = [f"{s} -> {t}" for s, t in escapes[:8]]
+
+    elapsed = time.perf_counter() - start
+    details["incremental_queries"] = session.queries - queries_before
+    return TheoremResult(
+        name="DeadThm(vc,incremental)", holds=holds, obligations=[v1, v2],
+        checks=v1.checks + session.queries - queries_before,
+        counterexamples=counterexamples, elapsed_seconds=elapsed,
+        details=details)
+
+
 def check_no_reachable_deadlock(instance: NoCInstance,
                                 travels: Sequence[Travel],
                                 capacity: int = 1,

@@ -21,8 +21,15 @@ from typing import Deque, Iterator, List, Optional
 from repro.network.flit import Flit
 
 
-class BufferError_(Exception):
+class FlitBufferError(Exception):
     """Raised on illegal buffer operations (overflow, underflow, ownership)."""
+
+
+#: Deprecated alias of :class:`FlitBufferError` (the old name's trailing
+#: underscore only existed to dodge the ``BufferError`` builtin).  Kept so
+#: existing ``except BufferError_`` call sites continue to work; new code
+#: should catch :class:`FlitBufferError`.
+BufferError_ = FlitBufferError
 
 
 class FlitBuffer:
@@ -77,13 +84,13 @@ class FlitBuffer:
     def push(self, flit: Flit) -> None:
         """Append ``flit`` at the tail of the FIFO."""
         if self.is_full:
-            raise BufferError_(f"buffer overflow (capacity {self._capacity})")
+            raise FlitBufferError(f"buffer overflow (capacity {self._capacity})")
         self._slots.append(flit)
 
     def pop(self) -> Flit:
         """Remove and return the flit at the head of the FIFO."""
         if not self._slots:
-            raise BufferError_("buffer underflow")
+            raise FlitBufferError("buffer underflow")
         return self._slots.popleft()
 
     def clear(self) -> None:
@@ -136,7 +143,7 @@ class PortState:
     def accept(self, flit: Flit) -> None:
         """Accept one flit, acquiring ownership of the port for its travel."""
         if not self.accepts(flit.travel_id):
-            raise BufferError_(
+            raise FlitBufferError(
                 f"port owned by travel {self.owner} or full; "
                 f"cannot accept flit of travel {flit.travel_id}"
             )

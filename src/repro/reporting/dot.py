@@ -1,10 +1,17 @@
-"""Graphviz DOT export of port dependency graphs.
+"""Graphviz DOT export of port and virtual-channel dependency graphs.
 
 The paper's Fig. 3 is a drawing of the 2x2 dependency graph; this module
 produces the equivalent DOT text so the figure can be rendered with Graphviz
 (``dot -Tpdf``).  Ports are grouped into one cluster per processing node and
 coloured by flow (Fig. 4), and dependency-cycle edges can be highlighted for
 the negative examples.
+
+Channel graphs (vertices are ``(port, vc)`` pairs, see
+:mod:`repro.network.vc`) are rendered by :func:`channel_graph_to_dot` with
+one cluster per node and colours by VC class: escape-class channels are
+gold, adaptive classes cycle through a per-VC palette -- making the
+"adaptive cycles, acyclic escape skeleton" structure of a Duato design
+visible at a glance.  :func:`write_dot` dispatches automatically.
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.checking.graphs import DirectedGraph
 from repro.network.port import Port
+from repro.network.vc import VirtualChannel, port_of, vc_of
 
 #: Fill colours per flow class (see :mod:`repro.hermes.flows`).
 _FLOW_COLOURS = {
@@ -76,11 +84,98 @@ def dependency_graph_to_dot(graph: DirectedGraph[Port],
     return "\n".join(lines)
 
 
+#: Fill colour of escape-class channels and the per-VC adaptive palette.
+_ESCAPE_COLOUR = "gold"
+_VC_COLOURS = ("lightblue", "lightsalmon", "palegreen", "plum",
+               "lightcyan", "moccasin", "thistle", "khaki")
+
+
+def _channel_id(channel: VirtualChannel) -> str:
+    port = port_of(channel)
+    return (f"c_{port.x}_{port.y}_{port.name.value}_"
+            f"{port.direction.value}_{vc_of(channel)}")
+
+
+def _channel_label(channel: VirtualChannel) -> str:
+    port = port_of(channel)
+    return (f"{port.name.value}{'i' if port.is_input else 'o'}"
+            f"#{vc_of(channel)}")
+
+
+def channel_graph_to_dot(graph: DirectedGraph,
+                         title: str = "channel_dep",
+                         escape_vcs: Iterable[int] = (0,),
+                         highlight_cycle: Optional[Sequence] = None) -> str:
+    """Render a ``(port, vc)`` channel dependency graph as DOT text.
+
+    Channels cluster per processing node and are coloured by VC class:
+    escape-class channels (``vc in escape_vcs``) are gold, adaptive VCs
+    cycle through a per-VC palette.  Pass the escape class of the relation
+    (``relation.escape_vcs``) to match the (V-1)/(V-2) story.
+    """
+    escape = set(escape_vcs)
+    highlight: Set[Tuple] = set()
+    if highlight_cycle:
+        cycle = list(highlight_cycle)
+        for index, channel in enumerate(cycle):
+            highlight.add((channel, cycle[(index + 1) % len(cycle)]))
+
+    lines: List[str] = [f'digraph "{title}" {{',
+                        "  rankdir=LR;",
+                        "  node [shape=box, style=filled, fontsize=10];"]
+
+    nodes: Dict[Tuple[int, int], List] = {}
+    for channel in graph.vertices:
+        nodes.setdefault(port_of(channel).node, []).append(channel)
+
+    for (x, y), channels in sorted(nodes.items()):
+        lines.append(f"  subgraph cluster_{x}_{y} {{")
+        lines.append(f'    label="node ({x},{y})";')
+        for channel in sorted(channels, key=str):
+            vc = vc_of(channel)
+            if vc in escape:
+                colour = _ESCAPE_COLOUR
+            else:
+                colour = _VC_COLOURS[vc % len(_VC_COLOURS)]
+            lines.append(f'    {_channel_id(channel)} '
+                         f'[label="{_channel_label(channel)}", '
+                         f'fillcolor={colour}];')
+        lines.append("  }")
+
+    for source, target in sorted(graph.edges(), key=lambda e: (str(e[0]),
+                                                               str(e[1]))):
+        attributes = []
+        if (source, target) in highlight:
+            attributes.append("color=red, penwidth=2.0")
+        elif vc_of(source) in escape and vc_of(target) in escape:
+            attributes.append("penwidth=1.4")
+        suffix = f" [{', '.join(attributes)}]" if attributes else ""
+        lines.append(f"  {_channel_id(source)} -> "
+                     f"{_channel_id(target)}{suffix};")
+
+    lines.append("}")
+    return "\n".join(lines)
+
+
 def write_dot(graph: DirectedGraph[Port], path: str,
               title: str = "Exy_dep",
-              highlight_cycle: Optional[Sequence[Port]] = None) -> None:
-    """Write the DOT rendering of ``graph`` to ``path``."""
+              highlight_cycle: Optional[Sequence[Port]] = None,
+              escape_vcs: Iterable[int] = (0,)) -> None:
+    """Write the DOT rendering of ``graph`` to ``path``.
+
+    Dispatches on the vertex type: channel graphs get the VC-coloured
+    rendering, port graphs the paper's Fig. 3 style.
+    """
+    vertices = graph.vertices
+    is_channel_graph = any(isinstance(vertex, VirtualChannel)
+                           for vertex in vertices)
+    if is_channel_graph:
+        text = channel_graph_to_dot(graph, title=title,
+                                    escape_vcs=escape_vcs,
+                                    highlight_cycle=highlight_cycle)
+    else:
+        text = dependency_graph_to_dot(graph, title=title,
+                                       highlight_cycle=highlight_cycle)
     with open(path, "w", encoding="utf-8") as handle:
-        handle.write(dependency_graph_to_dot(graph, title=title,
-                                             highlight_cycle=highlight_cycle))
+        handle.write(text)
         handle.write("\n")

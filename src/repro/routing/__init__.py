@@ -32,6 +32,13 @@ from repro.routing.ring import (
     ClockwiseRingRouting,
     ShortestPathRingRouting,
 )
+from repro.routing.torus import TorusAdaptiveMinimalRouting, TorusXYRouting
+from repro.routing.escape import (
+    EscapeChannelRouting,
+    mesh_escape_routing,
+    ring_escape_routing,
+    torus_escape_routing,
+)
 
 __all__ = [
     "MeshRoutingFunction",
@@ -46,4 +53,10 @@ __all__ = [
     "ChainRingRouting",
     "ClockwiseRingRouting",
     "ShortestPathRingRouting",
+    "TorusAdaptiveMinimalRouting",
+    "TorusXYRouting",
+    "EscapeChannelRouting",
+    "mesh_escape_routing",
+    "ring_escape_routing",
+    "torus_escape_routing",
 ]

@@ -1,0 +1,431 @@
+"""Duato-style escape-channel adaptive routing over virtual channels.
+
+The deadlock-prone adaptive routing functions of this library
+(:class:`~repro.routing.adaptive.FullyAdaptiveMinimalRouting`, torus
+dimension-order with its wrap links, shortest-path ring routing) are the
+designs that virtual channels classically repair: multiplex every physical
+port into an **adaptive** VC class that may route freely and a restricted
+**escape** VC class whose dependency subgraph is acyclic.  A blocked packet
+always has the escape class to fall back on, and packets on the escape
+class march through an acyclic resource order -- Duato's methodology.
+
+:class:`EscapeChannelRouting` is that scheme as a *routing relation over
+channels*: the VC-selection function is part of the relation, so the
+``(port, vc)``-granular dependency graph -- computed by the unchanged
+:func:`~repro.core.dependency.routing_dependency_graph` enumeration over a
+:class:`~repro.network.vc.VCTopology` -- captures exactly which channel may
+wait on which.  The escape discipline is deliberately conservative ("once on
+escape, stay on escape"): a packet that enters the escape class keeps
+following the escape routing function, so waiting chains rooted in escape
+channels stay inside the escape class and the freedom argument needs only
+
+* **(V-1) escape coverage** -- every channel a packet can wait at offers at
+  least one escape-class hop, and escape channels offer *only* escape-class
+  hops, and
+* **(V-2) escape acyclicity** -- the subgraph induced by the escape-class
+  channels is acyclic
+
+(checked by :func:`repro.core.theorems.check_deadlock_freedom_vc`, both
+explicitly and through the incremental CDCL session).  With ``num_vcs = 1``
+the two classes collapse onto the same single channel, (V-2) degenerates to
+the paper's Theorem 1 condition on the full graph, and the verdict is the
+single-VC one -- deadlock-prone for the adaptive baselines.
+
+Two escape styles are provided:
+
+* ``"xy"`` -- one escape VC running dimension-order routing; for meshes,
+  where XY routing is acyclic on its own.
+* ``"dateline"`` -- a *pair* of escape VCs for wrap-around topologies (torus,
+  ring): a packet starts a dimension on escape VC 0 and is bumped to escape
+  VC 1 when its hop crosses a wrap-around (dateline) link, which cuts the
+  ring cycles at VC granularity.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.constituents import RoutingFunction
+from repro.core.errors import RoutingError
+from repro.network.port import Port, PortName
+from repro.network.vc import (
+    VCTopology,
+    VirtualChannel,
+    is_wrap_link,
+    port_of,
+    vc_of,
+)
+from repro.routing.base import OccurringPairsReachability
+
+#: Which dimension a cardinal port name moves along.
+_DIMENSION = {
+    PortName.EAST: "x",
+    PortName.WEST: "x",
+    PortName.NORTH: "y",
+    PortName.SOUTH: "y",
+}
+
+#: Route-selection policies for committing concrete routes (simulation).
+ROUTE_POLICIES = ("escape", "adaptive", "spread")
+
+
+class EscapeChannelRouting(RoutingFunction):
+    """An adaptive VC class plus a restricted escape VC class, as one relation.
+
+    Parameters
+    ----------
+    topology:
+        The :class:`~repro.network.vc.VCTopology` the relation is defined
+        over (``topology.num_vcs`` total VCs per cardinal port).
+    escape_routing:
+        A *deterministic* routing function over the base topology; it must
+        produce a next hop from any in-port (XY, torus dimension-order,
+        shortest-path ring all do).
+    adaptive_routing:
+        The unrestricted relation carried by the adaptive VC class, or
+        ``None`` for a pure escape network (e.g. dateline dimension-order on
+        a torus).
+    escape_vc_count:
+        Number of VCs reserved for the escape class: 1 for ``"xy"`` style,
+        2 for ``"dateline"`` style.  When it equals ``num_vcs`` and an
+        adaptive relation is present, the classes *share* the channels (the
+        degenerate single-VC behaviour) and no freedom guarantee follows.
+    route_policy:
+        How :meth:`route_configuration` commits concrete routes: ``"escape"``
+        (default -- committed routes live on the provably acyclic escape
+        network), ``"adaptive"`` (always take an adaptive hop while one
+        exists) or ``"spread"`` (alternate per travel id).  Committed
+        adaptive routes forfeit the Duato guarantee: the guarantee is for an
+        adaptive *router* that may still divert a blocked packet to the
+        escape class, which a pre-committed route cannot do.
+    """
+
+    def __init__(self, topology: VCTopology,
+                 escape_routing: RoutingFunction,
+                 adaptive_routing: Optional[RoutingFunction] = None,
+                 escape_vc_count: int = 1,
+                 route_policy: str = "escape",
+                 style: Optional[str] = None) -> None:
+        if escape_vc_count < 1:
+            raise ValueError("the escape class needs at least one VC")
+        if topology.num_vcs < escape_vc_count:
+            raise ValueError(
+                f"{escape_vc_count} escape VCs do not fit into "
+                f"{topology.num_vcs} total VCs")
+        if route_policy not in ROUTE_POLICIES:
+            raise ValueError(f"route_policy must be one of {ROUTE_POLICIES}")
+        self._vct = topology
+        self._escape = escape_routing
+        self._adaptive = adaptive_routing
+        self._escape_vc_count = int(escape_vc_count)
+        self.route_policy = route_policy
+        self._style = style or ("dateline" if escape_vc_count > 1 else "xy")
+        self._reachability = OccurringPairsReachability(self)
+
+    # -- class structure ------------------------------------------------------
+    @property
+    def topology(self) -> VCTopology:
+        return self._vct
+
+    @property
+    def num_vcs(self) -> int:
+        return self._vct.num_vcs
+
+    @property
+    def escape_vcs(self) -> Tuple[int, ...]:
+        """The VC indices of the escape class."""
+        return tuple(range(self._escape_vc_count))
+
+    @property
+    def adaptive_vcs(self) -> Tuple[int, ...]:
+        """The VC indices carrying the adaptive relation.
+
+        Empty for a pure escape network; equal to :attr:`escape_vcs` in the
+        degenerate shared case (``num_vcs == escape_vc_count`` with an
+        adaptive relation present).
+        """
+        if self._adaptive is None:
+            return ()
+        if self.num_vcs > self._escape_vc_count:
+            return tuple(range(self._escape_vc_count, self.num_vcs))
+        return self.escape_vcs
+
+    @property
+    def classes_separated(self) -> bool:
+        """Do the adaptive and escape classes use disjoint VCs?
+
+        Only then does the escape discipline ("once on escape, stay on
+        escape") hold and the Duato-style freedom argument apply.
+        """
+        return not set(self.adaptive_vcs) & set(self.escape_vcs)
+
+    @property
+    def escape_routing(self) -> RoutingFunction:
+        return self._escape
+
+    @property
+    def adaptive_routing(self) -> Optional[RoutingFunction]:
+        return self._adaptive
+
+    def is_escape_resource(self, resource) -> bool:
+        """Is the channel in the escape class (local channels count)?"""
+        return vc_of(resource) in self.escape_vcs
+
+    def name(self) -> str:
+        base = self._adaptive.name() if self._adaptive is not None else "pure"
+        return (f"Resc-{self._style}[{base},{self.num_vcs}vc,"
+                f"{self._escape_vc_count}esc]")
+
+    @property
+    def is_deterministic(self) -> bool:
+        return self._adaptive is None
+
+    # -- the routing relation over channels -----------------------------------
+    def next_hops(self, current: VirtualChannel,
+                  destination: VirtualChannel) -> List[VirtualChannel]:
+        self._check_destination(destination)
+        if current == destination:
+            return []
+        port = port_of(current)
+        if port.is_output:
+            if port.is_local:
+                raise RoutingError(
+                    f"cannot route from local out-channel {current}: it is a "
+                    f"network sink")
+            target = self._vct.link_target(current)
+            if target is None:
+                raise RoutingError(f"out-channel {current} has no link")
+            return [target]
+        if port.node == port_of(destination).node:
+            return [destination]
+        return self._route_from_in_channel(current, destination)
+
+    def _route_from_in_channel(self, current: VirtualChannel,
+                               destination: VirtualChannel
+                               ) -> List[VirtualChannel]:
+        port = port_of(current)
+        base_dest = port_of(destination)
+        hops: List[VirtualChannel] = []
+        adaptive_allowed = (self._adaptive is not None
+                            and (port.is_local
+                                 or vc_of(current) in self.adaptive_vcs))
+        if adaptive_allowed:
+            for out in self._adaptive.next_hops(port, base_dest):
+                for vc in self.adaptive_vcs:
+                    hops.append(VirtualChannel(out, vc))
+        escape_out = self._escape.next_hop(port, base_dest)
+        escape_hop = VirtualChannel(escape_out,
+                                    self._escape_vc_for(current, escape_out))
+        if escape_hop not in hops:
+            hops.append(escape_hop)
+        return hops
+
+    def _escape_vc_for(self, current: VirtualChannel,
+                       escape_out: Port) -> int:
+        """The escape-class VC selected for the hop onto ``escape_out``.
+
+        Single escape VC: always 0.  Dateline pair: a hop whose physical
+        link wraps around bumps the packet to escape VC 1; continuing in the
+        same dimension keeps the current escape VC; entering a dimension
+        (from the local port or after a dimension turn) resets to VC 0.
+        """
+        if self._escape_vc_count == 1:
+            return 0
+        if is_wrap_link(self._vct.base, escape_out):
+            return 1
+        port = port_of(current)
+        if (not port.is_local
+                and vc_of(current) in self.escape_vcs
+                and _DIMENSION.get(port.name) == _DIMENSION.get(
+                    escape_out.name)):
+            return vc_of(current)
+        return 0
+
+    # -- reachability ----------------------------------------------------------
+    def reachable(self, source: VirtualChannel,
+                  destination: VirtualChannel) -> bool:
+        if not self._is_valid_destination(destination):
+            return False
+        if not self._vct.has_port(source):
+            return False
+        if source == destination:
+            return True
+        source_port = port_of(source)
+        if source_port.is_local and source_port.is_output:
+            return False
+        return self._reachability(source, destination)
+
+    def _is_valid_destination(self, destination) -> bool:
+        return (isinstance(destination, VirtualChannel)
+                and port_of(destination).is_local
+                and port_of(destination).is_output
+                and self._vct.has_port(destination))
+
+    def _check_destination(self, destination) -> None:
+        if not self._is_valid_destination(destination):
+            raise RoutingError(
+                f"{destination} is not a valid destination (destinations are "
+                f"local out-channels of the VC topology)")
+
+    # -- committing concrete routes (simulation) -------------------------------
+    def compute_route(self, source: VirtualChannel,
+                      destination: VirtualChannel,
+                      max_hops: Optional[int] = None,
+                      preference: Optional[str] = None) -> List[VirtualChannel]:
+        """A concrete channel route, selected by ``preference``.
+
+        ``"escape"`` keeps the packet on the escape class from the first
+        hop; ``"adaptive"`` takes the first adaptive hop while one exists
+        (falling back to escape when the adaptive class is absent).
+        """
+        preference = preference or self.route_policy
+        if preference == "spread":
+            preference = "adaptive"
+        if max_hops is None:
+            max_hops = self.MAX_ROUTE_FACTOR * max(self._vct.port_count, 4)
+        route = [source]
+        current = source
+        while current != destination:
+            if len(route) > max_hops:
+                raise RoutingError(
+                    f"route from {source} to {destination} exceeds "
+                    f"{max_hops} hops: routing does not terminate")
+            hops = self.next_hops(current, destination)
+            if not hops:
+                raise RoutingError(
+                    f"no next hop from {current} towards {destination}")
+            current = self._select_hop(hops, preference)
+            if not self._vct.has_port(current):
+                raise RoutingError(
+                    f"routing produced non-existent channel {current}")
+            route.append(current)
+        return route
+
+    def _select_hop(self, hops: Sequence[VirtualChannel],
+                    preference: str) -> VirtualChannel:
+        if len(hops) == 1:
+            return hops[0]
+        escape_hops = [hop for hop in hops if self.is_escape_resource(hop)]
+        if preference == "escape" and escape_hops:
+            return escape_hops[0]
+        adaptive_hops = [hop for hop in hops
+                         if not self.is_escape_resource(hop)]
+        if preference == "adaptive" and adaptive_hops:
+            return adaptive_hops[0]
+        return hops[0]
+
+    def route_configuration(self, config):
+        """``R : Σ -> Σ`` with the relation's route policy applied.
+
+        ``"spread"`` alternates the per-travel preference by travel id so a
+        simulated workload exercises both VC classes.
+        """
+        from repro.core.configuration import Configuration, TravelProgress
+
+        routed = []
+        for travel in config.travels:
+            if travel.has_route:
+                routed.append(travel)
+                continue
+            if not self.reachable(travel.source, travel.destination):
+                raise RoutingError(
+                    f"destination {travel.destination} is not reachable "
+                    f"from {travel.source}")
+            if self.route_policy == "spread":
+                preference = ("adaptive" if travel.travel_id % 2 else "escape")
+            else:
+                preference = self.route_policy
+            route = self.compute_route(travel.source, travel.destination,
+                                       preference=preference)
+            routed.append(travel.with_route(route))
+        progress = dict(config.progress)
+        for travel in routed:
+            if travel.travel_id not in progress:
+                progress[travel.travel_id] = TravelProgress.initial(travel)
+        return Configuration(travels=routed, state=config.state,
+                             arrived=config.arrived, progress=progress)
+
+
+# ---------------------------------------------------------------------------
+# Construction helpers: the shipped escape schemes
+# ---------------------------------------------------------------------------
+
+def mesh_escape_routing(mesh, num_vcs: int = 2,
+                        route_policy: str = "escape") -> EscapeChannelRouting:
+    """Fully-adaptive minimal routing + one XY escape VC on a 2D mesh.
+
+    ``num_vcs = 1`` is the degenerate single-channel case: adaptive and
+    escape share the only VC and the design stays deadlock-prone.
+    """
+    from repro.routing.adaptive import FullyAdaptiveMinimalRouting
+    from repro.routing.xy import XYRouting
+
+    topology = VCTopology(mesh, num_vcs)
+    return EscapeChannelRouting(
+        topology,
+        escape_routing=XYRouting(mesh),
+        adaptive_routing=FullyAdaptiveMinimalRouting(mesh),
+        escape_vc_count=1,
+        route_policy=route_policy,
+        style="xy")
+
+
+def torus_escape_routing(torus, num_vcs: int = 2,
+                         route_policy: str = "escape") -> EscapeChannelRouting:
+    """Dateline escape pair (+ adaptive class when ``num_vcs > 2``) on a torus.
+
+    * ``num_vcs = 1``: plain torus dimension-order on a single channel --
+      the wrap-link cycles make it deadlock-prone;
+    * ``num_vcs = 2``: the pure dateline escape network (deadlock-free);
+    * ``num_vcs > 2``: dateline escape pair plus a fully-adaptive minimal
+      class on the remaining VCs.
+    """
+    from repro.routing.torus import (
+        TorusAdaptiveMinimalRouting,
+        TorusXYRouting,
+    )
+
+    topology = VCTopology(torus, num_vcs)
+    if num_vcs == 1:
+        return EscapeChannelRouting(
+            topology,
+            escape_routing=TorusXYRouting(torus),
+            adaptive_routing=None,
+            escape_vc_count=1,
+            route_policy=route_policy,
+            style="dateline")
+    adaptive = (TorusAdaptiveMinimalRouting(torus) if num_vcs > 2 else None)
+    return EscapeChannelRouting(
+        topology,
+        escape_routing=TorusXYRouting(torus),
+        adaptive_routing=adaptive,
+        escape_vc_count=2,
+        route_policy=route_policy,
+        style="dateline")
+
+
+def ring_escape_routing(ring, num_vcs: int = 2,
+                        route_policy: str = "escape",
+                        base_routing: Optional[RoutingFunction] = None
+                        ) -> EscapeChannelRouting:
+    """Dateline escape pair on a ring.
+
+    ``base_routing`` is the (deterministic, wrap-using) ring routing the
+    dateline repairs -- shortest-path by default, or e.g.
+    :class:`~repro.routing.ring.ClockwiseRingRouting` to repair the
+    paper's clockwise counterexample itself.  ``num_vcs = 1`` is the plain
+    base routing on one channel (deadlock-prone through the wrap link);
+    ``num_vcs >= 2`` adds the dateline VC switch that cuts the ring cycle.
+    """
+    from repro.routing.ring import ShortestPathRingRouting
+
+    if base_routing is None:
+        base_routing = ShortestPathRingRouting(ring)
+    topology = VCTopology(ring, num_vcs)
+    return EscapeChannelRouting(
+        topology,
+        escape_routing=base_routing,
+        adaptive_routing=None,
+        escape_vc_count=1 if num_vcs == 1 else 2,
+        route_policy=route_policy,
+        style="dateline")

@@ -1,7 +1,9 @@
 """Switching policies.
 
 * :mod:`repro.switching.wormhole` -- the wormhole switching policy ``Swh``
-  used by the paper's HERMES instantiation (Section V.4).
+  used by the paper's HERMES instantiation (Section V.4), plus its
+  virtual-channel variant ``Svc-wh`` (per-VC buffers/ownership,
+  credit-based header allocation, one flit per physical link per step).
 * :mod:`repro.switching.store_and_forward` -- store-and-forward packet
   switching (the whole packet occupies one port at a time).
 * :mod:`repro.switching.virtual_cut_through` -- virtual cut-through: the
@@ -13,13 +15,14 @@ checker (:mod:`repro.checking.bmc`) uses to explore all interleavings.
 """
 
 from repro.switching.base import SingleTravelStepper
-from repro.switching.wormhole import WormholeSwitching
+from repro.switching.wormhole import VCWormholeSwitching, WormholeSwitching
 from repro.switching.store_and_forward import StoreAndForwardSwitching
 from repro.switching.virtual_cut_through import VirtualCutThroughSwitching
 
 __all__ = [
     "SingleTravelStepper",
     "WormholeSwitching",
+    "VCWormholeSwitching",
     "StoreAndForwardSwitching",
     "VirtualCutThroughSwitching",
 ]

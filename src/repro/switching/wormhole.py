@@ -97,7 +97,9 @@ class WormholeSwitching(SwitchingPolicy, SingleTravelStepper):
             # At the destination local out-port: ejection is always possible.
             return True
         target_index = 0 if position == NOT_INJECTED else position + 1
-        return config.state.accepts(route[target_index], travel_id)
+        return (config.state.accepts(route[target_index], travel_id)
+                and self._leader_hop_allowed(config, route, position,
+                                             target_index, travel_id))
 
     def _advance_worm(self, config: Configuration, travel_id: int) -> bool:
         """Advance the worm of one travel by one pipelined shift.
@@ -111,12 +113,14 @@ class WormholeSwitching(SwitchingPolicy, SingleTravelStepper):
         state = config.state
         flits = make_flits(travel_id, len(record.positions))
         predecessor_moved = True  # the "predecessor" of the leader is the sink
+        leader_pending = True
         any_moved = False
 
         for index, position in enumerate(record.positions):
             if position == record.ejected_position:
                 predecessor_moved = True
                 continue
+            is_leader, leader_pending = leader_pending, False
             if not predecessor_moved:
                 # Strict pipelining: a flit only follows a moving predecessor.
                 predecessor_moved = False
@@ -133,6 +137,13 @@ class WormholeSwitching(SwitchingPolicy, SingleTravelStepper):
             if not state.accepts(target_port, travel_id):
                 predecessor_moved = False
                 continue
+            if is_leader and not self._leader_hop_allowed(
+                    config, route, position, target_index, travel_id):
+                predecessor_moved = False
+                continue
+            if not self._claim_hop(route, position, target_port):
+                predecessor_moved = False
+                continue
             if position == NOT_INJECTED:
                 flit = flits[index]
             else:
@@ -143,6 +154,30 @@ class WormholeSwitching(SwitchingPolicy, SingleTravelStepper):
             predecessor_moved = True
             any_moved = True
         return any_moved
+
+    def _claim_hop(self, route, position: int, target) -> bool:
+        """Arbitration hook: may this flit hop happen in the current step?
+
+        The base policy has no shared-medium contention (each port is its
+        own resource), so every hop that the buffer state accepts is
+        granted.  :class:`VCWormholeSwitching` overrides this to arbitrate
+        the physical links that its virtual channels multiplex.
+        """
+        return True
+
+    def _leader_hop_allowed(self, config: Configuration, route,
+                            position: int, target_index: int,
+                            travel_id: int) -> bool:
+        """Allocation hook: may the *header* take this hop right now?
+
+        The base policy lets the header advance whenever the next port
+        accepts it.  :class:`VCWormholeSwitching` overrides this with
+        credit-based allocation: the header only enters a cardinal
+        out-channel when the downstream in-channel also accepts it, so a
+        header never ends up waiting inside an out-channel where the escape
+        class can no longer be requested.
+        """
+        return True
 
     @staticmethod
     def _remove_flit(config: Configuration, port, travel_id: int,
@@ -166,3 +201,75 @@ class WormholeSwitching(SwitchingPolicy, SingleTravelStepper):
             else:
                 still_pending.append(travel)
         config.travels[:] = still_pending
+
+
+class VCWormholeSwitching(WormholeSwitching):
+    """VC-aware wormhole switching: per-VC credits, shared physical links.
+
+    Runs over a network state keyed by
+    :class:`~repro.network.vc.VirtualChannel`, so buffering, credits (free
+    buffer slots) and worm ownership are tracked **per virtual channel** --
+    two worms on different VCs of the same physical port coexist, which
+    plain :class:`WormholeSwitching` forbids.  What the VCs still share is
+    the physical link bandwidth: per switching step, at most one flit
+    crosses each physical link (an out-port -> in-port connection),
+    whichever VC it travels on.  Link arbitration is granted in travel-id
+    order within the step; a flit denied the link simply stalls for that
+    step, which never affects the deadlock predicate (``can_progress``
+    ignores link contention -- a shared link is always re-granted next
+    step, so waiting for it cannot be part of a deadlock knot).
+
+    Headers are advanced with **credit-based allocation**: the header only
+    moves into a cardinal out-channel when the downstream in-channel (same
+    VC -- physical links carry the VC index across) also accepts it.
+    Because an in-port has exactly one physical feeder and link hops
+    preserve the VC, the granted credit cannot be stolen by another worm,
+    so a header never waits inside an out-channel.  This matches real VC
+    routers (switch allocation requires a downstream credit) and is what
+    makes the escape-class argument of
+    :mod:`repro.routing.escape` apply: a blocked header always sits at a
+    VC-allocation point where the escape class can still be requested.
+    """
+
+    def name(self) -> str:
+        return "Svc-wh"
+
+    def step(self, config: Configuration) -> Configuration:
+        self._links_used = set()
+        return super().step(config)
+
+    def advance_travel(self, config: Configuration,
+                       travel_id: int) -> Optional[Configuration]:
+        self._links_used = set()
+        return super().advance_travel(config, travel_id)
+
+    def _claim_hop(self, route, position: int, target) -> bool:
+        """Grant the hop unless its physical link was used this step."""
+        from repro.network.vc import port_of
+
+        if position == NOT_INJECTED:
+            return True  # injection from the IP core uses no network link
+        source_port = port_of(route[position])
+        target_port = port_of(target)
+        if not (source_port.is_output and target_port.is_input):
+            return True  # an intra-switch hop, not a link traversal
+        link = (source_port, target_port)
+        if link in self._links_used:
+            return False
+        self._links_used.add(link)
+        return True
+
+    def _leader_hop_allowed(self, config: Configuration, route,
+                            position: int, target_index: int,
+                            travel_id: int) -> bool:
+        """Credit-based allocation: entering a cardinal out-channel needs a
+        free slot in the downstream in-channel it feeds."""
+        from repro.network.vc import port_of
+
+        target_port = port_of(route[target_index])
+        if not target_port.is_output or target_port.is_local:
+            return True
+        next_index = target_index + 1
+        if next_index >= len(route):
+            return True
+        return config.state.accepts(route[next_index], travel_id)

@@ -1,0 +1,154 @@
+"""Virtual-channel instantiations of GeNoC.
+
+The packages :mod:`repro.hermes` and :mod:`repro.ringnoc` bundle the
+paper's single-VC instantiations; this package bundles the virtual-channel
+ones: a :class:`~repro.network.vc.VCTopology` over a mesh, torus or ring,
+a Duato-style :class:`~repro.routing.escape.EscapeChannelRouting` relation
+(adaptive class + escape class, the VC-selection function being part of the
+relation) and :class:`~repro.switching.wormhole.VCWormholeSwitching`
+(per-VC buffers and worm ownership, credit-based header allocation, shared
+physical links).
+
+The deadlock story the builders support end to end:
+
+* ``build_vc_mesh_instance(3, 3, num_vcs=1)`` -- fully-adaptive minimal
+  routing on a single channel: the deadlock-prone baseline
+  (``repro deadlock`` finds the cycle);
+* ``build_vc_mesh_instance(3, 3, num_vcs=2)`` -- the same adaptive routing
+  plus one XY escape VC: *proved* deadlock-free by
+  :func:`repro.core.theorems.check_deadlock_freedom_vc` (explicitly) and
+  :func:`~repro.core.theorems.check_deadlock_freedom_vc_incremental` (one
+  incremental solve on the CDCL session);
+* ``build_vc_torus_instance(4, 4, num_vcs=2)`` -- the dateline escape pair
+  that repairs torus dimension-order routing, plus adaptive VCs on top
+  from ``num_vcs >= 3``;
+* ``build_vc_ring_instance(4, num_vcs=2)`` -- the dateline repair of the
+  ring instantiations of :mod:`repro.ringnoc`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.instance import NoCInstance
+from repro.core.measure import flit_hop_measure
+from repro.core.travel import Travel, make_travel
+from repro.hermes.injection import Iid
+from repro.network.mesh import Mesh2D
+from repro.network.ring import Ring
+from repro.network.torus import Torus2D
+from repro.network.vc import VCTopology, VirtualChannel
+from repro.routing.escape import (
+    EscapeChannelRouting,
+    mesh_escape_routing,
+    ring_escape_routing,
+    torus_escape_routing,
+)
+from repro.switching.wormhole import VCWormholeSwitching
+
+
+class VCNoCInstance(NoCInstance):
+    """A :class:`NoCInstance` whose resources are virtual channels.
+
+    The network state, routes and dependency graph are all keyed by
+    :class:`~repro.network.vc.VirtualChannel`; travels consequently start
+    and end at injection/ejection *channels*.
+    """
+
+    @property
+    def vc_topology(self) -> VCTopology:
+        assert isinstance(self.topology, VCTopology)
+        return self.topology
+
+    @property
+    def num_vcs(self) -> int:
+        return self.vc_topology.num_vcs
+
+    @property
+    def relation(self) -> EscapeChannelRouting:
+        assert isinstance(self.routing, EscapeChannelRouting)
+        return self.routing
+
+    def make_travel(self, source_node, destination_node,
+                    num_flits: int = 1) -> Travel:
+        """A travel between two nodes, using the local injection channels."""
+        source = VirtualChannel(
+            self.topology.node_at(*source_node).local_in, 0)
+        destination = VirtualChannel(
+            self.topology.node_at(*destination_node).local_out, 0)
+        return make_travel(source, destination, num_flits=num_flits)
+
+
+def build_vc_mesh_instance(width: int, height: int, num_vcs: int = 2,
+                           buffer_capacity: int = 2,
+                           route_policy: str = "escape") -> VCNoCInstance:
+    """Fully-adaptive minimal routing + one XY escape VC on a 2D mesh.
+
+    ``num_vcs = 1`` is the degenerate deadlock-prone baseline (adaptive and
+    escape share the single channel); ``num_vcs >= 2`` separates the
+    classes and the design is deadlock-free by the (V-1)/(V-2) condition.
+    ``route_policy`` picks how simulation routes are committed (see
+    :class:`~repro.routing.escape.EscapeChannelRouting`).
+    """
+    mesh = Mesh2D(width, height)
+    relation = mesh_escape_routing(mesh, num_vcs=num_vcs,
+                                   route_policy=route_policy)
+    return VCNoCInstance(
+        name=f"VC-mesh-{width}x{height}-{num_vcs}vc",
+        topology=relation.topology,
+        injection=Iid(),
+        routing=relation,
+        switching=VCWormholeSwitching(),
+        dependency_spec=None,
+        witness_destination=None,
+        measure=flit_hop_measure,
+        default_capacity=buffer_capacity,
+    )
+
+
+def build_vc_torus_instance(width: int, height: int, num_vcs: int = 2,
+                            buffer_capacity: int = 2,
+                            route_policy: str = "escape") -> VCNoCInstance:
+    """Dateline escape pair (+ adaptive class from 3 VCs up) on a torus."""
+    torus = Torus2D(width, height)
+    relation = torus_escape_routing(torus, num_vcs=num_vcs,
+                                    route_policy=route_policy)
+    return VCNoCInstance(
+        name=f"VC-torus-{width}x{height}-{num_vcs}vc",
+        topology=relation.topology,
+        injection=Iid(),
+        routing=relation,
+        switching=VCWormholeSwitching(),
+        dependency_spec=None,
+        witness_destination=None,
+        measure=flit_hop_measure,
+        default_capacity=buffer_capacity,
+    )
+
+
+def build_vc_ring_instance(size: int, num_vcs: int = 2,
+                           buffer_capacity: int = 2,
+                           route_policy: str = "escape") -> VCNoCInstance:
+    """Dateline escape pair on a bidirectional ring."""
+    ring = Ring(size, bidirectional=True)
+    relation = ring_escape_routing(ring, num_vcs=num_vcs,
+                                   route_policy=route_policy)
+    return VCNoCInstance(
+        name=f"VC-ring-{size}-{num_vcs}vc",
+        topology=relation.topology,
+        injection=Iid(),
+        routing=relation,
+        switching=VCWormholeSwitching(),
+        dependency_spec=None,
+        witness_destination=None,
+        measure=flit_hop_measure,
+        default_capacity=buffer_capacity,
+    )
+
+
+__all__ = [
+    "VCNoCInstance",
+    "build_vc_mesh_instance",
+    "build_vc_torus_instance",
+    "build_vc_ring_instance",
+]
