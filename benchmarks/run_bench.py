@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Write a ``BENCH_<date>.json`` perf-trajectory report.
+
+Standalone runner around :mod:`repro.core.bench` (the CLI equivalent is
+``repro bench --json``)::
+
+    PYTHONPATH=src python benchmarks/run_bench.py                 # smoke
+    PYTHONPATH=src python benchmarks/run_bench.py --profile extended-8 \
+        --jobs 1 4 --out BENCH_$(date +%F).json
+    PYTHONPATH=src python benchmarks/run_bench.py \
+        --reference BENCH_2026-07-30.json     # speedups vs a previous report
+
+The report is validated against the bench schema before it is written;
+schema violations exit non-zero (the CI ``bench-smoke`` job relies on
+this).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--profile", default="smoke",
+                        choices=["tiny", "smoke", "extended-8", "extended"],
+                        help="portfolio size (default: smoke)")
+    parser.add_argument("--jobs", type=int, nargs="+", default=[1],
+                        help="job counts to run the portfolio at "
+                             "(default: 1; e.g. --jobs 1 4)")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="microbench repetitions, best-of (default 3)")
+    parser.add_argument("--out", default=None,
+                        help="output path (default: BENCH_<date>.json)")
+    parser.add_argument("--reference", default=None,
+                        help="a previous BENCH_*.json (or a reference "
+                             "measurement file) to compute speedups against")
+    parser.add_argument("--notes", default=None,
+                        help="free-form provenance note stored in the report")
+    args = parser.parse_args(argv)
+
+    from repro.core.bench import (
+        bench_report_path,
+        format_bench_summary,
+        run_benchmark,
+        write_bench_report,
+    )
+
+    reference = None
+    if args.reference:
+        with open(args.reference, encoding="utf-8") as handle:
+            reference = json.load(handle)
+
+    report = run_benchmark(profile=args.profile, jobs_list=args.jobs,
+                           repeat=args.repeat, reference=reference,
+                           notes=args.notes)
+    path = args.out or bench_report_path()
+    write_bench_report(report, path)
+    print(format_bench_summary(report))
+    print(f"bench report written to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,21 @@ class BoolExpr:
     def evaluate(self, assignment: Mapping[str, bool]) -> bool:
         raise NotImplementedError
 
+    # Expressions are immutable and are used as memo keys by the Tseitin
+    # encoder, where the default recursive dataclass hash turns every
+    # dictionary probe into a full-tree walk.  Each node therefore caches
+    # its structural hash on first use (``object.__setattr__`` because the
+    # dataclasses are frozen).
+    def _structural_hash(self) -> int:
+        raise NotImplementedError
+
+    def __hash__(self) -> int:
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = self._structural_hash()
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
     # -- operator sugar ----------------------------------------------------------
     def __and__(self, other: "BoolExpr") -> "BoolExpr":
         return And(self, other)
@@ -44,6 +59,14 @@ class Const(BoolExpr):
 
     value: bool
 
+    # Re-declared in each dataclass body: the dataclass machinery would
+    # otherwise shadow the caching ``BoolExpr.__hash__`` with a generated
+    # recursive one.
+    __hash__ = BoolExpr.__hash__
+
+    def _structural_hash(self) -> int:
+        return hash(("Const", self.value))
+
     def variables(self) -> FrozenSet[str]:
         return frozenset()
 
@@ -64,6 +87,11 @@ class Var(BoolExpr):
 
     name: str
 
+    __hash__ = BoolExpr.__hash__
+
+    def _structural_hash(self) -> int:
+        return hash(("Var", self.name))
+
     def variables(self) -> FrozenSet[str]:
         return frozenset({self.name})
 
@@ -77,6 +105,11 @@ class Var(BoolExpr):
 @dataclass(frozen=True)
 class Not(BoolExpr):
     operand: BoolExpr
+
+    __hash__ = BoolExpr.__hash__
+
+    def _structural_hash(self) -> int:
+        return hash(("Not", self.operand))
 
     def variables(self) -> FrozenSet[str]:
         return self.operand.variables()
@@ -113,7 +146,9 @@ class _NaryExpr(BoolExpr):
     def __eq__(self, other: object) -> bool:
         return type(self) is type(other) and self.operands == other.operands
 
-    def __hash__(self) -> int:
+    __hash__ = BoolExpr.__hash__
+
+    def _structural_hash(self) -> int:
         return hash((type(self).__name__, self.operands))
 
 
@@ -142,6 +177,11 @@ class Implies(BoolExpr):
     antecedent: BoolExpr
     consequent: BoolExpr
 
+    __hash__ = BoolExpr.__hash__
+
+    def _structural_hash(self) -> int:
+        return hash(("Implies", self.antecedent, self.consequent))
+
     def variables(self) -> FrozenSet[str]:
         return self.antecedent.variables() | self.consequent.variables()
 
@@ -157,6 +197,11 @@ class Implies(BoolExpr):
 class Iff(BoolExpr):
     left: BoolExpr
     right: BoolExpr
+
+    __hash__ = BoolExpr.__hash__
+
+    def _structural_hash(self) -> int:
+        return hash(("Iff", self.left, self.right))
 
     def variables(self) -> FrozenSet[str]:
         return self.left.variables() | self.right.variables()

@@ -65,11 +65,14 @@ class CNF:
             # dropping it.
             self.clauses.append(clause)
             return
+        num_vars = self._num_vars
         for literal in clause:
             if literal == 0:
                 raise ValueError("0 is not a valid literal")
-            if abs(literal) > self._num_vars:
-                self._num_vars = abs(literal)
+            var = literal if literal > 0 else -literal
+            if var > num_vars:
+                num_vars = var
+        self._num_vars = num_vars
         self.clauses.append(clause)
 
     def add_clauses(self, clauses: Iterable[Iterable[Literal]]) -> None:

@@ -30,19 +30,50 @@ V = TypeVar("V", bound=Hashable)
 
 
 class DirectedGraph(Generic[V]):
-    """A simple adjacency-set directed graph over hashable vertices."""
+    """A simple adjacency directed graph over hashable vertices.
+
+    Successor collections are insertion-ordered dicts rather than sets:
+    iteration order (``edges()``, degrees, exports) then follows the
+    deterministic construction order instead of the process's randomized
+    hash order.  This is what makes solver statistics -- and therefore the
+    portfolio determinism contract -- reproducible across *processes*, not
+    just within one (worker pools included, whatever the start method).
+    """
 
     def __init__(self) -> None:
-        self._successors: Dict[V, Set[V]] = {}
+        self._successors: Dict[V, Dict[V, None]] = {}
+        self._frozen = False
 
     # -- construction ------------------------------------------------------------
     def add_vertex(self, vertex: V) -> None:
-        self._successors.setdefault(vertex, set())
+        if self._frozen:
+            raise ValueError("graph is frozen (shared through a cache); "
+                             "copy it before mutating")
+        self._successors.setdefault(vertex, {})
 
     def add_edge(self, source: V, target: V) -> None:
+        if self._frozen:
+            raise ValueError("graph is frozen (shared through a cache); "
+                             "copy it before mutating")
         self.add_vertex(source)
         self.add_vertex(target)
-        self._successors[source].add(target)
+        self._successors[source][target] = None
+
+    def freeze(self) -> "DirectedGraph[V]":
+        """Make the graph immutable and return it.
+
+        Frozen graphs can be shared safely -- e.g. by the construction
+        caches of :mod:`repro.core.cache` -- because any later
+        ``add_vertex``/``add_edge`` raises instead of silently corrupting
+        every holder of the reference.  Derived graphs (:meth:`subgraph`,
+        :meth:`reverse`) are fresh, mutable objects.
+        """
+        self._frozen = True
+        return self
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
 
     @classmethod
     def from_edges(cls, edges: Iterable[Tuple[V, V]],
@@ -69,10 +100,14 @@ class DirectedGraph(Generic[V]):
         return sum(len(targets) for targets in self._successors.values())
 
     def successors(self, vertex: V) -> Set[V]:
-        return set(self._successors.get(vertex, set()))
+        return set(self._successors.get(vertex, ()))
+
+    def successors_ordered(self, vertex: V) -> List[V]:
+        """Successors in deterministic (insertion) order."""
+        return list(self._successors.get(vertex, ()))
 
     def has_edge(self, source: V, target: V) -> bool:
-        return target in self._successors.get(source, set())
+        return target in self._successors.get(source, ())
 
     def edges(self) -> List[Tuple[V, V]]:
         return [(source, target)
@@ -80,7 +115,7 @@ class DirectedGraph(Generic[V]):
                 for target in targets]
 
     def out_degree(self, vertex: V) -> int:
-        return len(self._successors.get(vertex, set()))
+        return len(self._successors.get(vertex, ()))
 
     def in_degrees(self) -> Dict[V, int]:
         degrees: Dict[V, int] = {vertex: 0 for vertex in self._successors}

@@ -71,9 +71,13 @@ class IncrementalSession:
     # -- encoding -----------------------------------------------------------------
     def _sync(self) -> None:
         self.solver.ensure_vars(self.cnf.num_vars)
-        for clause in self.cnf.clauses[self._loaded_clauses:]:
-            self.solver.add_clause(clause)
-        self._loaded_clauses = len(self.cnf.clauses)
+        clauses = self.cnf.clauses
+        loaded = self._loaded_clauses
+        add_clause = self.solver.add_clause
+        while loaded < len(clauses):
+            add_clause(clauses[loaded])
+            loaded += 1
+        self._loaded_clauses = loaded
 
     def encode(self, expression: BoolExpr) -> Literal:
         """Tseitin-encode an expression, returning its literal."""
@@ -166,10 +170,9 @@ class AcyclicityOracle:
     # -- construction --------------------------------------------------------------
     def add_edge(self, source: V, target: V) -> None:
         """Add an edge to the universe (idempotent)."""
-        # Imported here: encodings imports the solver module and this module
-        # re-exports the oracle through repro.checking, so a module-level
-        # import would be circular.
-        from repro.checking.encodings import less_than_bits, vertex_bits
+        # Imported here: this module is re-exported through repro.checking,
+        # so module-level imports of the core package would be circular.
+        from repro.core.cache import instance_cache
 
         edge = (source, target)
         if edge in self._edge_selector:
@@ -183,9 +186,12 @@ class AcyclicityOracle:
             # A self-loop is a cycle on its own: selecting it is unsatisfiable.
             self._session.add_clause((-selector,))
         else:
-            constraint = less_than_bits(
-                vertex_bits(self._vertex_index[target], self._width),
-                vertex_bits(self._vertex_index[source], self._width))
+            # The numbering constraint only depends on the two vertex
+            # indices and the counter width, so the expression tree is
+            # shared across sessions through the process-wide cache.
+            constraint = instance_cache().numbering_constraint(
+                self._vertex_index[target], self._vertex_index[source],
+                self._width)
             literal = self._session.encode(constraint)
             self._session.add_clause((-selector, literal))
         self._edge_selector[edge] = selector

@@ -34,6 +34,7 @@ from __future__ import annotations
 import itertools
 import random
 from dataclasses import dataclass, field
+from heapq import heapify, heappop, heappush
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.checking.cnf import CNF, Clause, Literal
@@ -70,90 +71,111 @@ class _ClauseRef:
     __slots__ = ("literals", "learned", "activity")
 
     def __init__(self, literals: Sequence[Literal], learned: bool = False):
-        self.literals: List[Literal] = list(literals)
+        # Fresh lists (the normal case) are adopted rather than copied --
+        # clause construction is on the encoding hot path.
+        self.literals: List[Literal] = (literals if isinstance(literals, list)
+                                        else list(literals))
         self.learned = learned
         self.activity = 0.0
 
 
 class _VarHeap:
-    """Binary max-heap over variables ordered by VSIDS activity.
+    """Max-"heap" over variables ordered by VSIDS activity.
 
     Ties are broken by variable index (smaller first) so that the decision
     order -- and therefore the whole search -- is deterministic.
+
+    Implemented over :mod:`heapq` (C-backed) with *lazy* entries: every
+    push/activity-update appends a ``(-activity, var, version)`` tuple and
+    bumps the variable's version; entries whose version is no longer
+    current are skipped on pop.  This replaces the pure-Python sift loops
+    of a classic indexed binary heap -- which profiling showed dominating
+    incremental workloads (tens of thousands of pops per solve) -- while
+    popping variables in exactly the same (activity desc, index asc)
+    order.
     """
 
-    __slots__ = ("_activity", "_heap", "_index")
+    __slots__ = ("_activity", "_entries", "_version", "_in_heap", "_size")
 
     def __init__(self, activity: List[float]) -> None:
         self._activity = activity
-        self._heap: List[int] = []
-        self._index: Dict[int, int] = {}
+        # (-activity-at-push, var, version) tuples; stale versions skipped.
+        self._entries: List[Tuple[float, int, int]] = []
+        self._version: List[int] = [0]
+        self._in_heap: List[bool] = [False]
+        self._size = 0
 
     def __contains__(self, var: int) -> bool:
-        return var in self._index
+        return var < len(self._in_heap) and self._in_heap[var]
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return self._size
 
-    def _before(self, a: int, b: int) -> bool:
-        act_a, act_b = self._activity[a], self._activity[b]
-        if act_a != act_b:
-            return act_a > act_b
-        return a < b
-
-    def _swap(self, i: int, j: int) -> None:
-        heap = self._heap
-        heap[i], heap[j] = heap[j], heap[i]
-        self._index[heap[i]] = i
-        self._index[heap[j]] = j
-
-    def _sift_up(self, i: int) -> None:
-        heap = self._heap
-        while i > 0:
-            parent = (i - 1) // 2
-            if self._before(heap[i], heap[parent]):
-                self._swap(i, parent)
-                i = parent
-            else:
-                break
-
-    def _sift_down(self, i: int) -> None:
-        heap = self._heap
-        size = len(heap)
-        while True:
-            left, right = 2 * i + 1, 2 * i + 2
-            best = i
-            if left < size and self._before(heap[left], heap[best]):
-                best = left
-            if right < size and self._before(heap[right], heap[best]):
-                best = right
-            if best == i:
-                return
-            self._swap(i, best)
-            i = best
+    def _grow_to(self, var: int) -> None:
+        while len(self._in_heap) <= var:
+            self._in_heap.append(False)
+            self._version.append(0)
 
     def push(self, var: int) -> None:
-        if var in self._index:
+        in_heap = self._in_heap
+        if var >= len(in_heap):
+            self._grow_to(var)
+            in_heap = self._in_heap
+        if in_heap[var]:
             return
-        self._heap.append(var)
-        self._index[var] = len(self._heap) - 1
-        self._sift_up(len(self._heap) - 1)
+        in_heap[var] = True
+        self._size += 1
+        version = self._version[var] + 1
+        self._version[var] = version
+        heappush(self._entries, (-self._activity[var], var, version))
 
     def pop(self) -> int:
-        top = self._heap[0]
-        last = self._heap.pop()
-        del self._index[top]
-        if self._heap:
-            self._heap[0] = last
-            self._index[last] = 0
-            self._sift_down(0)
-        return top
+        entries = self._entries
+        version = self._version
+        in_heap = self._in_heap
+        while True:
+            _, var, entry_version = heappop(entries)
+            if in_heap[var] and version[var] == entry_version:
+                in_heap[var] = False
+                self._size -= 1
+                return var
+
+    def push_fresh(self, start: int, stop: int) -> None:
+        """Bulk-push the freshly allocated variables ``start..stop-1``.
+
+        Requires the variables to be brand new (``start`` equal to the
+        current array length); used by ``ensure_vars``.
+        """
+        assert start == len(self._in_heap)
+        in_heap = self._in_heap
+        version = self._version
+        activity = self._activity
+        entries = self._entries
+        for var in range(start, stop):
+            in_heap.append(True)
+            version.append(1)
+            heappush(entries, (-activity[var], var, 1))
+        self._size += stop - start
 
     def update(self, var: int) -> None:
         """Re-establish the heap order after ``var``'s activity increased."""
-        index = self._index.get(var)
-        if index is not None:
-            self._sift_up(index)
+        if var < len(self._in_heap) and self._in_heap[var]:
+            version = self._version[var] + 1
+            self._version[var] = version
+            heappush(self._entries, (-self._activity[var], var, version))
+
+    def rebuild(self) -> None:
+        """Rebuild every live entry from current activities.
+
+        Needed after a global activity rescale: live entries carry the
+        pre-rescale keys, which would compare inconsistently against
+        entries pushed after the rescale.  Rescales are rare (activity
+        overflow past 1e100), so the full rebuild is cheap amortised.
+        """
+        self._entries = [(-self._activity[var], var, self._version[var])
+                         for var in range(1, len(self._in_heap))
+                         if self._in_heap[var]]
+        heapify(self._entries)
 
 
 class IncrementalSatSolver:
@@ -177,8 +199,9 @@ class IncrementalSatSolver:
         self._num_vars = 0
         self._clauses: List[_ClauseRef] = []
         self._learnts: List[_ClauseRef] = []
-        # Watch lists, indexed by _watch_index(literal).
-        self._watches: List[List[_ClauseRef]] = []
+        # Watch lists, indexed by _watch_index(literal); each entry is a
+        # (clause, clause.literals) pair (see :meth:`_attach`).
+        self._watches: List[List[Tuple[_ClauseRef, List[Literal]]]] = []
         # Per-variable state, 1-indexed (slot 0 unused).
         self._assign: List[Optional[bool]] = [None]
         self._level: List[int] = [0]
@@ -201,6 +224,10 @@ class IncrementalSatSolver:
                        "restarts": 0, "learned": 0, "deleted": 0,
                        "solves": 0, "minimised": 0}
         self._last_core: Optional[List[Literal]] = None
+        # Reusable conflict-analysis scratch buffer (one byte per variable,
+        # slot 0 unused); cleared selectively after every analysis so no
+        # per-conflict allocation is needed.
+        self._seen = bytearray(1)
 
     # -- variables ----------------------------------------------------------------
     @property
@@ -220,15 +247,32 @@ class IncrementalSatSolver:
         self._reason.append(None)
         self._activity.append(0.0)
         self._polarity.append(False)
+        self._seen.append(0)
         self._watches.append([])
         self._watches.append([])
         self._heap.push(var)
         return var
 
     def ensure_vars(self, count: int) -> None:
-        """Grow the variable range to at least ``count`` variables."""
-        while self._num_vars < count:
-            self.new_var()
+        """Grow the variable range to at least ``count`` variables.
+
+        Bulk form of :meth:`new_var` (one extend per array instead of six
+        appends per variable) -- encodings allocate variables in bursts
+        through this path.
+        """
+        grow = count - self._num_vars
+        if grow <= 0:
+            return
+        start = self._num_vars + 1
+        self._num_vars = count
+        self._assign.extend([None] * grow)
+        self._level.extend([0] * grow)
+        self._reason.extend([None] * grow)
+        self._activity.extend([0.0] * grow)
+        self._polarity.extend([False] * grow)
+        self._seen.extend(b"\x00" * grow)
+        self._watches.extend([] for _ in range(2 * grow))
+        self._heap.push_fresh(start, count + 1)
 
     @staticmethod
     def _watch_index(literal: Literal) -> int:
@@ -255,18 +299,24 @@ class IncrementalSatSolver:
 
     def _cancel_until(self, level: int) -> None:
         """Undo all assignments above ``level`` (phase-saving the polarity)."""
-        if self._decision_level <= level:
+        if len(self._trail_lim) <= level:
             return
+        trail = self._trail
+        assign = self._assign
+        polarity = self._polarity
+        reason = self._reason
+        heap_push = self._heap.push
         limit = self._trail_lim[level]
-        for literal in reversed(self._trail[limit:]):
-            var = abs(literal)
-            self._polarity[var] = literal > 0
-            self._assign[var] = None
-            self._reason[var] = None
-            self._heap.push(var)
-        del self._trail[limit:]
+        for literal in reversed(trail[limit:]):
+            var = literal if literal > 0 else -literal
+            polarity[var] = literal > 0
+            assign[var] = None
+            reason[var] = None
+            heap_push(var)
+        del trail[limit:]
         del self._trail_lim[level:]
-        self._qhead = min(self._qhead, len(self._trail))
+        if self._qhead > limit:
+            self._qhead = limit
 
     # -- clause addition -----------------------------------------------------------
     def add_clause(self, literals: Iterable[Literal]) -> bool:
@@ -278,26 +328,32 @@ class IncrementalSatSolver:
         """
         if not self._ok:
             return False
-        self._cancel_until(0)
+        if self._trail_lim:
+            self._cancel_until(0)
 
-        seen = set()
+        # Clause loading is hot when whole encodings stream in (thousands
+        # of clauses per oracle), so the per-literal work reads the
+        # assignment array directly and deduplicates against the (short)
+        # clause being built instead of allocating a set.
+        assign = self._assign
         clause: List[Literal] = []
         satisfied = False
         for literal in literals:
             if literal == 0:
                 raise ValueError("0 is not a valid literal")
-            if abs(literal) > self._num_vars:
-                self.ensure_vars(abs(literal))
-            if -literal in seen:
-                return True  # tautology
-            if literal in seen:
+            var = literal if literal > 0 else -literal
+            if var > self._num_vars:
+                self.ensure_vars(var)
+            value = assign[var]
+            if value is not None:
+                if value == (literal > 0):
+                    satisfied = True  # already true at level 0
+                else:
+                    continue  # permanently false literal: drop it
+            if literal in clause:
                 continue
-            value = self._value(literal)
-            if value is True:
-                satisfied = True  # already true at level 0
-            if value is False:
-                continue  # permanently false literal: drop it
-            seen.add(literal)
+            if -literal in clause:
+                return True  # tautology
             clause.append(literal)
         if satisfied:
             return True
@@ -312,7 +368,15 @@ class IncrementalSatSolver:
             return True
         ref = _ClauseRef(clause)
         self._clauses.append(ref)
-        self._attach(ref)
+        # Inlined _attach (one entry tuple, two watch-list appends).
+        watches = self._watches
+        entry = (ref, clause)
+        first = clause[0]
+        first_var = first if first > 0 else -first
+        watches[2 * first_var - 2 + (first < 0)].append(entry)
+        second = clause[1]
+        second_var = second if second > 0 else -second
+        watches[2 * second_var - 2 + (second < 0)].append(entry)
         return True
 
     def add_clauses(self, clauses: Iterable[Iterable[Literal]]) -> bool:
@@ -322,62 +386,105 @@ class IncrementalSatSolver:
         return ok
 
     def _attach(self, ref: _ClauseRef) -> None:
-        self._watches[self._watch_index(ref.literals[0])].append(ref)
-        self._watches[self._watch_index(ref.literals[1])].append(ref)
+        # Watch lists hold (ref, literals) pairs: the literal list identity
+        # is stable (it is mutated in place), and carrying it in the entry
+        # saves one attribute load per clause visit in the propagation loop.
+        watches = self._watches
+        literals = ref.literals
+        entry = (ref, literals)
+        first = literals[0]
+        first_var = first if first > 0 else -first
+        watches[2 * first_var - 2 + (first < 0)].append(entry)
+        second = literals[1]
+        second_var = second if second > 0 else -second
+        watches[2 * second_var - 2 + (second < 0)].append(entry)
 
     # -- propagation ---------------------------------------------------------------
     def _propagate(self) -> Optional[_ClauseRef]:
         """Unit propagation from the current queue head.
 
         Returns the conflicting clause, or ``None``.
+
+        This is the solver's hottest loop, so it trades a little clarity for
+        constant factors: the per-variable arrays are bound to locals, literal
+        values are read inline instead of through :meth:`_value`, watch lists
+        are compacted in place (two-pointer style) instead of being rebuilt,
+        and the propagation counter is flushed to the stats dict once per
+        call.  The visit order -- and therefore the whole search -- is
+        identical to the straightforward formulation.
         """
         trail = self._trail
+        trail_append = trail.append
         watches = self._watches
-        value = self._value
-        while self._qhead < len(trail):
-            literal = trail[self._qhead]
-            self._qhead += 1
-            self._stats["propagations"] += 1
+        assign = self._assign
+        level = self._level
+        reason = self._reason
+        qhead = self._qhead
+        propagations = 0
+        conflict: Optional[_ClauseRef] = None
+        while qhead < len(trail):
+            literal = trail[qhead]
+            qhead += 1
+            propagations += 1
             false_literal = -literal
-            watch_list = watches[self._watch_index(false_literal)]
-            new_watch_list: List[_ClauseRef] = []
-            conflict: Optional[_ClauseRef] = None
-            index = 0
-            while index < len(watch_list):
-                ref = watch_list[index]
-                index += 1
-                literals = ref.literals
+            var = false_literal if false_literal > 0 else -false_literal
+            watch_list = watches[2 * var - 2 + (false_literal < 0)]
+            end = len(watch_list)
+            read = write = 0
+            while read < end:
+                entry = watch_list[read]
+                read += 1
+                literals = entry[1]
                 # Ensure the false literal is at position 1.
                 if literals[0] == false_literal:
-                    literals[0], literals[1] = literals[1], literals[0]
+                    literals[0] = literals[1]
+                    literals[1] = false_literal
                 first = literals[0]
-                if value(first) is True:
-                    new_watch_list.append(ref)
+                first_var = first if first > 0 else -first
+                first_value = assign[first_var]
+                if first_value is not None and \
+                        (first_value if first > 0 else not first_value):
+                    watch_list[write] = entry
+                    write += 1
                     continue
                 # Look for a new literal to watch.
                 found = False
                 for position in range(2, len(literals)):
                     candidate = literals[position]
-                    if value(candidate) is not False:
-                        literals[1], literals[position] = (literals[position],
-                                                           literals[1])
-                        watches[self._watch_index(literals[1])].append(ref)
+                    candidate_var = candidate if candidate > 0 else -candidate
+                    candidate_value = assign[candidate_var]
+                    if candidate_value is None or \
+                            (candidate_value if candidate > 0
+                             else not candidate_value):
+                        literals[1] = candidate
+                        literals[position] = false_literal
+                        watches[2 * candidate_var - 2
+                                + (candidate < 0)].append(entry)
                         found = True
                         break
                 if found:
                     continue
                 # Clause is unit or conflicting.
-                new_watch_list.append(ref)
-                if value(first) is False:
-                    new_watch_list.extend(watch_list[index:])
-                    conflict = ref
+                watch_list[write] = entry
+                write += 1
+                if first_value is not None:  # i.e. ``first`` is false
+                    while read < end:
+                        watch_list[write] = watch_list[read]
+                        write += 1
+                        read += 1
+                    conflict = entry[0]
                     break
-                self._enqueue(first, ref)
-            watches[self._watch_index(false_literal)] = new_watch_list
+                assign[first_var] = first > 0
+                level[first_var] = len(self._trail_lim)
+                reason[first_var] = entry[0]
+                trail_append(first)
+            del watch_list[write:]
             if conflict is not None:
-                self._qhead = len(trail)
-                return conflict
-        return None
+                qhead = len(trail)
+                break
+        self._qhead = qhead
+        self._stats["propagations"] += propagations
+        return conflict
 
     # -- conflict analysis ---------------------------------------------------------
     def _analyse(self, conflict: _ClauseRef) -> Tuple[List[Literal], int]:
@@ -387,38 +494,56 @@ class IncrementalSatSolver:
         backjump level.
         """
         learned: List[Literal] = []
-        seen = [False] * (self._num_vars + 1)
+        seen = self._seen
+        to_clear: List[int] = []
+        trail = self._trail
+        levels = self._level
+        reasons = self._reason
+        activity = self._activity
+        heap_update = self._heap.update
+        current_level = self._decision_level
         counter = 0
         literal: Optional[Literal] = None
+        # ``skip`` is the trail literal being resolved on; 0 matches nothing,
+        # so the whole conflict clause participates in the first round.
+        skip: Literal = 0
         reason_literals: Iterable[Literal] = conflict.literals
         self._bump_clause(conflict)
-        trail_index = len(self._trail) - 1
+        trail_index = len(trail) - 1
 
         while True:
             for reason_literal in reason_literals:
-                var = abs(reason_literal)
-                if seen[var] or self._level[var] == 0:
+                if reason_literal == skip:
                     continue
-                seen[var] = True
-                self._bump_activity(var)
-                if self._level[var] == self._decision_level:
+                var = reason_literal if reason_literal > 0 else -reason_literal
+                if seen[var] or levels[var] == 0:
+                    continue
+                seen[var] = 1
+                to_clear.append(var)
+                # Inlined _bump_activity (hot: every marked variable).
+                new_activity = activity[var] + self._activity_inc
+                activity[var] = new_activity
+                if new_activity > 1e100:
+                    self._rescale_activity()
+                heap_update(var)
+                if levels[var] == current_level:
                     counter += 1
                 else:
                     learned.append(reason_literal)
             # Find the next literal on the trail to resolve on.
             while True:
-                literal = self._trail[trail_index]
+                literal = trail[trail_index]
                 trail_index -= 1
-                if seen[abs(literal)]:
+                if seen[literal if literal > 0 else -literal]:
                     break
             counter -= 1
             if counter == 0:
                 break
-            reason_ref = self._reason[abs(literal)]
+            reason_ref = reasons[literal if literal > 0 else -literal]
             assert reason_ref is not None
             self._bump_clause(reason_ref)
-            reason_literals = [lit for lit in reason_ref.literals
-                               if lit != literal]
+            skip = literal
+            reason_literals = reason_ref.literals
         assert literal is not None
 
         # Learned-clause minimisation: drop any literal whose reason clause
@@ -439,6 +564,8 @@ class IncrementalSatSolver:
                 minimised.append(candidate)
         learned = minimised
         learned.insert(0, -literal)
+        for var in to_clear:
+            seen[var] = 0
 
         if len(learned) == 1:
             backjump_level = 0
@@ -477,12 +604,21 @@ class IncrementalSatSolver:
         return core
 
     # -- activities ----------------------------------------------------------------
+    def _rescale_activity(self) -> None:
+        """Scale every activity down after an overflow past 1e100.
+
+        The order is preserved, but the keys of every live lazy-heap entry
+        become inconsistent with post-rescale pushes, so the heap is
+        rebuilt in one pass (rescales are rare)."""
+        for index in range(1, self._num_vars + 1):
+            self._activity[index] *= 1e-100
+        self._activity_inc *= 1e-100
+        self._heap.rebuild()
+
     def _bump_activity(self, var: int) -> None:
         self._activity[var] += self._activity_inc
         if self._activity[var] > 1e100:
-            for index in range(1, self._num_vars + 1):
-                self._activity[index] *= 1e-100
-            self._activity_inc *= 1e-100
+            self._rescale_activity()
         self._heap.update(var)
 
     def _decay_activity(self) -> None:
@@ -519,8 +655,8 @@ class IncrementalSatSolver:
                          if id(ref) not in doomed]
         for index in range(len(self._watches)):
             watch_list = self._watches[index]
-            self._watches[index] = [ref for ref in watch_list
-                                    if id(ref) not in doomed]
+            self._watches[index] = [entry for entry in watch_list
+                                    if id(entry[0]) not in doomed]
         self._stats["deleted"] += len(doomed)
 
     # -- decisions -----------------------------------------------------------------
@@ -644,9 +780,14 @@ class IncrementalSatSolver:
                 return SatResult(satisfiable=True, model=model,
                                  stats=self.stats)
             self._stats["decisions"] += 1
-            self._trail_lim.append(len(self._trail))
+            trail_lim = self._trail_lim
+            trail_lim.append(len(self._trail))
             polarity = self._decision_polarity(variable)
-            self._enqueue(variable if polarity else -variable, None)
+            # Inlined _enqueue for the decision (reason-free) case.
+            self._assign[variable] = polarity
+            self._level[variable] = len(trail_lim)
+            self._reason[variable] = None
+            self._trail.append(variable if polarity else -variable)
 
     def last_core(self) -> Optional[List[Literal]]:
         """The assumption core of the most recent UNSAT-under-assumptions

@@ -49,6 +49,12 @@ class TseitinEncoder:
         return self.cnf.new_var()
 
     def _encode_uncached(self, expression: BoolExpr) -> Literal:
+        # Dispatch on the exact node type (one dict lookup instead of an
+        # isinstance chain -- this recursion is the encoding hot path);
+        # subclasses of the node types fall back to the isinstance walk.
+        handler = _NODE_HANDLERS.get(type(expression))
+        if handler is not None:
+            return handler(self, expression)
         if isinstance(expression, Const):
             return self._encode_const(expression)
         if isinstance(expression, Var):
@@ -106,6 +112,22 @@ class TseitinEncoder:
         self.cnf.add_clause((output, left, right))
         self.cnf.add_clause((output, -left, -right))
         return output
+
+
+_NODE_HANDLERS = {
+    Const: TseitinEncoder._encode_const,
+    Var: lambda self, expression: self.cnf.var(expression.name),
+    Not: lambda self, expression: -self.encode(expression.operand),
+    And: lambda self, expression: self._encode_and(
+        [self.encode(op) for op in expression.operands]),
+    Or: lambda self, expression: self._encode_or(
+        [self.encode(op) for op in expression.operands]),
+    Implies: lambda self, expression: self._encode_or(
+        [-self.encode(expression.antecedent),
+         self.encode(expression.consequent)]),
+    Iff: lambda self, expression: self._encode_iff(
+        self.encode(expression.left), self.encode(expression.right)),
+}
 
 
 def to_cnf(expression: BoolExpr) -> CNF:

@@ -7,7 +7,8 @@ Usage (after ``pip install -e .``)::
     python -m repro table1 --width 4 --height 4
     python -m repro depgraph --width 2 --height 2 --dot fig3.dot
     python -m repro deadlock --design clockwise-ring --size 4
-    python -m repro batch --mesh-sizes 3 4 --ring-sizes 4
+    python -m repro batch --mesh-sizes 3 4 --ring-sizes 4 --jobs 4
+    python -m repro bench --profile extended-8 --jobs 1 4 --json bench.json
 
 Each sub-command drives one part of the library's public API; the examples in
 ``examples/`` show the same flows as scripts.  The ``batch`` command is the
@@ -121,9 +122,35 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--cross-check", action="store_true",
                        help="re-derive every verdict with the explicit "
                             "check and assert agreement")
+    batch.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes; scenario groups are "
+                            "scheduled group-affine across them and the "
+                            "verdicts are identical to --jobs 1 "
+                            "(0 = one per core; default 1)")
     batch.add_argument("--json", type=str, default=None, metavar="PATH",
                        help="write the machine-readable report "
                             "(scenarios, verdicts, solver stats) to PATH")
+
+    bench = commands.add_parser(
+        "bench",
+        help="run the perf trajectory (solver microbench + portfolio "
+             "serial/parallel) and export a schema-versioned report")
+    bench.add_argument("--profile", default="smoke",
+                       choices=["tiny", "smoke", "extended-8", "extended"],
+                       help="portfolio size (default: smoke; extended "
+                            "scales to 8x8/16x16 meshes)")
+    bench.add_argument("--jobs", type=int, nargs="+", default=[1],
+                       metavar="N",
+                       help="job counts to run the portfolio at "
+                            "(default: 1; e.g. --jobs 1 4)")
+    bench.add_argument("--repeat", type=int, default=3,
+                       help="microbench repetitions, best-of (default 3)")
+    bench.add_argument("--reference", type=str, default=None, metavar="PATH",
+                       help="previous BENCH_*.json to compute speedups "
+                            "against")
+    bench.add_argument("--json", type=str, default=None, metavar="PATH",
+                       help="write the BENCH report to PATH (default: "
+                            "BENCH_<date>.json in the current directory)")
 
     return parser
 
@@ -410,16 +437,46 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                                          torus_sizes=args.torus_sizes,
                                          vc_counts=args.vcs,
                                          buffer_capacity=args.buffers)
-    report = run_portfolio(scenarios, cross_check=args.cross_check)
+    report = run_portfolio(scenarios, cross_check=args.cross_check,
+                           jobs=args.jobs)
     print(report.formatted())
     print(report.summary())
+    if report.jobs > 1:
+        print(f"  scheduled across {report.jobs} workers (group-affine); "
+              f"verdicts identical to --jobs 1")
     for group, stats in report.session_stats.items():
         print(f"  session {group}: {stats['solves']} incremental solves, "
               f"{stats['learned']} clauses learned, "
               f"{stats['conflicts']} conflicts")
+    cache = report.cache_stats
+    print(f"  construction cache: {cache.get('hits', 0)} hits, "
+          f"{cache.get('misses', 0)} misses")
     if args.json:
         report.write_json(args.json)
         print(f"JSON report written to {args.json}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.bench import (
+        bench_report_path,
+        format_bench_summary,
+        run_benchmark,
+        write_bench_report,
+    )
+
+    reference = None
+    if args.reference:
+        with open(args.reference, encoding="utf-8") as handle:
+            reference = json.load(handle)
+    report = run_benchmark(profile=args.profile, jobs_list=args.jobs,
+                           repeat=args.repeat, reference=reference)
+    path = args.json or bench_report_path()
+    write_bench_report(report, path)
+    print(format_bench_summary(report))
+    print(f"bench report written to {path}")
     return 0
 
 
@@ -430,6 +487,7 @@ _COMMANDS = {
     "depgraph": _cmd_depgraph,
     "deadlock": _cmd_deadlock,
     "batch": _cmd_batch,
+    "bench": _cmd_bench,
 }
 
 

@@ -63,10 +63,16 @@ from repro.core.obligations import (
     check_v2_escape_acyclicity,
     check_v2_incremental,
 )
+from repro.core.cache import (
+    InstanceCache,
+    instance_cache,
+    reset_instance_cache,
+)
 from repro.core.portfolio import (
     PortfolioReport,
     Scenario,
     ScenarioVerdict,
+    extended_portfolio,
     run_portfolio,
     standard_portfolio,
     vc_escape_portfolio,
@@ -141,9 +147,13 @@ __all__ = [
     "check_v1_escape_coverage",
     "check_v2_escape_acyclicity",
     "check_v2_incremental",
+    "InstanceCache",
+    "instance_cache",
+    "reset_instance_cache",
     "PortfolioReport",
     "Scenario",
     "ScenarioVerdict",
+    "extended_portfolio",
     "run_portfolio",
     "standard_portfolio",
     "vc_escape_portfolio",

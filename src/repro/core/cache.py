@@ -1,0 +1,155 @@
+"""Process-wide construction caches for the verification engine.
+
+Verifying a portfolio repeats the same expensive constructions many times:
+the routing-induced dependency graph of one routing function is enumerated
+once for the portfolio verdict, again for the cross-check, again for the
+escape analysis and again inside the theorem checkers; the ``a < b``
+bit-vector constraint of an edge is rebuilt for every
+:class:`~repro.checking.incremental.AcyclicityOracle` that encodes it.
+:class:`InstanceCache` memoises those constructions once per key so every
+later consumer -- scenarios, theorems, obligations -- reuses the first
+result:
+
+* **dependency graphs** (`routing_dependency_graph` /
+  `channel_dependency_graph`), keyed by routing-function identity.  Routing
+  functions are immutable after construction, so identity keying is exact;
+  the values are held through weak references so discarded routings do not
+  pin their graphs, and the graphs themselves are *frozen*
+  (:meth:`~repro.checking.graphs.DirectedGraph.freeze`) so no consumer can
+  corrupt the shared copy.
+* **escape-coverage reports** ((V-1) of the VC condition), keyed the same
+  way -- the portfolio driver and the VC theorem both need them.
+* **numbering constraints**: the Tseitin-ready ``number(target) <
+  number(source)`` bit-vector expression for a (target-index, source-index,
+  width) triple, shared by every oracle that encodes an edge between the
+  same vertex indices.
+
+One cache lives per process (:func:`instance_cache`).  Portfolio worker
+processes each get their own -- scenario groups are scheduled with group
+affinity precisely so that a group's shared constructions stay hot inside
+one worker.  :func:`reset_instance_cache` restores a cold cache (used by
+benchmarks that measure construction cost honestly).
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, Optional, Tuple
+
+
+class InstanceCache:
+    """Keyed memoisation of the engine's pure constructions.
+
+    The cache only stores *immutable* (or frozen) values, so a hit is
+    indistinguishable from a recomputation apart from the time saved; hit
+    and miss counters are exported into bench trajectories and the
+    portfolio JSON report.
+    """
+
+    def __init__(self) -> None:
+        # routing-function identity -> frozen DirectedGraph
+        self._graphs: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+        # routing-relation identity -> (V-1) coverage report
+        self._coverage: "weakref.WeakKeyDictionary" = \
+            weakref.WeakKeyDictionary()
+        # (target_index, source_index, width) -> BoolExpr
+        self._numbering_constraints: Dict[Tuple[int, int, int], object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # -- bookkeeping --------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "graphs": len(self._graphs),
+            "coverage_reports": len(self._coverage),
+            "numbering_constraints": len(self._numbering_constraints),
+        }
+
+    def clear(self) -> None:
+        self._graphs.clear()
+        self._coverage.clear()
+        self._numbering_constraints.clear()
+        self.hits = 0
+        self.misses = 0
+
+    # -- dependency graphs --------------------------------------------------------
+    def dependency_graph(self, routing):
+        """The memoised routing-induced dependency graph of ``routing``.
+
+        Computed on first request (via the plain enumeration of
+        :func:`repro.core.dependency.routing_dependency_graph`), frozen, and
+        returned for every later request with the same routing object.
+        """
+        graph = self._graphs.get(routing)
+        if graph is not None:
+            self.hits += 1
+            return graph
+        from repro.core.dependency import routing_dependency_graph
+
+        self.misses += 1
+        graph = routing_dependency_graph(routing, cache=False).freeze()
+        try:
+            self._graphs[routing] = graph
+        except TypeError:  # pragma: no cover - non-weakref-able routing
+            pass
+        return graph
+
+    # -- (V-1) coverage -----------------------------------------------------------
+    def escape_coverage(self, relation):
+        """The memoised (V-1) escape-coverage report of a VC relation."""
+        report = self._coverage.get(relation)
+        if report is not None:
+            self.hits += 1
+            return report
+        from repro.core.obligations import check_v1_escape_coverage
+
+        self.misses += 1
+        report = check_v1_escape_coverage(relation, cache=False)
+        try:
+            self._coverage[relation] = report
+        except TypeError:  # pragma: no cover - non-weakref-able relation
+            pass
+        return report
+
+    # -- numbering constraints ----------------------------------------------------
+    def numbering_constraint(self, target_index: int, source_index: int,
+                             width: int):
+        """``number(target) < number(source)`` over ``width``-bit counters.
+
+        The expression trees are immutable, so one instance serves every
+        oracle encoding an edge between the same vertex indices (the
+        per-session Tseitin encoders still allocate their own CNF
+        variables).
+        """
+        key = (target_index, source_index, width)
+        constraint = self._numbering_constraints.get(key)
+        if constraint is not None:
+            self.hits += 1
+            return constraint
+        from repro.checking.encodings import less_than_bits, vertex_bits
+
+        self.misses += 1
+        constraint = less_than_bits(vertex_bits(target_index, width),
+                                    vertex_bits(source_index, width))
+        self._numbering_constraints[key] = constraint
+        return constraint
+
+
+_CACHE: Optional[InstanceCache] = None
+
+
+def instance_cache() -> InstanceCache:
+    """The per-process construction cache (created on first use)."""
+    global _CACHE
+    if _CACHE is None:
+        _CACHE = InstanceCache()
+    return _CACHE
+
+
+def reset_instance_cache() -> InstanceCache:
+    """Drop every cached construction and return the fresh, cold cache."""
+    cache = instance_cache()
+    cache.clear()
+    return cache

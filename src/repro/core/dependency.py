@@ -57,31 +57,54 @@ class DependencyGraphSpec(abc.ABC):
         """The dependency successors of ``port``."""
 
     # -- derived ------------------------------------------------------------------
+    # The derived enumerations are pure functions of ``edges_from`` but are
+    # requested over and over (every obligation, theorem and portfolio
+    # scenario re-reads them), so they are computed once and memoised on the
+    # instance.  A spec whose ``edges_from`` answer *changes* after the
+    # first enumeration must call :meth:`_invalidate_cache`.
+
     def ports(self) -> List[Port]:
-        return self.topology.ports
+        cached = getattr(self, "_cached_ports", None)
+        if cached is None:
+            cached = self.topology.ports
+            self._cached_ports = cached
+        return cached
 
     def edges(self) -> List[Tuple[Port, Port]]:
-        result: List[Tuple[Port, Port]] = []
-        for port in self.ports():
-            for successor in sorted(self.edges_from(port), key=str):
-                result.append((port, successor))
-        return result
+        cached = getattr(self, "_cached_edges", None)
+        if cached is None:
+            cached = []
+            for port in self.ports():
+                for successor in sorted(self.edges_from(port), key=str):
+                    cached.append((port, successor))
+            self._cached_edges = cached
+        return cached
 
     def has_edge(self, source: Port, target: Port) -> bool:
         return target in self.edges_from(source)
 
     def to_graph(self) -> DirectedGraph[Port]:
-        """Materialise the spec as a :class:`DirectedGraph`."""
-        graph: DirectedGraph[Port] = DirectedGraph()
-        for port in self.ports():
-            graph.add_vertex(port)
-        for source, target in self.edges():
-            if not self.topology.has_port(target):
-                raise SpecificationError(
-                    f"dependency edge {source} -> {target} mentions a port "
-                    f"that does not exist in the topology")
-            graph.add_edge(source, target)
-        return graph
+        """Materialise the spec as a (frozen, memoised) :class:`DirectedGraph`."""
+        cached = getattr(self, "_cached_graph", None)
+        if cached is None:
+            graph: DirectedGraph[Port] = DirectedGraph()
+            for port in self.ports():
+                graph.add_vertex(port)
+            for source, target in self.edges():
+                if not self.topology.has_port(target):
+                    raise SpecificationError(
+                        f"dependency edge {source} -> {target} mentions a "
+                        f"port that does not exist in the topology")
+                graph.add_edge(source, target)
+            cached = graph.freeze()
+            self._cached_graph = cached
+        return cached
+
+    def _invalidate_cache(self) -> None:
+        """Drop the memoised enumerations after a spec mutation."""
+        self._cached_ports = None
+        self._cached_edges = None
+        self._cached_graph = None
 
     def validate(self) -> None:
         """Check that every declared edge stays inside the topology."""
@@ -107,13 +130,27 @@ class ExplicitDependencySpec(DependencyGraphSpec):
 
 def routing_dependency_graph(routing: RoutingFunction,
                              destinations: Optional[Sequence[Port]] = None,
-                             ) -> DirectedGraph[Port]:
+                             cache: bool = True) -> DirectedGraph[Port]:
     """The dependency graph *induced* by a routing function.
 
     Edges are the pairs ``(p, q)`` such that ``q ∈ R(p, d)`` for some
     reachable destination ``d``.  This is computed by plain enumeration over
     all ports and all destinations, which is exact for bounded networks.
+
+    The enumeration is the single most expensive construction of the
+    verification flow, and the same routing function's graph is requested
+    by the portfolio verdict, the cross-check, the escape analysis and the
+    theorem checkers.  With ``cache=True`` (the default) the full-universe
+    graph (``destinations=None``) is therefore memoised per routing object
+    in the process-wide :class:`~repro.core.cache.InstanceCache`; the
+    returned graph is **frozen** -- copy it (e.g. via ``subgraph``) before
+    mutating.  Pass ``cache=False`` (or explicit ``destinations``) to force
+    a fresh, mutable enumeration.
     """
+    if cache and destinations is None:
+        from repro.core.cache import instance_cache
+
+        return instance_cache().dependency_graph(routing)
     topology = routing.topology
     if destinations is None:
         destinations = routing.destinations()

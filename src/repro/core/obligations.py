@@ -264,9 +264,14 @@ def check_c3_routing_induced(routing: RoutingFunction,
 # ---------------------------------------------------------------------------
 
 def check_v1_escape_coverage(relation,
-                             max_counterexamples: int = 10
-                             ) -> ObligationResult:
+                             max_counterexamples: int = 10,
+                             cache: bool = True) -> ObligationResult:
     """(V-1): every waiting channel has the escape class to fall back on.
+
+    With ``cache=True`` (the default) the report is memoised per relation
+    in the process-wide :class:`~repro.core.cache.InstanceCache` -- the
+    portfolio driver, the VC theorems and the CLI all need the same
+    coverage verdict for one relation.
 
     For a VC routing relation with a separated escape class this checks,
     over every reachable ``(channel, destination)`` pair where a header can
@@ -330,6 +335,12 @@ def check_v1_escape_coverage(relation,
                 {"escape_vcs": list(relation.escape_vcs),
                  "classes_separated": separated})
 
+    if cache and max_counterexamples == 10:
+        # Only the default-shaped report is shared; a custom
+        # counterexample budget gets a private run.
+        from repro.core.cache import instance_cache
+
+        return instance_cache().escape_coverage(relation)
     return _timed(run, "V-1")
 
 

@@ -22,11 +22,13 @@ escape-edge suggestions for the failing designs.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.checking.graphs import DirectedGraph
+from repro.core.cache import instance_cache
 from repro.core.deadlock import DeadlockQuerySession
 from repro.core.dependency import routing_dependency_graph
 from repro.core.instance import NoCInstance
@@ -77,9 +79,12 @@ class ScenarioVerdict:
     condition: str = "theorem1"
     #: Virtual channels of the scenario (1 for the single-VC model).
     num_vcs: int = 1
+    #: Solver work this scenario's queries cost on the shared session
+    #: (stats-counter deltas: decisions, propagations, conflicts, ...).
+    solver: Dict[str, int] = field(default_factory=dict)
 
     def to_json_dict(self) -> Dict[str, object]:
-        """A JSON-serialisable summary of this verdict."""
+        """A JSON-serialisable summary of this verdict (schema 2 shape)."""
         return {
             "scenario": self.scenario,
             "topology": self.topology,
@@ -90,7 +95,8 @@ class ScenarioVerdict:
             "deadlock_free": self.deadlock_free,
             "edges": self.edges,
             "new_edges": self.new_edges,
-            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "wall_time_s": round(self.elapsed_seconds, 6),
+            "solver": dict(self.solver),
             "cycle_core": [f"{s} -> {t}" for s, t in self.cycle_core],
             "escape_edges": [f"{s} -> {t}" for s, t in self.escape_edges],
         }
@@ -104,6 +110,11 @@ class PortfolioReport:
     elapsed_seconds: float
     #: Per topology group: solver statistics of the shared session.
     session_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: Worker processes the run was scheduled across (1 = in-process serial).
+    jobs: int = 1
+    #: Construction-cache counters accumulated during the run (summed over
+    #: the workers in a parallel run).
+    cache_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def deadlock_free_count(self) -> int:
@@ -113,11 +124,14 @@ class PortfolioReport:
         """Machine-readable export: scenarios, verdicts, solver statistics.
 
         The payload is what bench trajectories track across PRs, so its
-        shape is versioned via ``schema``.
+        shape is versioned via ``schema``.  Schema 2 adds per-scenario
+        ``wall_time_s`` and ``solver`` stats deltas, and run-level ``jobs``
+        and cache counters.
         """
         return {
-            "schema": 1,
+            "schema": 2,
             "kind": "repro-portfolio-report",
+            "jobs": self.jobs,
             "scenarios": [verdict.to_json_dict()
                           for verdict in self.verdicts],
             "summary": {
@@ -126,10 +140,36 @@ class PortfolioReport:
                 "deadlock_prone": (len(self.verdicts)
                                    - self.deadlock_free_count),
                 "elapsed_seconds": round(self.elapsed_seconds, 6),
+                "jobs": self.jobs,
+                "cache_hits": int(self.cache_stats.get("hits", 0)),
+                "cache_misses": int(self.cache_stats.get("misses", 0)),
             },
             "session_stats": {group: dict(stats)
                               for group, stats in self.session_stats.items()},
+            "cache": dict(self.cache_stats),
         }
+
+    def comparable_dict(self) -> Dict[str, object]:
+        """The deterministic projection of :meth:`to_json_dict`.
+
+        Serial and parallel runs of the same scenario list produce
+        *identical* verdicts, ordering, cores and solver statistics; only
+        wall times, the job count and the cache counters (which depend on
+        process boundaries and cross-group sharing) legitimately differ.
+        This helper strips exactly those fields so the parallel-determinism
+        contract can be asserted with one ``==``.
+        """
+        payload = self.to_json_dict()
+        del payload["jobs"]
+        del payload["cache"]
+        for scenario in payload["scenarios"]:
+            del scenario["wall_time_s"]
+        summary = payload["summary"]
+        del summary["elapsed_seconds"]
+        del summary["jobs"]
+        del summary["cache_hits"]
+        del summary["cache_misses"]
+        return payload
 
     def write_json(self, path: str) -> None:
         """Write :meth:`to_json_dict` to ``path`` (pretty-printed)."""
@@ -165,61 +205,49 @@ class PortfolioReport:
                 f"deadlock-prone, {self.elapsed_seconds:.3f}s total")
 
 
-def run_portfolio(scenarios: Sequence[Scenario],
-                  seed: int = 2010,
-                  analyse_failures: bool = True,
-                  cross_check: bool = False) -> PortfolioReport:
-    """Run every scenario through shared incremental deadlock sessions.
+def _run_group(payload: Tuple) -> Tuple[str, List[Tuple[int, ScenarioVerdict]],
+                                        Dict[str, int], Dict[str, int]]:
+    """Run one scenario group through one shared incremental session.
 
-    ``analyse_failures`` additionally extracts the cycle core and the
-    escape-edge suggestions for deadlock-prone scenarios (a handful of
-    extra incremental solves each).  ``cross_check`` re-derives every
-    verdict with the linear-time explicit check (DFS cycle search, or the
-    explicit (V-1)/(V-2) checker for VC scenarios) and asserts agreement --
-    the belt-and-braces mode used by the tests.
+    ``payload`` is a single picklable tuple ``(group_key, indexed_scenarios,
+    vertices, seed, analyse_failures, cross_check)`` so the function can be
+    shipped as-is to a :class:`~concurrent.futures.ProcessPoolExecutor`
+    worker.  Scenarios of one group are always processed in their original
+    submission order by exactly this code path, whether the portfolio runs
+    serially or across workers -- which is what makes parallel runs
+    bit-for-bit reproductions of serial ones (see
+    :meth:`PortfolioReport.comparable_dict`).
 
-    Scenarios whose routing is a
-    :class:`~repro.routing.escape.EscapeChannelRouting` are decided by the
-    VC-granular escape condition: (V-1) by explicit enumeration, (V-2) as
-    an incremental solve restricted to the escape-class edges of the shared
-    universe.  Their group sessions therefore host *channel* vertices; mix
-    VC and single-VC scenarios in one group only if their vertex universes
-    agree.
+    Returns the group key, the ``(original_index, verdict)`` pairs, the
+    group session's solver statistics, and the construction-cache counter
+    deltas the group accounted for.
     """
     from repro.routing.escape import EscapeChannelRouting
 
-    start = time.perf_counter()
-    sessions: Dict[str, DeadlockQuerySession] = {}
-    known_edges: Dict[str, set] = {}
-    verdicts: List[ScenarioVerdict] = []
+    group_key, indexed_scenarios, vertices, seed, analyse_failures, \
+        cross_check = payload
+    cache = instance_cache()
+    cache_hits_before = cache.hits
+    cache_misses_before = cache.misses
 
-    # Seed each group's session with the union of the group's vertex
-    # universes, so scenarios over growing channel sets (1, 2, 4 VCs of one
-    # topology) can share one encoding.
-    group_vertices: Dict[str, Dict[Port, None]] = {}
-    for scenario in scenarios:
-        vertices = group_vertices.setdefault(scenario.group_key(), {})
-        for port in scenario.instance.topology.ports:
-            vertices.setdefault(port)
+    base: DirectedGraph[Port] = DirectedGraph()
+    for port in vertices:
+        base.add_vertex(port)
+    session = DeadlockQuerySession(base, name=group_key, seed=seed)
+    known_edges: set = set()
+    results: List[Tuple[int, ScenarioVerdict]] = []
 
-    for scenario in scenarios:
+    for index, scenario in indexed_scenarios:
         scenario_start = time.perf_counter()
         instance = scenario.instance
-        key = scenario.group_key()
+        solver_before = session.solver_stats
         graph = routing_dependency_graph(instance.routing)
-        if key not in sessions:
-            base: DirectedGraph[Port] = DirectedGraph()
-            for port in group_vertices[key]:
-                base.add_vertex(port)
-            sessions[key] = DeadlockQuerySession(base, name=key, seed=seed)
-            known_edges[key] = set()
-        session = sessions[key]
         edges = graph.edges()
         new_edges = 0
         for source, target in edges:
-            if (source, target) not in known_edges[key]:
+            if (source, target) not in known_edges:
                 session.add_edge(source, target)
-                known_edges[key].add((source, target))
+                known_edges.add((source, target))
                 new_edges += 1
 
         relation = (instance.routing
@@ -268,7 +296,8 @@ def run_portfolio(scenarios: Sequence[Scenario],
                     f"for {scenario.name}: sat={deadlock_free} "
                     f"explicit={reference}")
 
-        verdicts.append(ScenarioVerdict(
+        solver_after = session.solver_stats
+        results.append((index, ScenarioVerdict(
             scenario=scenario.name,
             topology=str(instance.topology),
             routing=instance.routing.name(),
@@ -281,13 +310,106 @@ def run_portfolio(scenarios: Sequence[Scenario],
             escape_edges=escape,
             condition=condition,
             num_vcs=num_vcs,
-        ))
+            solver={key: solver_after[key] - solver_before.get(key, 0)
+                    for key in solver_after},
+        )))
 
+    cache_delta = {"hits": cache.hits - cache_hits_before,
+                   "misses": cache.misses - cache_misses_before}
+    return group_key, results, session.solver_stats, cache_delta
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``--jobs`` value: ``None``/``0`` mean "all cores"."""
+    if jobs is None or jobs < 1:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def run_portfolio(scenarios: Sequence[Scenario],
+                  seed: int = 2010,
+                  analyse_failures: bool = True,
+                  cross_check: bool = False,
+                  jobs: int = 1) -> PortfolioReport:
+    """Run every scenario through shared incremental deadlock sessions.
+
+    ``analyse_failures`` additionally extracts the cycle core and the
+    escape-edge suggestions for deadlock-prone scenarios (a handful of
+    extra incremental solves each).  ``cross_check`` re-derives every
+    verdict with the linear-time explicit check (DFS cycle search, or the
+    explicit (V-1)/(V-2) checker for VC scenarios) and asserts agreement --
+    the belt-and-braces mode used by the tests.
+
+    ``jobs`` schedules the scenario *groups* across that many worker
+    processes (``0``/``None``: one per core).  Scheduling is group-affine:
+    scenarios sharing a ``group_key`` stay on one worker, in submission
+    order, so the group-union session seeding and the per-process
+    construction caches keep paying off exactly as in a serial run.  The
+    verdicts -- ordering, verdict bits, cores, solver statistics -- are
+    identical to ``jobs=1``; only wall times and cache counters differ
+    (assert with :meth:`PortfolioReport.comparable_dict`).
+
+    Scenarios whose routing is a
+    :class:`~repro.routing.escape.EscapeChannelRouting` are decided by the
+    VC-granular escape condition: (V-1) by explicit enumeration, (V-2) as
+    an incremental solve restricted to the escape-class edges of the shared
+    universe.  Their group sessions therefore host *channel* vertices; mix
+    VC and single-VC scenarios in one group only if their vertex universes
+    agree.
+    """
+    start = time.perf_counter()
+    ordered = list(scenarios)
+    jobs = resolve_jobs(jobs)
+
+    # Group scenarios by key (preserving submission order) and seed each
+    # group's session with the union of the group's vertex universes, so
+    # scenarios over growing channel sets (1, 2, 4 VCs of one topology) can
+    # share one encoding.
+    group_vertices: Dict[str, Dict[Port, None]] = {}
+    groups: Dict[str, List[Tuple[int, Scenario]]] = {}
+    for index, scenario in enumerate(ordered):
+        key = scenario.group_key()
+        vertices = group_vertices.setdefault(key, {})
+        for port in scenario.instance.topology.ports:
+            vertices.setdefault(port)
+        groups.setdefault(key, []).append((index, scenario))
+
+    payloads = [(key, indexed, list(group_vertices[key]), seed,
+                 analyse_failures, cross_check)
+                for key, indexed in groups.items()]
+
+    # ``jobs`` in the report records what actually happened: 1 when the
+    # run stayed in-process (requested serial, or nothing to parallelise),
+    # the worker count of the pool otherwise.
+    if jobs <= 1 or len(groups) <= 1:
+        jobs = 1
+        group_results = [_run_group(payload) for payload in payloads]
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+
+        jobs = min(jobs, len(groups))
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [pool.submit(_run_group, payload)
+                       for payload in payloads]
+            group_results = [future.result() for future in futures]
+
+    verdicts: List[Optional[ScenarioVerdict]] = [None] * len(ordered)
+    session_stats: Dict[str, Dict[str, int]] = {}
+    cache_stats = {"hits": 0, "misses": 0}
+    for group_key, indexed_verdicts, stats, cache_delta in group_results:
+        session_stats[group_key] = stats
+        cache_stats["hits"] += cache_delta["hits"]
+        cache_stats["misses"] += cache_delta["misses"]
+        for index, verdict in indexed_verdicts:
+            verdicts[index] = verdict
+
+    assert all(verdict is not None for verdict in verdicts)
     return PortfolioReport(
-        verdicts=verdicts,
+        verdicts=verdicts,  # type: ignore[arg-type]
         elapsed_seconds=time.perf_counter() - start,
-        session_stats={key: session.solver_stats
-                       for key, session in sessions.items()})
+        session_stats=session_stats,
+        jobs=jobs,
+        cache_stats=cache_stats)
 
 
 def standard_portfolio(mesh_sizes: Iterable[int] = (3, 4),
@@ -388,3 +510,26 @@ def vc_escape_portfolio(mesh_sizes: Iterable[int] = (3,),
                     buffer_capacity=buffer_capacity),
                 group=group))
     return scenarios
+
+
+def extended_portfolio(mesh_sizes: Iterable[int] = (8, 16),
+                       ring_sizes: Iterable[int] = (8,),
+                       vc_mesh_sizes: Iterable[int] = (8,),
+                       vc_counts: Sequence[int] = (1, 2, 4),
+                       buffer_capacity: int = 2) -> List[Scenario]:
+    """The bench sweep: the standard portfolio scaled up to large meshes.
+
+    Every routing function of the standard portfolio on 8x8 and 16x16
+    meshes plus the VC escape scenarios (1/2/4 VCs) on an 8x8 mesh -- large
+    enough dependency universes (thousands of ports/channels) that the
+    parallel scheduling and the construction caches have headroom to show
+    themselves, yet each group still finishes in seconds.  This is the
+    portfolio the ``repro bench`` trajectory runs serial vs. parallel.
+    """
+    return (standard_portfolio(mesh_sizes=mesh_sizes,
+                               ring_sizes=ring_sizes,
+                               buffer_capacity=buffer_capacity)
+            + vc_escape_portfolio(mesh_sizes=vc_mesh_sizes,
+                                  torus_sizes=(),
+                                  vc_counts=vc_counts,
+                                  buffer_capacity=buffer_capacity))

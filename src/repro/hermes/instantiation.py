@@ -25,6 +25,21 @@ from repro.routing.xy import XYRouting
 from repro.switching.wormhole import WormholeSwitching
 
 
+class MeshWitness:
+    """The (C-2) witness function of a mesh, as a picklable callable.
+
+    Instances (and therefore the scenarios of the portfolio driver) must be
+    shippable to :class:`concurrent.futures.ProcessPoolExecutor` workers, so
+    the witness cannot be a closure over the mesh.
+    """
+
+    def __init__(self, mesh: Mesh2D) -> None:
+        self._mesh = mesh
+
+    def __call__(self, edge_source: Port, edge_target: Port) -> Port:
+        return witness_destination(edge_source, edge_target, self._mesh)
+
+
 class HermesInstance(NoCInstance):
     """A :class:`NoCInstance` specialised to the HERMES 2D mesh."""
 
@@ -60,9 +75,6 @@ def build_hermes_instance(width: int, height: int,
     uses_xy = isinstance(routing_fn, XYRouting)
     dependency = ExyDependencySpec(mesh) if uses_xy else None
 
-    def hermes_witness(edge_source: Port, edge_target: Port) -> Port:
-        return witness_destination(edge_source, edge_target, mesh)
-
     return HermesInstance(
         name=f"HERMES-{width}x{height}",
         topology=mesh,
@@ -70,7 +82,7 @@ def build_hermes_instance(width: int, height: int,
         routing=routing_fn,
         switching=switching_fn,
         dependency_spec=dependency,
-        witness_destination=hermes_witness if uses_xy else None,
+        witness_destination=MeshWitness(mesh) if uses_xy else None,
         measure=flit_hop_measure,
         default_capacity=buffer_capacity,
     )

@@ -63,25 +63,32 @@ class ChainRingDependencySpec(DependencyGraphSpec):
         return {target} if target is not None else set()
 
 
-def ring_witness_destination(ring: Ring):
-    """Build the (C-2) witness function for a ring's dependency edges.
+class RingWitness:
+    """The (C-2) witness function for a ring's dependency edges.
 
     Mirrors the HERMES ``find_dest``: the nearest destination reachable
     through the target port -- the local out-port of the target's own node
     for in-ports, and of the fed neighbour (with ring wrap-around) for
-    out-ports.
+    out-ports.  A picklable callable (not a closure) so ring instances can
+    be shipped to portfolio worker processes.
     """
 
-    def witness(edge_source: Port, edge_target: Port) -> Port:
+    def __init__(self, ring: Ring) -> None:
+        self._ring = ring
+
+    def __call__(self, edge_source: Port, edge_target: Port) -> Port:
         if edge_target.direction is Direction.IN:
             return trans(edge_target, PortName.LOCAL, Direction.OUT)
         if edge_target.name is PortName.LOCAL:
             return edge_target
         offset = 1 if edge_target.name is PortName.EAST else -1
-        node = (edge_target.x + offset) % ring.size
+        node = (edge_target.x + offset) % self._ring.size
         return Port(node, 0, PortName.LOCAL, Direction.OUT)
 
-    return witness
+
+def ring_witness_destination(ring: Ring):
+    """Build the (C-2) witness function for a ring (see :class:`RingWitness`)."""
+    return RingWitness(ring)
 
 
 def build_chain_ring_instance(size: int,

@@ -1,0 +1,127 @@
+"""Tests for the perf-trajectory runner (`repro.core.bench`): report
+assembly, schema validation, and the BENCH_<date>.json writer."""
+
+import json
+
+import pytest
+
+from repro.core.bench import (
+    BENCH_KIND,
+    BENCH_SCHEMA,
+    SOLVER_MICROBENCHMARKS,
+    bench_report_path,
+    format_bench_summary,
+    run_benchmark,
+    run_portfolio_bench,
+    validate_bench_report,
+    write_bench_report,
+)
+
+
+def _valid_report():
+    """A structurally valid report without running any benchmark."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "kind": BENCH_KIND,
+        "generated": "2026-07-30",
+        "platform": {"python": "3.11.7", "machine": "x86_64",
+                     "cpu_count": 4},
+        "solver_microbench": {
+            "random3sat-120v-480c": {"wall_time_s": 0.05},
+        },
+        "portfolio": {
+            "profile": "tiny",
+            "runs": [{
+                "jobs": 1, "wall_time_s": 1.0, "scenarios": 10,
+                "deadlock_free": 8, "cache_hits": 5, "cache_misses": 9,
+                "session_stats": {},
+                "per_scenario": [{"scenario": "mesh-3x3/Rxy/Swh",
+                                  "wall_time_s": 0.1,
+                                  "deadlock_free": True,
+                                  "solver": {"decisions": 3}}],
+            }],
+            "parallel_speedup": None,
+        },
+    }
+
+
+class TestSchemaValidation:
+    def test_valid_report_passes(self):
+        assert validate_bench_report(_valid_report()) == []
+
+    @pytest.mark.parametrize("mutation, fragment", [
+        (lambda r: r.update(schema=99), "schema"),
+        (lambda r: r.update(kind="other"), "kind"),
+        (lambda r: r.update(generated="yesterday"), "generated"),
+        (lambda r: r.update(platform={}), "platform"),
+        (lambda r: r.update(solver_microbench={}), "solver_microbench"),
+        (lambda r: r.update(portfolio={}), "portfolio.runs"),
+        (lambda r: r["portfolio"]["runs"][0].pop("wall_time_s"),
+         "wall_time_s"),
+        (lambda r: r["portfolio"]["runs"][0]["per_scenario"][0]
+         .pop("solver"), "solver"),
+        (lambda r: r["solver_microbench"].update(
+            bad={"wall_time_s": -1}), "bad"),
+    ])
+    def test_violations_are_reported(self, mutation, fragment):
+        report = _valid_report()
+        mutation(report)
+        errors = validate_bench_report(report)
+        assert errors, f"expected a violation for {fragment}"
+        assert any(fragment in error for error in errors)
+
+    def test_write_rejects_invalid_report(self, tmp_path):
+        report = _valid_report()
+        report["schema"] = 99
+        with pytest.raises(ValueError):
+            write_bench_report(report, str(tmp_path / "bench.json"))
+
+    def test_write_roundtrip(self, tmp_path):
+        path = write_bench_report(_valid_report(),
+                                  str(tmp_path / "bench.json"))
+        payload = json.loads(open(path).read())
+        assert payload["schema"] == BENCH_SCHEMA
+
+    def test_bench_report_path_shape(self):
+        assert bench_report_path("/x", "2026-07-30") \
+            == "/x/BENCH_2026-07-30.json"
+
+
+class TestRunners:
+    def test_tiny_portfolio_bench_serial_vs_parallel(self):
+        """End to end on the tiny profile: both job counts run, agree, and
+        the recorded runs carry the full per-scenario payload."""
+        section = run_portfolio_bench(profile="tiny", jobs_list=(1, 2))
+        assert [run["jobs"] for run in section["runs"]] == [1, 2]
+        assert section["parallel_speedup"] is not None
+        for run in section["runs"]:
+            assert run["scenarios"] == 10
+            assert len(run["per_scenario"]) == 10
+            assert all(entry["solver"] for entry in run["per_scenario"])
+
+    def test_unknown_profile_is_rejected(self):
+        with pytest.raises(ValueError):
+            run_portfolio_bench(profile="galactic")
+
+    def test_full_report_validates_and_formats(self):
+        report = run_benchmark(profile="tiny", jobs_list=(1,), repeat=1)
+        assert validate_bench_report(report) == []
+        assert set(report["solver_microbench"]) \
+            == set(SOLVER_MICROBENCHMARKS)
+        summary = format_bench_summary(report)
+        assert "portfolio[tiny] jobs=1" in summary
+
+    def test_reference_speedups_are_recorded(self):
+        reference = {
+            "solver_microbench": {
+                name: {"wall_time_s": 10.0} for name in SOLVER_MICROBENCHMARKS
+            },
+            "portfolio": {"serial_wall_time_s": 1000.0},
+        }
+        report = run_benchmark(profile="tiny", jobs_list=(1,), repeat=1,
+                               reference=reference)
+        speedups = report["speedup_vs_reference"]
+        for name in SOLVER_MICROBENCHMARKS:
+            assert speedups[name] > 1  # 10 s reference vs. < 10 s measured
+        assert speedups["portfolio-vs-reference"] > 1
+        assert report["reference"] is reference

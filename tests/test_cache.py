@@ -1,0 +1,143 @@
+"""Tests for the process-wide construction caches (`repro.core.cache`),
+the frozen-graph contract and the dependency-spec memoisation."""
+
+import pytest
+
+from repro.checking.graphs import DirectedGraph
+from repro.core.cache import InstanceCache, instance_cache, \
+    reset_instance_cache
+from repro.core.dependency import routing_dependency_graph
+from repro.hermes.dependency import ExyDependencySpec
+from repro.network.mesh import Mesh2D
+from repro.routing.xy import XYRouting
+
+
+class TestFrozenGraph:
+    def test_freeze_blocks_mutation(self):
+        graph = DirectedGraph()
+        graph.add_edge("a", "b")
+        graph.freeze()
+        assert graph.frozen
+        with pytest.raises(ValueError):
+            graph.add_edge("b", "c")
+        with pytest.raises(ValueError):
+            graph.add_vertex("d")
+        # Reads and derived (mutable) graphs keep working.
+        assert graph.has_edge("a", "b")
+        derived = graph.subgraph(["a", "b"])
+        derived.add_edge("b", "a")
+        assert not derived.frozen
+
+    def test_fresh_graphs_are_mutable(self):
+        graph = DirectedGraph()
+        assert not graph.frozen
+        graph.add_edge(1, 2)
+        assert graph.edge_count == 1
+
+
+class TestInstanceCache:
+    def test_dependency_graph_is_memoised_per_routing(self):
+        cache = InstanceCache()
+        routing = XYRouting(Mesh2D(3, 3))
+        first = cache.dependency_graph(routing)
+        second = cache.dependency_graph(routing)
+        assert first is second
+        assert first.frozen
+        assert cache.hits == 1 and cache.misses == 1
+        # A distinct routing object (even of the same shape) is a new key.
+        other = cache.dependency_graph(XYRouting(Mesh2D(3, 3)))
+        assert other is not first
+        assert other.edges() == first.edges()
+
+    def test_routing_dependency_graph_defaults_to_the_global_cache(self):
+        reset_instance_cache()
+        routing = XYRouting(Mesh2D(3, 3))
+        first = routing_dependency_graph(routing)
+        second = routing_dependency_graph(routing)
+        assert first is second
+        assert instance_cache().hits >= 1
+
+    def test_cache_false_returns_fresh_mutable_graph(self):
+        routing = XYRouting(Mesh2D(3, 3))
+        cached = routing_dependency_graph(routing)
+        fresh = routing_dependency_graph(routing, cache=False)
+        assert fresh is not cached
+        assert not fresh.frozen
+        assert sorted(map(repr, fresh.edges())) \
+            == sorted(map(repr, cached.edges()))
+
+    def test_explicit_destinations_bypass_the_cache(self):
+        routing = XYRouting(Mesh2D(2, 2))
+        narrowed = routing_dependency_graph(
+            routing, destinations=routing.destinations()[:1])
+        assert not narrowed.frozen
+
+    def test_escape_coverage_is_memoised(self):
+        from repro.routing.escape import mesh_escape_routing
+
+        cache = InstanceCache()
+        relation = mesh_escape_routing(Mesh2D(3, 3), num_vcs=2)
+        first = cache.escape_coverage(relation)
+        second = cache.escape_coverage(relation)
+        assert first is second
+        assert first.holds
+
+    def test_numbering_constraint_is_memoised(self):
+        cache = InstanceCache()
+        first = cache.numbering_constraint(0, 1, 4)
+        second = cache.numbering_constraint(0, 1, 4)
+        assert first is second
+        assert cache.numbering_constraint(1, 0, 4) is not first
+        assert cache.numbering_constraint(0, 1, 5) is not first
+
+    def test_stats_and_clear(self):
+        cache = InstanceCache()
+        cache.numbering_constraint(0, 1, 2)
+        cache.numbering_constraint(0, 1, 2)
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["numbering_constraints"] == 1
+        cache.clear()
+        assert cache.stats()["hits"] == 0
+        assert cache.stats()["numbering_constraints"] == 0
+
+    def test_reset_instance_cache_clears_the_global_cache(self):
+        cache = instance_cache()
+        cache.numbering_constraint(2, 3, 4)
+        assert reset_instance_cache() is cache
+        assert cache.stats()["numbering_constraints"] == 0
+
+    def test_cached_graph_survives_oracle_and_session_use(self):
+        """The frozen cached graph must be accepted by every consumer."""
+        from repro.core.deadlock import DeadlockQuerySession
+
+        reset_instance_cache()
+        routing = XYRouting(Mesh2D(3, 3))
+        session = DeadlockQuerySession.for_routing(routing)
+        assert session.is_deadlock_free()
+
+
+class TestDependencySpecMemoisation:
+    def test_enumerations_are_cached(self):
+        spec = ExyDependencySpec(Mesh2D(3, 3))
+        assert spec.edges() is spec.edges()
+        assert spec.ports() is spec.ports()
+        assert spec.to_graph() is spec.to_graph()
+        assert spec.to_graph().frozen
+
+    def test_invalidate_cache_recomputes(self):
+        spec = ExyDependencySpec(Mesh2D(2, 2))
+        first_edges = spec.edges()
+        first_graph = spec.to_graph()
+        spec._invalidate_cache()
+        assert spec.edges() is not first_edges
+        assert spec.edges() == first_edges
+        assert spec.to_graph() is not first_graph
+
+    def test_cached_graph_matches_direct_construction(self):
+        spec = ExyDependencySpec(Mesh2D(3, 3))
+        graph = spec.to_graph()
+        assert graph.edge_count == len(spec.edges())
+        for source, target in spec.edges():
+            assert graph.has_edge(source, target)

@@ -160,6 +160,107 @@ class TestPortfolioDriver:
         assert "deadlock-prone" in report.summary()
 
 
+def _mixed_portfolio():
+    """Mesh, ring and VC mesh/torus scenarios -- every condition kind."""
+    from repro.core.portfolio import vc_escape_portfolio
+
+    return (standard_portfolio(mesh_sizes=(3,), ring_sizes=(4,))
+            + vc_escape_portfolio(mesh_sizes=(3,), torus_sizes=(4,),
+                                  vc_counts=(1, 2)))
+
+
+class TestParallelPortfolio:
+    def test_parallel_verdicts_identical_to_serial(self):
+        """The tentpole contract: ``--jobs 4`` reproduces ``--jobs 1``
+        bit for bit -- verdicts, ordering, cores, solver statistics --
+        across mesh, ring, VC-mesh and VC-torus scenario groups."""
+        scenarios = _mixed_portfolio()
+        serial = run_portfolio(scenarios, jobs=1)
+        parallel = run_portfolio(scenarios, jobs=4)
+        assert serial.jobs == 1
+        assert parallel.jobs == 4
+        assert serial.comparable_dict() == parallel.comparable_dict()
+        # The full export differs only in timings/jobs/cache counters.
+        names = [v.scenario for v in parallel.verdicts]
+        assert names == [s.name for s in scenarios]
+
+    def test_jobs_zero_means_all_cores(self):
+        import os
+
+        from repro.core.portfolio import resolve_jobs
+
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+        assert resolve_jobs(None) == (os.cpu_count() or 1)
+        assert resolve_jobs(3) == 3
+
+    def test_single_group_runs_in_process(self):
+        """One group cannot be split, so no pool is spun up (and the
+        verdicts still match a multi-worker request)."""
+        scenarios = standard_portfolio(mesh_sizes=(3,), ring_sizes=())
+        serial = run_portfolio(scenarios, jobs=1)
+        parallel = run_portfolio(scenarios, jobs=4)
+        assert serial.comparable_dict() == parallel.comparable_dict()
+
+    def test_per_scenario_solver_deltas_sum_to_session_stats(self):
+        report = run_portfolio(standard_portfolio(mesh_sizes=(3,),
+                                                  ring_sizes=()))
+        totals = {}
+        for verdict in report.verdicts:
+            assert verdict.solver  # schema 2: every scenario records work
+            for key, value in verdict.solver.items():
+                totals[key] = totals.get(key, 0) + value
+        session = report.session_stats["mesh-3x3"]
+        for key in ("decisions", "conflicts", "solves"):
+            assert totals[key] == session[key]
+
+
+class TestReportSchema:
+    """Pin the schema-2 export shape; bump the schema when changing it."""
+
+    def test_schema_version_and_keys(self):
+        report = run_portfolio(standard_portfolio(mesh_sizes=(3,),
+                                                  ring_sizes=(4,)))
+        payload = report.to_json_dict()
+        assert payload["schema"] == 2
+        assert payload["kind"] == "repro-portfolio-report"
+        assert set(payload) == {"schema", "kind", "jobs", "scenarios",
+                                "summary", "session_stats", "cache"}
+        assert set(payload["summary"]) == {
+            "scenarios", "deadlock_free", "deadlock_prone",
+            "elapsed_seconds", "jobs", "cache_hits", "cache_misses"}
+        for scenario in payload["scenarios"]:
+            assert set(scenario) == {
+                "scenario", "topology", "routing", "switching", "condition",
+                "num_vcs", "deadlock_free", "edges", "new_edges",
+                "wall_time_s", "solver", "cycle_core", "escape_edges"}
+            assert scenario["wall_time_s"] >= 0
+            assert isinstance(scenario["solver"], dict)
+        assert payload["jobs"] == 1
+        assert payload["cache"].keys() == {"hits", "misses"}
+
+    def test_comparable_dict_strips_only_nondeterministic_fields(self):
+        report = run_portfolio(standard_portfolio(mesh_sizes=(3,),
+                                                  ring_sizes=()))
+        projection = report.comparable_dict()
+        assert "jobs" not in projection
+        assert "cache" not in projection
+        assert "elapsed_seconds" not in projection["summary"]
+        for scenario in projection["scenarios"]:
+            assert "wall_time_s" not in scenario
+            assert "solver" in scenario  # deterministic, stays
+
+    def test_write_json_roundtrip(self, tmp_path):
+        import json
+
+        report = run_portfolio(standard_portfolio(mesh_sizes=(),
+                                                  ring_sizes=(4,)))
+        path = tmp_path / "portfolio.json"
+        report.write_json(str(path))
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == 2
+        assert payload["summary"]["scenarios"] == len(payload["scenarios"])
+
+
 def _full_space_successor_sets(space_a, space_b):
     """BFS the full reachable space, comparing successor sets pointwise."""
     start = space_a.encode(space_a.initial_configuration)
