@@ -7,7 +7,10 @@ Usage (after ``pip install -e .``)::
     python -m repro table1 --width 4 --height 4
     python -m repro depgraph --width 2 --height 2 --dot fig3.dot
     python -m repro deadlock --design clockwise-ring --size 4
+    python -m repro scenarios list
+    python -m repro scenarios expand "mesh:2..4x2..4, routing=[xy,yx]"
     python -m repro batch --mesh-sizes 3 4 --ring-sizes 4 --jobs 4
+    python -m repro batch --matrix "vc-mesh:3x3, vcs=1..4" --shard 0/2
     python -m repro bench --profile extended-8 --jobs 1 4 --json bench.json
 
 Each sub-command drives one part of the library's public API; the examples in
@@ -100,16 +103,48 @@ def build_parser() -> argparse.ArgumentParser:
                                "(ring/torus); defaults to the design's "
                                "natural style")
 
+    scenarios = commands.add_parser(
+        "scenarios",
+        help="the declarative scenario-spec layer: list registered builder "
+             "kinds, expand scenario matrices")
+    scenarios_commands = scenarios.add_subparsers(dest="scenarios_command",
+                                                  required=True)
+    scenarios_commands.add_parser(
+        "list", help="list the registered scenario kinds and their "
+                     "parameter spaces")
+    expand = scenarios_commands.add_parser(
+        "expand", help="expand a scenario matrix into its ordered spec list")
+    expand.add_argument("matrix", nargs="+", metavar="EXPR",
+                        help="matrix expression(s), e.g. "
+                             "'mesh:2..4x2..4, routing=[xy,yx]; "
+                             "vc-mesh:3x3, vcs=1..4'")
+    expand.add_argument("--json", action="store_true",
+                        help="print the expanded spec dicts as a JSON array")
+
     batch = commands.add_parser(
         "batch",
         help="portfolio driver: sweep topology x routing x switching "
              "scenarios through shared incremental CDCL sessions")
+    batch.add_argument("--matrix", type=str, nargs="+", default=None,
+                       metavar="EXPR",
+                       help="build the sweep from a scenario matrix "
+                            "(see 'repro scenarios expand'); replaces the "
+                            "--mesh-sizes/--ring-sizes/--vcs/--buffers "
+                            "construction -- set buffers per term via "
+                            "'buffers=N' in the matrix")
+    batch.add_argument("--shard", type=str, default=None, metavar="I/N",
+                       help="run only the I-th of N group-stable partitions "
+                            "of the sweep (e.g. 0/2); shards never split a "
+                            "session group and their union is the unsharded "
+                            "run")
     batch.add_argument("--mesh-sizes", type=int, nargs="*", default=[3, 4],
                        help="square mesh sizes to sweep (default: 3 4)")
     batch.add_argument("--ring-sizes", type=int, nargs="*", default=[4],
                        help="ring sizes to sweep (default: 4)")
-    batch.add_argument("--buffers", type=int, default=2,
-                       help="1-flit buffers per port (default 2)")
+    batch.add_argument("--buffers", type=int, default=None,
+                       help="1-flit buffers per port (default 2); "
+                            "incompatible with --matrix, where each term "
+                            "sets its own 'buffers=N'")
     batch.add_argument("--vcs", type=int, nargs="*", default=[],
                        help="also sweep virtual-channel escape scenarios at "
                             "these VC counts (e.g. --vcs 1 2 4)")
@@ -420,27 +455,105 @@ def _cmd_deadlock(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from repro.core.spec import expand_matrix, spec_registry
+    from repro.reporting.tables import format_table
+
+    if args.scenarios_command == "list":
+        rows = []
+        for entry in spec_registry().entries():
+            dims = "WxH" if entry.dim_count == 2 else "N"
+            rows.append([
+                entry.kind, dims,
+                ", ".join(entry.routings) or "(fixed)",
+                ", ".join(entry.switchings) or "(fixed)",
+                "1..n" if entry.supports_vcs else "1",
+                entry.escape_style or "-",
+                entry.description,
+            ])
+        print(format_table(
+            ["kind", "dims", "routings", "switchings", "vcs", "escape",
+             "description"], rows))
+        return 0
+
+    from repro.core.errors import SpecificationError
+
+    try:
+        specs = expand_matrix(args.matrix)
+    except SpecificationError as error:
+        raise SystemExit(f"invalid scenario matrix: {error}")
+    if args.json:
+        import json
+
+        print(json.dumps([spec.to_dict() for spec in specs], indent=2))
+    else:
+        rows = [[index, spec.scenario_name(), spec.group_key(), spec.kind,
+                 spec.dims_text(), spec.routing or "-",
+                 spec.switching or "-", spec.num_vcs, spec.buffers]
+                for index, spec in enumerate(specs)]
+        print(format_table(
+            ["#", "scenario", "group", "kind", "dims", "routing",
+             "switching", "vcs", "buffers"], rows))
+        groups = {spec.group_key() for spec in specs}
+        print(f"{len(specs)} scenarios in {len(groups)} session groups")
+    return 0
+
+
+def _parse_shard(text: Optional[str]):
+    """``"0/2"`` -> ``(0, 2)`` (with friendly CLI errors)."""
+    if text is None:
+        return None
+    import re
+
+    match = re.fullmatch(r"(\d+)/(\d+)", text.strip())
+    if not match:
+        raise SystemExit(f"--shard expects I/N (e.g. 0/2), got {text!r}")
+    index, count = int(match.group(1)), int(match.group(2))
+    if count < 1 or index >= count:
+        raise SystemExit(f"--shard {text!r} out of range: need 0 <= I < N")
+    return (index, count)
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     from repro.core.portfolio import (
         run_portfolio,
+        scenarios_from_specs,
         standard_portfolio,
         vc_escape_portfolio,
     )
 
-    scenarios = standard_portfolio(mesh_sizes=args.mesh_sizes,
-                                   ring_sizes=args.ring_sizes,
-                                   buffer_capacity=args.buffers)
-    if args.vcs:
-        if any(count < 1 for count in args.vcs):
-            raise SystemExit("--vcs counts must be at least 1")
-        scenarios += vc_escape_portfolio(mesh_sizes=args.vc_mesh_sizes,
-                                         torus_sizes=args.torus_sizes,
-                                         vc_counts=args.vcs,
-                                         buffer_capacity=args.buffers)
+    if args.matrix:
+        from repro.core.errors import SpecificationError
+        from repro.core.spec import expand_matrix
+
+        if args.buffers is not None:
+            raise SystemExit(
+                "--buffers does not apply to --matrix sweeps; set "
+                "'buffers=N' inside the matrix term instead")
+        try:
+            scenarios = scenarios_from_specs(expand_matrix(args.matrix))
+        except SpecificationError as error:
+            raise SystemExit(f"invalid scenario matrix: {error}")
+    else:
+        buffers = 2 if args.buffers is None else args.buffers
+        scenarios = standard_portfolio(mesh_sizes=args.mesh_sizes,
+                                       ring_sizes=args.ring_sizes,
+                                       buffer_capacity=buffers)
+        if args.vcs:
+            if any(count < 1 for count in args.vcs):
+                raise SystemExit("--vcs counts must be at least 1")
+            scenarios += vc_escape_portfolio(mesh_sizes=args.vc_mesh_sizes,
+                                             torus_sizes=args.torus_sizes,
+                                             vc_counts=args.vcs,
+                                             buffer_capacity=buffers)
+    shard = _parse_shard(args.shard)
     report = run_portfolio(scenarios, cross_check=args.cross_check,
-                           jobs=args.jobs)
+                           jobs=args.jobs, shard=shard)
     print(report.formatted())
     print(report.summary())
+    if shard is not None:
+        print(f"  shard {shard[0]}/{shard[1]}: {len(report.verdicts)} of "
+              f"{len(scenarios)} scenarios (group-stable partition)")
     if report.jobs > 1:
         print(f"  scheduled across {report.jobs} workers (group-affine); "
               f"verdicts identical to --jobs 1")
@@ -486,6 +599,7 @@ _COMMANDS = {
     "table1": _cmd_table1,
     "depgraph": _cmd_depgraph,
     "deadlock": _cmd_deadlock,
+    "scenarios": _cmd_scenarios,
     "batch": _cmd_batch,
     "bench": _cmd_bench,
 }

@@ -72,10 +72,23 @@ from repro.core.portfolio import (
     PortfolioReport,
     Scenario,
     ScenarioVerdict,
+    extended_matrix,
     extended_portfolio,
+    merge_shard_reports,
     run_portfolio,
+    scenarios_from_specs,
+    shard_index_of,
+    standard_matrix,
     standard_portfolio,
+    vc_escape_matrix,
     vc_escape_portfolio,
+)
+from repro.core.spec import (
+    ScenarioSpec,
+    SpecRegistry,
+    expand_matrix,
+    register_builder,
+    spec_registry,
 )
 from repro.core.pipeline import (
     VerificationReport,
@@ -153,10 +166,21 @@ __all__ = [
     "PortfolioReport",
     "Scenario",
     "ScenarioVerdict",
+    "extended_matrix",
     "extended_portfolio",
+    "merge_shard_reports",
     "run_portfolio",
+    "scenarios_from_specs",
+    "shard_index_of",
+    "standard_matrix",
     "standard_portfolio",
+    "vc_escape_matrix",
     "vc_escape_portfolio",
+    "ScenarioSpec",
+    "SpecRegistry",
+    "expand_matrix",
+    "register_builder",
+    "spec_registry",
     "VerificationReport",
     "discharge_obligations",
     "verify_instance",

@@ -142,27 +142,45 @@ def run_solver_microbench(repeat: int = 3) -> Dict[str, Dict[str, float]]:
 # Portfolio benchmarks
 # ---------------------------------------------------------------------------
 
-def _bench_scenarios(profile: str):
-    from repro.core.portfolio import extended_portfolio, standard_portfolio, \
-        vc_escape_portfolio
+def profile_matrix(profile: str):
+    """The scenario matrix of a bench profile, as declarative terms.
+
+    Bench profiles run through the same spec layer as ``repro batch
+    --matrix``: a profile *is* a scenario matrix, expanded by
+    :func:`repro.core.spec.expand_matrix` -- so the numbers the perf
+    trajectory records are numbers for the exact matrices any sharded or
+    distributed sweep would run.
+    """
+    from repro.core.portfolio import (
+        extended_matrix,
+        standard_matrix,
+        vc_escape_matrix,
+    )
 
     if profile == "tiny":
         # Fast enough for a unit test; exercises mesh + ring groups.
-        return standard_portfolio(mesh_sizes=(3,), ring_sizes=(4,))
+        return standard_matrix(mesh_sizes=(3,), ring_sizes=(4,))
     if profile == "smoke":
-        return (standard_portfolio(mesh_sizes=(3, 4), ring_sizes=(4,))
-                + vc_escape_portfolio(mesh_sizes=(3,), torus_sizes=(4,),
-                                      vc_counts=(1, 2)))
+        return (standard_matrix(mesh_sizes=(3, 4), ring_sizes=(4,))
+                + vc_escape_matrix(mesh_sizes=(3,), torus_sizes=(4,),
+                                   vc_counts=(1, 2)))
     if profile == "extended":
-        return extended_portfolio(mesh_sizes=(8, 16), ring_sizes=(8,),
-                                  vc_mesh_sizes=(8,), vc_counts=(1, 2, 4))
+        return extended_matrix(mesh_sizes=(8, 16), ring_sizes=(8,),
+                               vc_mesh_sizes=(8,), vc_counts=(1, 2, 4))
     if profile == "extended-8":
         # The extended sweep capped at 8x8 -- the largest profile that
         # stays in CI-friendly territory on one core.
-        return extended_portfolio(mesh_sizes=(8,), ring_sizes=(8,),
-                                  vc_mesh_sizes=(8,), vc_counts=(1, 2, 4))
+        return extended_matrix(mesh_sizes=(8,), ring_sizes=(8,),
+                               vc_mesh_sizes=(8,), vc_counts=(1, 2, 4))
     raise ValueError(f"unknown bench profile {profile!r}; "
                      f"expected tiny, smoke, extended-8 or extended")
+
+
+def _bench_scenarios(profile: str):
+    from repro.core.portfolio import scenarios_from_specs
+    from repro.core.spec import expand_matrix
+
+    return scenarios_from_specs(expand_matrix(profile_matrix(profile)))
 
 
 def run_portfolio_bench(profile: str = "smoke",

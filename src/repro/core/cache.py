@@ -54,6 +54,8 @@ class InstanceCache:
             weakref.WeakKeyDictionary()
         # (target_index, source_index, width) -> BoolExpr
         self._numbering_constraints: Dict[Tuple[int, int, int], object] = {}
+        # ScenarioSpec -> NoCInstance (specs are frozen and hashable)
+        self._instances: Dict[object, object] = {}
         self.hits = 0
         self.misses = 0
 
@@ -65,14 +67,42 @@ class InstanceCache:
             "graphs": len(self._graphs),
             "coverage_reports": len(self._coverage),
             "numbering_constraints": len(self._numbering_constraints),
+            "instances": len(self._instances),
         }
 
     def clear(self) -> None:
         self._graphs.clear()
         self._coverage.clear()
         self._numbering_constraints.clear()
+        self._instances.clear()
         self.hits = 0
         self.misses = 0
+
+    # -- spec-built instances -----------------------------------------------------
+    def instance_for(self, spec):
+        """The memoised :class:`~repro.core.instance.NoCInstance` of a spec.
+
+        ``spec`` is a :class:`~repro.core.spec.ScenarioSpec` (frozen,
+        hashable -- the key *is* the declarative description).  Portfolio
+        workers receive cheap specs instead of pickled instances and
+        resolve them here, so a scenario group scheduled onto one worker
+        constructs each distinct design exactly once per process.
+
+        Unlike the weak-keyed graph/coverage caches, this map holds its
+        instances *strongly*: spec-backed scenarios deliberately keep no
+        instance reference, so a weak entry would die before its first
+        reuse.  Long-lived processes that sweep many large distinct
+        designs should call :func:`reset_instance_cache` between sweeps
+        (the bench runner does).
+        """
+        instance = self._instances.get(spec)
+        if instance is not None:
+            self.hits += 1
+            return instance
+        self.misses += 1
+        instance = spec.build()
+        self._instances[spec] = instance
+        return instance
 
     # -- dependency graphs --------------------------------------------------------
     def dependency_graph(self, routing):

@@ -6,6 +6,9 @@ topology x routing x switching scenarios -- is each candidate design
 deadlock-free, and if not, which escape edges would fix it?  This module is
 the batch driver for that sweep, built on the incremental CDCL engine:
 
+* scenarios are described declaratively (:class:`~repro.core.spec.ScenarioSpec`
+  via :func:`~repro.core.spec.expand_matrix`) and resolved lazily in the
+  worker that runs them, through the per-process construction cache;
 * scenarios are grouped by topology;
 * per topology group, **one** :class:`~repro.core.deadlock.DeadlockQuerySession`
   hosts the union of every scenario's dependency edges, each behind a
@@ -24,6 +27,7 @@ from __future__ import annotations
 
 import os
 import time
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -32,25 +36,79 @@ from repro.core.cache import instance_cache
 from repro.core.deadlock import DeadlockQuerySession
 from repro.core.dependency import routing_dependency_graph
 from repro.core.instance import NoCInstance
+from repro.core.spec import ScenarioSpec, expand_matrix
 from repro.network.port import Port
 
 
 @dataclass
 class Scenario:
-    """One topology x routing x switching point of the sweep."""
+    """One topology x routing x switching point of the sweep.
+
+    A scenario is backed either by an already-built ``instance`` or --
+    the cheap, preferred form -- by a declarative ``spec``
+    (:class:`~repro.core.spec.ScenarioSpec`).  Spec-backed scenarios ship
+    to portfolio worker processes as a few primitives and are resolved
+    lazily through the per-process
+    :class:`~repro.core.cache.InstanceCache`, so the parent never builds
+    (or pickles) the heavy network objects.
+    """
 
     name: str
-    instance: NoCInstance
+    instance: Optional[NoCInstance] = None
     #: Scenarios with equal group share one incremental session (their
-    #: topologies must have compatible port sets).  Defaults to the
-    #: instance's topology shape.
+    #: topologies must have compatible port sets).  Defaults to the spec's
+    #: group, else to the instance's topology shape.
     group: Optional[str] = None
+    spec: Optional[ScenarioSpec] = None
+
+    def __post_init__(self) -> None:
+        if self.instance is None and self.spec is None:
+            raise ValueError(
+                f"scenario {self.name!r} needs an instance or a spec")
+
+    @classmethod
+    def from_spec(cls, spec: ScenarioSpec,
+                  name: Optional[str] = None,
+                  group: Optional[str] = None) -> "Scenario":
+        """A lazily-resolved scenario described by ``spec``."""
+        return cls(name=name or spec.scenario_name(), instance=None,
+                   group=group, spec=spec)
+
+    def resolve(self) -> NoCInstance:
+        """The scenario's instance (built through the process cache).
+
+        Deliberately does *not* store the built instance on the scenario:
+        a resolved spec-backed scenario stays cheap to pickle.
+        """
+        if self.instance is not None:
+            return self.instance
+        return instance_cache().instance_for(self.spec)
 
     def group_key(self) -> str:
         if self.group is not None:
             return self.group
+        if self.spec is not None:
+            return self.spec.group_key()
         topology = self.instance.topology
         return f"{type(topology).__name__}[{len(topology.ports)} ports]"
+
+
+def scenarios_from_specs(specs: Iterable[ScenarioSpec]) -> List[Scenario]:
+    """Wrap every spec in a :class:`Scenario` (names derived from specs)."""
+    return [Scenario.from_spec(spec) for spec in specs]
+
+
+def shard_index_of(group_key: str, shard_count: int) -> int:
+    """The shard a scenario group belongs to, stable across processes.
+
+    Uses CRC-32 of the group key -- *not* Python's salted ``hash()`` -- so
+    every worker, machine and CI job agrees on the partition.  Sharding is
+    group-granular by construction: a group's scenarios always land on one
+    shard, so sharded runs never split an incremental session.
+    """
+    if shard_count < 1:
+        raise ValueError("shard count must be at least 1")
+    return zlib.crc32(group_key.encode("utf-8")) % shard_count
 
 
 @dataclass
@@ -82,9 +140,18 @@ class ScenarioVerdict:
     #: Solver work this scenario's queries cost on the shared session
     #: (stats-counter deltas: decisions, propagations, conflicts, ...).
     solver: Dict[str, int] = field(default_factory=dict)
+    #: The originating :meth:`~repro.core.spec.ScenarioSpec.to_dict` image
+    #: for spec-backed scenarios (``None`` for hand-built instances).
+    spec: Optional[Dict[str, object]] = None
+    #: ``(index, count)`` of the shard that ran this scenario (``None`` in
+    #: an unsharded run).
+    shard: Optional[Tuple[int, int]] = None
+    #: Submission index of the scenario in the *full* scenario list (also
+    #: meaningful in a sharded run, where it orders the merged verdicts).
+    index: int = -1
 
     def to_json_dict(self) -> Dict[str, object]:
-        """A JSON-serialisable summary of this verdict (schema 2 shape)."""
+        """A JSON-serialisable summary of this verdict (schema 3 shape)."""
         return {
             "scenario": self.scenario,
             "topology": self.topology,
@@ -99,6 +166,8 @@ class ScenarioVerdict:
             "solver": dict(self.solver),
             "cycle_core": [f"{s} -> {t}" for s, t in self.cycle_core],
             "escape_edges": [f"{s} -> {t}" for s, t in self.escape_edges],
+            "spec": dict(self.spec) if self.spec is not None else None,
+            "shard": list(self.shard) if self.shard is not None else None,
         }
 
 
@@ -115,6 +184,8 @@ class PortfolioReport:
     #: Construction-cache counters accumulated during the run (summed over
     #: the workers in a parallel run).
     cache_stats: Dict[str, int] = field(default_factory=dict)
+    #: ``(index, count)`` of a sharded run (``None``: the whole matrix).
+    shard: Optional[Tuple[int, int]] = None
 
     @property
     def deadlock_free_count(self) -> int:
@@ -124,14 +195,17 @@ class PortfolioReport:
         """Machine-readable export: scenarios, verdicts, solver statistics.
 
         The payload is what bench trajectories track across PRs, so its
-        shape is versioned via ``schema``.  Schema 2 adds per-scenario
-        ``wall_time_s`` and ``solver`` stats deltas, and run-level ``jobs``
+        shape is versioned via ``schema``.  Schema 3 embeds the
+        originating spec dict and the shard assignment per scenario, plus
+        the run-level ``shard``; schema 2 added per-scenario
+        ``wall_time_s`` and ``solver`` stats deltas, run-level ``jobs``
         and cache counters.
         """
         return {
-            "schema": 2,
+            "schema": 3,
             "kind": "repro-portfolio-report",
             "jobs": self.jobs,
+            "shard": list(self.shard) if self.shard is not None else None,
             "scenarios": [verdict.to_json_dict()
                           for verdict in self.verdicts],
             "summary": {
@@ -156,14 +230,19 @@ class PortfolioReport:
         *identical* verdicts, ordering, cores and solver statistics; only
         wall times, the job count and the cache counters (which depend on
         process boundaries and cross-group sharing) legitimately differ.
-        This helper strips exactly those fields so the parallel-determinism
-        contract can be asserted with one ``==``.
+        Scheduling artefacts -- the shard markers and the originating spec
+        dicts -- are stripped too, so a matrix-expanded run can be compared
+        bit for bit against the same scenarios built by hand, and the
+        merged shard reports against the unsharded run, with one ``==``.
         """
         payload = self.to_json_dict()
         del payload["jobs"]
         del payload["cache"]
+        del payload["shard"]
         for scenario in payload["scenarios"]:
             del scenario["wall_time_s"]
+            del scenario["spec"]
+            del scenario["shard"]
         summary = payload["summary"]
         del summary["elapsed_seconds"]
         del summary["jobs"]
@@ -200,9 +279,60 @@ class PortfolioReport:
 
     def summary(self) -> str:
         prone = len(self.verdicts) - self.deadlock_free_count
-        return (f"portfolio: {len(self.verdicts)} scenarios, "
+        shard = (f" [shard {self.shard[0]}/{self.shard[1]}]"
+                 if self.shard is not None else "")
+        return (f"portfolio{shard}: {len(self.verdicts)} scenarios, "
                 f"{self.deadlock_free_count} deadlock-free, {prone} "
                 f"deadlock-prone, {self.elapsed_seconds:.3f}s total")
+
+
+def merge_shard_reports(reports: Sequence[PortfolioReport]
+                        ) -> PortfolioReport:
+    """Merge the reports of a sharded run back into one portfolio report.
+
+    The shards of one matrix partition the scenario groups, so their
+    verdict sets are disjoint and their union is the unsharded run; this
+    helper re-interleaves the verdicts by original submission index and
+    re-unions the per-group session statistics.  The merged report's
+    :meth:`~PortfolioReport.comparable_dict` equals the unsharded run's --
+    the contract the sharded CI smoke job asserts.
+    """
+    shards = {report.shard for report in reports}
+    if shards and None not in shards:
+        # Every input knows its (i, n): demand one complete shard set, so
+        # a lost shard artifact cannot silently masquerade as a full run.
+        counts = {count for _, count in shards}
+        if len(counts) != 1:
+            raise ValueError(f"shard reports disagree on the shard count: "
+                             f"{sorted(counts)}")
+        count = counts.pop()
+        missing = sorted(set(range(count)) - {index for index, _ in shards})
+        if missing:
+            raise ValueError(f"incomplete shard set: missing shard(s) "
+                             f"{missing} of {count}")
+    verdicts = sorted((verdict for report in reports
+                       for verdict in report.verdicts),
+                      key=lambda verdict: verdict.index)
+    indices = [verdict.index for verdict in verdicts]
+    if len(set(indices)) != len(indices):
+        raise ValueError("shard reports overlap: duplicate scenario indices")
+    session_stats: Dict[str, Dict[str, int]] = {}
+    cache_stats = {"hits": 0, "misses": 0}
+    for report in reports:
+        overlap = set(report.session_stats) & set(session_stats)
+        if overlap:
+            raise ValueError(f"shard reports overlap on groups "
+                             f"{sorted(overlap)}")
+        session_stats.update(report.session_stats)
+        cache_stats["hits"] += int(report.cache_stats.get("hits", 0))
+        cache_stats["misses"] += int(report.cache_stats.get("misses", 0))
+    return PortfolioReport(
+        verdicts=verdicts,
+        elapsed_seconds=sum(report.elapsed_seconds for report in reports),
+        session_stats=session_stats,
+        jobs=max((report.jobs for report in reports), default=1),
+        cache_stats=cache_stats,
+        shard=None)
 
 
 def _run_group(payload: Tuple) -> Tuple[str, List[Tuple[int, ScenarioVerdict]],
@@ -210,9 +340,13 @@ def _run_group(payload: Tuple) -> Tuple[str, List[Tuple[int, ScenarioVerdict]],
     """Run one scenario group through one shared incremental session.
 
     ``payload`` is a single picklable tuple ``(group_key, indexed_scenarios,
-    vertices, seed, analyse_failures, cross_check)`` so the function can be
+    seed, analyse_failures, cross_check, shard)`` so the function can be
     shipped as-is to a :class:`~concurrent.futures.ProcessPoolExecutor`
-    worker.  Scenarios of one group are always processed in their original
+    worker.  Spec-backed scenarios arrive as cheap declarative specs and
+    are resolved *here*, through the worker's own
+    :class:`~repro.core.cache.InstanceCache`; the session's vertex universe
+    is the union of the group's topologies, enumerated in submission order.
+    Scenarios of one group are always processed in their original
     submission order by exactly this code path, whether the portfolio runs
     serially or across workers -- which is what makes parallel runs
     bit-for-bit reproductions of serial ones (see
@@ -224,11 +358,18 @@ def _run_group(payload: Tuple) -> Tuple[str, List[Tuple[int, ScenarioVerdict]],
     """
     from repro.routing.escape import EscapeChannelRouting
 
-    group_key, indexed_scenarios, vertices, seed, analyse_failures, \
-        cross_check = payload
+    group_key, indexed_scenarios, seed, analyse_failures, \
+        cross_check, shard = payload
     cache = instance_cache()
     cache_hits_before = cache.hits
     cache_misses_before = cache.misses
+
+    resolved = [(index, scenario, scenario.resolve())
+                for index, scenario in indexed_scenarios]
+    vertices: Dict[Port, None] = {}
+    for _, _, instance in resolved:
+        for port in instance.topology.ports:
+            vertices.setdefault(port)
 
     base: DirectedGraph[Port] = DirectedGraph()
     for port in vertices:
@@ -237,9 +378,8 @@ def _run_group(payload: Tuple) -> Tuple[str, List[Tuple[int, ScenarioVerdict]],
     known_edges: set = set()
     results: List[Tuple[int, ScenarioVerdict]] = []
 
-    for index, scenario in indexed_scenarios:
+    for index, scenario, instance in resolved:
         scenario_start = time.perf_counter()
-        instance = scenario.instance
         solver_before = session.solver_stats
         graph = routing_dependency_graph(instance.routing)
         edges = graph.edges()
@@ -312,6 +452,10 @@ def _run_group(payload: Tuple) -> Tuple[str, List[Tuple[int, ScenarioVerdict]],
             num_vcs=num_vcs,
             solver={key: solver_after[key] - solver_before.get(key, 0)
                     for key in solver_after},
+            spec=(scenario.spec.to_dict()
+                  if scenario.spec is not None else None),
+            shard=shard,
+            index=index,
         )))
 
     cache_delta = {"hits": cache.hits - cache_hits_before,
@@ -330,7 +474,8 @@ def run_portfolio(scenarios: Sequence[Scenario],
                   seed: int = 2010,
                   analyse_failures: bool = True,
                   cross_check: bool = False,
-                  jobs: int = 1) -> PortfolioReport:
+                  jobs: int = 1,
+                  shard: Optional[Tuple[int, int]] = None) -> PortfolioReport:
     """Run every scenario through shared incremental deadlock sessions.
 
     ``analyse_failures`` additionally extracts the cycle core and the
@@ -349,6 +494,14 @@ def run_portfolio(scenarios: Sequence[Scenario],
     identical to ``jobs=1``; only wall times and cache counters differ
     (assert with :meth:`PortfolioReport.comparable_dict`).
 
+    ``shard=(i, n)`` restricts the run to the ``i``-th of ``n`` partitions
+    of the scenario *groups* (assignment by :func:`shard_index_of`, stable
+    across processes and machines).  Pass the **full** scenario list to
+    every shard: each shard selects its own groups, keeps the original
+    submission indices on its verdicts, and never splits a group -- so
+    incremental sessions stay whole and
+    :func:`merge_shard_reports` reassembles the exact unsharded report.
+
     Scenarios whose routing is a
     :class:`~repro.routing.escape.EscapeChannelRouting` are decided by the
     VC-granular escape condition: (V-1) by explicit enumeration, (V-2) as
@@ -360,22 +513,34 @@ def run_portfolio(scenarios: Sequence[Scenario],
     start = time.perf_counter()
     ordered = list(scenarios)
     jobs = resolve_jobs(jobs)
+    if shard is not None:
+        shard_index, shard_count = int(shard[0]), int(shard[1])
+        if shard_count < 1 or not 0 <= shard_index < shard_count:
+            raise ValueError(f"shard must be (i, n) with 0 <= i < n, "
+                             f"got {shard!r}")
+        shard = (shard_index, shard_count)
 
-    # Group scenarios by key (preserving submission order) and seed each
-    # group's session with the union of the group's vertex universes, so
-    # scenarios over growing channel sets (1, 2, 4 VCs of one topology) can
-    # share one encoding.
-    group_vertices: Dict[str, Dict[Port, None]] = {}
+    # Group scenarios by key, preserving submission order.  Each group's
+    # worker seeds its session with the union of the group's vertex
+    # universes, so scenarios over growing channel sets (1, 2, 4 VCs of
+    # one topology) can share one encoding.
     groups: Dict[str, List[Tuple[int, Scenario]]] = {}
     for index, scenario in enumerate(ordered):
-        key = scenario.group_key()
-        vertices = group_vertices.setdefault(key, {})
-        for port in scenario.instance.topology.ports:
-            vertices.setdefault(port)
-        groups.setdefault(key, []).append((index, scenario))
+        groups.setdefault(scenario.group_key(), []).append((index, scenario))
 
-    payloads = [(key, indexed, list(group_vertices[key]), seed,
-                 analyse_failures, cross_check)
+    if shard is not None:
+        groups = {key: indexed for key, indexed in groups.items()
+                  if shard_index_of(key, shard[1]) == shard[0]}
+
+    # In a sharded run the verdict list covers only this shard's scenarios;
+    # verdicts keep their original submission index, the report orders them
+    # by it.
+    kept_indices = sorted(index for indexed in groups.values()
+                          for index, _ in indexed)
+    positions = {index: position
+                 for position, index in enumerate(kept_indices)}
+
+    payloads = [(key, indexed, seed, analyse_failures, cross_check, shard)
                 for key, indexed in groups.items()]
 
     # ``jobs`` in the report records what actually happened: 1 when the
@@ -393,7 +558,7 @@ def run_portfolio(scenarios: Sequence[Scenario],
                        for payload in payloads]
             group_results = [future.result() for future in futures]
 
-    verdicts: List[Optional[ScenarioVerdict]] = [None] * len(ordered)
+    verdicts: List[Optional[ScenarioVerdict]] = [None] * len(kept_indices)
     session_stats: Dict[str, Dict[str, int]] = {}
     cache_stats = {"hits": 0, "misses": 0}
     for group_key, indexed_verdicts, stats, cache_delta in group_results:
@@ -401,7 +566,7 @@ def run_portfolio(scenarios: Sequence[Scenario],
         cache_stats["hits"] += cache_delta["hits"]
         cache_stats["misses"] += cache_delta["misses"]
         for index, verdict in indexed_verdicts:
-            verdicts[index] = verdict
+            verdicts[positions[index]] = verdict
 
     assert all(verdict is not None for verdict in verdicts)
     return PortfolioReport(
@@ -409,7 +574,38 @@ def run_portfolio(scenarios: Sequence[Scenario],
         elapsed_seconds=time.perf_counter() - start,
         session_stats=session_stats,
         jobs=jobs,
-        cache_stats=cache_stats)
+        cache_stats=cache_stats,
+        shard=shard)
+
+
+def standard_matrix(mesh_sizes: Iterable[int] = (3, 4),
+                    ring_sizes: Iterable[int] = (4,),
+                    buffer_capacity: int = 2) -> List[str]:
+    """The standard sweep as matrix terms (see :func:`standard_portfolio`).
+
+    One wormhole term plus the paper's virtual-cut-through pair per mesh
+    size, then the deadlock-free and deadlock-prone rings -- the exact
+    scenario order of the historical hand-built list, now declaratively.
+    The mesh term sweeps *every* routing token the ``mesh`` kind
+    registers, so a newly registered routing automatically joins the
+    standard portfolio.
+    """
+    from repro.core.spec import spec_registry
+
+    routing_list = ",".join(spec_registry().entry("mesh").routings)
+    terms: List[str] = []
+    for size in mesh_sizes:
+        terms.append(f"mesh:{size}x{size}, routing=[{routing_list}], "
+                     f"switching=wormhole, buffers={buffer_capacity}")
+        terms.append(f"mesh:{size}x{size}, routing=xy, switching=vct, "
+                     f"buffers={buffer_capacity}")
+    for size in ring_sizes:
+        terms.append(f"ring:{size}, routing=chain, "
+                     f"buffers={buffer_capacity}")
+        # The clockwise counterexample keeps its historical single-buffer
+        # instantiation (the deadlock verdict is capacity-independent).
+        terms.append(f"ring:{size}, routing=clockwise, buffers=1")
+    return terms
 
 
 def standard_portfolio(mesh_sizes: Iterable[int] = (3, 4),
@@ -417,61 +613,30 @@ def standard_portfolio(mesh_sizes: Iterable[int] = (3, 4),
                        buffer_capacity: int = 2) -> List[Scenario]:
     """The library's standard sweep: every routing function on square
     meshes (wormhole and virtual cut-through for the paper's pair), plus
-    the deadlock-free and deadlock-prone ring instantiations."""
-    from repro.hermes import build_hermes_instance
-    from repro.ringnoc import (
-        build_chain_ring_instance,
-        build_clockwise_ring_instance,
-    )
-    from repro.routing.adaptive import (
-        FullyAdaptiveMinimalRouting,
-        ZigZagRouting,
-    )
-    from repro.routing.turn_model import (
-        NegativeFirstRouting,
-        NorthLastRouting,
-        WestFirstRouting,
-    )
-    from repro.routing.xy import XYRouting
-    from repro.routing.yx import YXRouting
-    from repro.network.mesh import Mesh2D
-    from repro.switching.virtual_cut_through import VirtualCutThroughSwitching
-    from repro.switching.wormhole import WormholeSwitching
+    the deadlock-free and deadlock-prone ring instantiations.
 
-    scenarios: List[Scenario] = []
+    Built by expanding :func:`standard_matrix` through the declarative
+    spec layer -- the same construction path as ``repro batch --matrix``.
+    """
+    return scenarios_from_specs(expand_matrix(standard_matrix(
+        mesh_sizes=mesh_sizes, ring_sizes=ring_sizes,
+        buffer_capacity=buffer_capacity)))
+
+
+def vc_escape_matrix(mesh_sizes: Iterable[int] = (3,),
+                     torus_sizes: Iterable[int] = (4,),
+                     vc_counts: Sequence[int] = (1, 2, 4),
+                     buffer_capacity: int = 2) -> List[str]:
+    """The VC escape sweep as matrix terms (see :func:`vc_escape_portfolio`)."""
+    vcs = ",".join(str(count) for count in vc_counts)
+    terms: List[str] = []
     for size in mesh_sizes:
-        mesh = Mesh2D(size, size)
-        group = f"mesh-{size}x{size}"
-        routings = [XYRouting(mesh), YXRouting(mesh),
-                    WestFirstRouting(mesh), NorthLastRouting(mesh),
-                    NegativeFirstRouting(mesh),
-                    FullyAdaptiveMinimalRouting(mesh), ZigZagRouting(mesh)]
-        for routing in routings:
-            scenarios.append(Scenario(
-                name=f"{group}/{routing.name()}/Swh",
-                instance=build_hermes_instance(
-                    size, size, buffer_capacity=buffer_capacity,
-                    routing=routing),
-                group=group))
-        # The paper's pair of switching policies on the paper's routing.
-        scenarios.append(Scenario(
-            name=f"{group}/Rxy/Svct",
-            instance=build_hermes_instance(
-                size, size, buffer_capacity=buffer_capacity,
-                routing=XYRouting(mesh),
-                switching=VirtualCutThroughSwitching()),
-            group=group))
-    for size in ring_sizes:
-        scenarios.append(Scenario(
-            name=f"ring-{size}/chain",
-            instance=build_chain_ring_instance(
-                size, buffer_capacity=buffer_capacity),
-            group=f"ring-{size}"))
-        scenarios.append(Scenario(
-            name=f"ring-{size}/clockwise",
-            instance=build_clockwise_ring_instance(size),
-            group=f"ring-{size}"))
-    return scenarios
+        terms.append(f"vc-mesh:{size}x{size}, vcs=[{vcs}], "
+                     f"buffers={buffer_capacity}")
+    for size in torus_sizes:
+        terms.append(f"vc-torus:{size}x{size}, vcs=[{vcs}], "
+                     f"buffers={buffer_capacity}")
+    return terms
 
 
 def vc_escape_portfolio(mesh_sizes: Iterable[int] = (3,),
@@ -488,28 +653,22 @@ def vc_escape_portfolio(mesh_sizes: Iterable[int] = (3,),
     the 1-VC verdict is deadlock-prone, the multi-VC verdicts are proved
     free by the escape condition on the same solver.
     """
-    from repro.vcnoc import build_vc_mesh_instance, build_vc_torus_instance
+    return scenarios_from_specs(expand_matrix(vc_escape_matrix(
+        mesh_sizes=mesh_sizes, torus_sizes=torus_sizes,
+        vc_counts=vc_counts, buffer_capacity=buffer_capacity)))
 
-    scenarios: List[Scenario] = []
-    for size in mesh_sizes:
-        group = f"vc-mesh-{size}x{size}"
-        for vcs in vc_counts:
-            scenarios.append(Scenario(
-                name=f"{group}/Radaptive+esc-xy/{vcs}vc",
-                instance=build_vc_mesh_instance(
-                    size, size, num_vcs=vcs,
-                    buffer_capacity=buffer_capacity),
-                group=group))
-    for size in torus_sizes:
-        group = f"vc-torus-{size}x{size}"
-        for vcs in vc_counts:
-            scenarios.append(Scenario(
-                name=f"{group}/Rxy-torus+esc-dateline/{vcs}vc",
-                instance=build_vc_torus_instance(
-                    size, size, num_vcs=vcs,
-                    buffer_capacity=buffer_capacity),
-                group=group))
-    return scenarios
+
+def extended_matrix(mesh_sizes: Iterable[int] = (8, 16),
+                    ring_sizes: Iterable[int] = (8,),
+                    vc_mesh_sizes: Iterable[int] = (8,),
+                    vc_counts: Sequence[int] = (1, 2, 4),
+                    buffer_capacity: int = 2) -> List[str]:
+    """The bench sweep as matrix terms (see :func:`extended_portfolio`)."""
+    return (standard_matrix(mesh_sizes=mesh_sizes, ring_sizes=ring_sizes,
+                            buffer_capacity=buffer_capacity)
+            + vc_escape_matrix(mesh_sizes=vc_mesh_sizes, torus_sizes=(),
+                               vc_counts=vc_counts,
+                               buffer_capacity=buffer_capacity))
 
 
 def extended_portfolio(mesh_sizes: Iterable[int] = (8, 16),
@@ -526,10 +685,7 @@ def extended_portfolio(mesh_sizes: Iterable[int] = (8, 16),
     themselves, yet each group still finishes in seconds.  This is the
     portfolio the ``repro bench`` trajectory runs serial vs. parallel.
     """
-    return (standard_portfolio(mesh_sizes=mesh_sizes,
-                               ring_sizes=ring_sizes,
-                               buffer_capacity=buffer_capacity)
-            + vc_escape_portfolio(mesh_sizes=vc_mesh_sizes,
-                                  torus_sizes=(),
-                                  vc_counts=vc_counts,
-                                  buffer_capacity=buffer_capacity))
+    return scenarios_from_specs(expand_matrix(extended_matrix(
+        mesh_sizes=mesh_sizes, ring_sizes=ring_sizes,
+        vc_mesh_sizes=vc_mesh_sizes, vc_counts=vc_counts,
+        buffer_capacity=buffer_capacity)))

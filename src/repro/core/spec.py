@@ -1,0 +1,565 @@
+"""Declarative scenario specifications: the one construction path.
+
+The portfolio driver sweeps topology x routing x switching scenarios, yet
+historically every scenario was hand-built Python: ``hermes``, ``ringnoc``
+and ``vcnoc`` each exposed bespoke ``build_*`` functions and the sweep
+lists called them directly, so growing the sweep meant editing code in
+three places and shipping fully pickled instances to pool workers.  This
+module replaces that with three declarative layers:
+
+* :class:`ScenarioSpec` -- a frozen, JSON-serialisable description of one
+  scenario (topology kind + dims, routing policy, switching discipline,
+  VC count, escape style, route-commit policy, buffer/injection/measure
+  options) with an exact ``to_dict()``/``from_dict()`` round trip.  Specs
+  are hashable, picklable and *cheap*: a portfolio worker receives specs
+  and resolves them lazily through the per-process
+  :class:`~repro.core.cache.InstanceCache`.
+* :class:`SpecRegistry` -- named :class:`InstanceBuilder` entries, one per
+  topology kind.  The instantiation packages (:mod:`repro.hermes`,
+  :mod:`repro.ringnoc`, :mod:`repro.vcnoc`) register their builders here,
+  so ``ScenarioSpec.build()`` is the single construction path every
+  consumer (portfolio, CLI, benchmarks, future workloads) goes through.
+* :func:`expand_matrix` -- a deterministic generator turning parameter
+  grids (``"mesh:2..4x2..4, routing=[xy,yx], switching=wormhole"``) into
+  ordered scenario matrices.  Same grid, same spec list -- always.
+
+The matrix grammar (see ``docs/scenarios.md`` for the full reference)::
+
+    matrix  :=  term (';' term)*
+    term    :=  kind ':' dims (',' param)*
+    dims    :=  dimterm ('|' dimterm)*        -- alternatives, in order
+    dimterm :=  range ('x' range)*            -- per-axis, cross product
+    range   :=  INT | INT '..' INT            -- inclusive, ascending
+    param   :=  key '=' values                -- routing=, switching=,
+                                              -- vcs=, buffers=, policy=,
+                                              -- escape=, group=
+    values  :=  value | INT '..' INT | '[' value (',' value)* ']'
+
+Expansion order is pinned: terms left to right; within a term dims vary
+outermost (alternatives in order, per-axis ranges ascending, leftmost axis
+slowest), then ``routing``, ``switching``, ``vcs``, ``buffers``,
+``policy`` and ``escape`` values in declaration order, innermost last.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from dataclasses import dataclass, field, fields, replace
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.core.errors import SpecificationError
+
+#: Switching-discipline tokens accepted by port-level scenario kinds.
+SWITCHING_TOKENS = ("wormhole", "vct", "saf")
+
+#: Route-commit policies of the VC escape relation (mirrors
+#: :data:`repro.routing.escape.ROUTE_POLICIES`).
+ROUTE_POLICY_TOKENS = ("escape", "adaptive", "spread")
+
+#: Injection-method tokens (the paper's immediate injection only, today).
+INJECTION_TOKENS = ("iid",)
+
+#: Termination-measure tokens (see :mod:`repro.core.measure`).
+MEASURE_TOKENS = ("flit-hop", "pending", "route-length")
+
+
+def resolve_switching(token: Optional[str]):
+    """The switching policy named by ``token`` (``None`` = wormhole)."""
+    from repro.switching.store_and_forward import StoreAndForwardSwitching
+    from repro.switching.virtual_cut_through import VirtualCutThroughSwitching
+    from repro.switching.wormhole import WormholeSwitching
+
+    policies = {"wormhole": WormholeSwitching,
+                "vct": VirtualCutThroughSwitching,
+                "saf": StoreAndForwardSwitching}
+    if token is None:
+        token = "wormhole"
+    if token not in policies:
+        raise SpecificationError(
+            f"unknown switching token {token!r}; "
+            f"expected one of {SWITCHING_TOKENS}")
+    return policies[token]()
+
+
+def resolve_measure(token: str):
+    """The termination measure named by ``token``."""
+    from repro.core.measure import (
+        flit_hop_measure,
+        pending_travel_measure,
+        route_length_measure,
+    )
+
+    measures = {"flit-hop": flit_hop_measure,
+                "pending": pending_travel_measure,
+                "route-length": route_length_measure}
+    if token not in measures:
+        raise SpecificationError(
+            f"unknown measure token {token!r}; "
+            f"expected one of {MEASURE_TOKENS}")
+    return measures[token]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A declarative, JSON-serialisable description of one scenario.
+
+    ``kind`` names a :class:`SpecRegistry` builder entry (``"mesh"``,
+    ``"ring"``, ``"vc-mesh"``, ``"vc-torus"``, ``"vc-ring"``) and ``dims``
+    are the topology dimensions that entry expects (``(width, height)``
+    for 2D kinds, ``(size,)`` for rings).  The remaining fields select the
+    constituents; ``None`` means "the kind's default" and is filled in by
+    :meth:`normalized`.  Specs are frozen and hashable, so they double as
+    construction-cache keys, and they contain only primitives, so they
+    pickle cheaply to portfolio worker processes.
+    """
+
+    kind: str
+    dims: Tuple[int, ...]
+    #: Routing-policy token of the kind (e.g. ``"xy"``, ``"adaptive"``,
+    #: ``"chain"``); ``None`` selects the kind's default.
+    routing: Optional[str] = None
+    #: Switching-discipline token (:data:`SWITCHING_TOKENS`); ``None``
+    #: selects the kind's default.  VC kinds fix their own switching.
+    switching: Optional[str] = None
+    #: Virtual channels per cardinal port (1 = the paper's port model).
+    num_vcs: int = 1
+    #: Escape-class style of a VC kind (``"xy"`` or ``"dateline"``);
+    #: ``None`` selects the kind's natural style.
+    escape: Optional[str] = None
+    #: How concrete simulation routes are committed on a VC relation.
+    route_policy: str = "escape"
+    #: 1-flit buffers per port.
+    buffers: int = 2
+    injection: str = "iid"
+    measure: str = "flit-hop"
+    #: Explicit scenario-name override (``None``: derived from the spec).
+    label: Optional[str] = None
+    #: Explicit session-group override (``None``: derived from the spec).
+    group: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "dims", tuple(int(d) for d in self.dims))
+
+    # -- serialisation ------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """The exact JSON-serialisable image of this spec (all fields)."""
+        return {
+            "kind": self.kind,
+            "dims": list(self.dims),
+            "routing": self.routing,
+            "switching": self.switching,
+            "num_vcs": self.num_vcs,
+            "escape": self.escape,
+            "route_policy": self.route_policy,
+            "buffers": self.buffers,
+            "injection": self.injection,
+            "measure": self.measure,
+            "label": self.label,
+            "group": self.group,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_dict` output (exact round trip)."""
+        if not isinstance(payload, dict):
+            raise SpecificationError(
+                f"a spec dict is required, got {type(payload).__name__}")
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise SpecificationError(
+                f"unknown spec fields {sorted(unknown)}; known: "
+                f"{sorted(known)}")
+        for required in ("kind", "dims"):
+            if required not in payload:
+                raise SpecificationError(f"spec dict misses {required!r}")
+        data = dict(payload)
+        data["dims"] = tuple(data["dims"])
+        return cls(**data)
+
+    # -- identity -----------------------------------------------------------------
+    def dims_text(self) -> str:
+        return "x".join(str(d) for d in self.dims)
+
+    def group_key(self) -> str:
+        """The portfolio session group this scenario belongs to.
+
+        Scenarios of one group share one incremental solver session, so
+        the default groups by topology kind and dimensions -- every VC
+        count of one topology lands in one group (their channel universes
+        nest) and shard assignment can stay group-stable.
+        """
+        if self.group is not None:
+            return self.group
+        return f"{self.kind}-{self.dims_text()}"
+
+    def scenario_name(self) -> str:
+        """The display name of this scenario (stable across sessions)."""
+        if self.label is not None:
+            return self.label
+        return spec_registry().entry(self.kind).name_for(self.normalized())
+
+    # -- construction -------------------------------------------------------------
+    def normalized(self) -> "ScenarioSpec":
+        """This spec with the kind's defaults filled in (and validated)."""
+        entry = spec_registry().entry(self.kind)
+        spec = entry.normalize(self)
+        entry.validate(spec)
+        return spec
+
+    def build(self):
+        """Construct the :class:`~repro.core.instance.NoCInstance`.
+
+        The single construction path: dispatches through the registered
+        :class:`InstanceBuilder` of :attr:`kind`.  Prefer
+        :meth:`repro.core.cache.InstanceCache.instance_for` when the same
+        spec may be built repeatedly in one process.
+        """
+        spec = self.normalized()
+        return spec_registry().entry(spec.kind).builder(spec)
+
+
+#: An :class:`InstanceBuilder` turns a normalized spec into an instance.
+InstanceBuilder = Callable[[ScenarioSpec], object]
+
+
+@dataclass(frozen=True)
+class BuilderEntry:
+    """One registered scenario kind: its builder plus its parameter space."""
+
+    kind: str
+    builder: InstanceBuilder
+    description: str
+    #: Number of topology dimensions the kind expects (2 for meshes/tori,
+    #: 1 for rings).
+    dim_count: int
+    #: Supported routing tokens (empty: the kind has a fixed relation and
+    #: accepts no routing token).
+    routings: Tuple[str, ...] = ()
+    default_routing: Optional[str] = None
+    #: Supported switching tokens (empty: fixed by the kind).
+    switchings: Tuple[str, ...] = ()
+    default_switching: Optional[str] = None
+    #: Does the kind model virtual channels (``num_vcs`` may exceed 1)?
+    supports_vcs: bool = False
+    #: The escape style of a VC kind (``None`` for port-level kinds).
+    escape_style: Optional[str] = None
+    #: Scenario-name deriver; receives a normalized spec.
+    namer: Optional[Callable[[ScenarioSpec], str]] = None
+
+    def normalize(self, spec: ScenarioSpec) -> ScenarioSpec:
+        """Fill the kind's defaults into ``spec`` (idempotent)."""
+        updates: Dict[str, object] = {}
+        if spec.routing is None and self.default_routing is not None:
+            updates["routing"] = self.default_routing
+        if spec.switching is None and self.default_switching is not None:
+            updates["switching"] = self.default_switching
+        if spec.escape is None and self.escape_style is not None:
+            updates["escape"] = self.escape_style
+        return replace(spec, **updates) if updates else spec
+
+    def validate(self, spec: ScenarioSpec) -> None:
+        """Raise :class:`SpecificationError` on an out-of-space spec."""
+        def fail(message: str) -> None:
+            raise SpecificationError(f"spec {spec.kind}:{spec.dims_text()} "
+                                     f"invalid: {message}")
+
+        if len(spec.dims) != self.dim_count:
+            fail(f"kind {self.kind!r} expects {self.dim_count} "
+                 f"dimension(s), got {len(spec.dims)}")
+        if any(d < 1 for d in spec.dims):
+            fail("dimensions must be positive")
+        if self.routings and spec.routing not in self.routings:
+            fail(f"routing {spec.routing!r} not supported; expected one of "
+                 f"{list(self.routings)}")
+        if not self.routings and spec.routing is not None:
+            fail(f"kind {self.kind!r} has a fixed routing relation and "
+                 f"accepts no routing token")
+        if self.switchings and spec.switching not in self.switchings:
+            fail(f"switching {spec.switching!r} not supported; expected one "
+                 f"of {list(self.switchings)}")
+        if not self.switchings and spec.switching is not None:
+            fail(f"kind {self.kind!r} fixes its switching policy")
+        if spec.num_vcs < 1:
+            fail("num_vcs must be at least 1")
+        if not self.supports_vcs and spec.num_vcs != 1:
+            fail(f"kind {self.kind!r} is a port-level model; use a vc-* "
+                 f"kind for num_vcs > 1")
+        if self.escape_style is None and spec.escape is not None:
+            fail(f"kind {self.kind!r} has no escape class")
+        if (self.escape_style is not None and spec.escape is not None
+                and spec.escape != self.escape_style):
+            fail(f"kind {self.kind!r} uses the {self.escape_style!r} escape "
+                 f"style, not {spec.escape!r}")
+        if spec.route_policy not in ROUTE_POLICY_TOKENS:
+            fail(f"route_policy must be one of {ROUTE_POLICY_TOKENS}")
+        if spec.buffers < 1:
+            fail("buffers must be at least 1")
+        if spec.injection not in INJECTION_TOKENS:
+            fail(f"injection must be one of {INJECTION_TOKENS}")
+        if spec.measure not in MEASURE_TOKENS:
+            fail(f"measure must be one of {MEASURE_TOKENS}")
+
+    def name_for(self, spec: ScenarioSpec) -> str:
+        if self.namer is not None:
+            return self.namer(spec)
+        parts = [spec.group_key()]
+        if spec.routing:
+            parts.append(f"R{spec.routing}")
+        if spec.num_vcs > 1:
+            parts.append(f"{spec.num_vcs}vc")
+        return "/".join(parts)
+
+
+class SpecRegistry:
+    """The named builder entries, keyed by scenario kind.
+
+    One registry serves the process (:func:`spec_registry`); the
+    instantiation packages populate it at import time via
+    :func:`register_builder`.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, BuilderEntry] = {}
+
+    def register(self, entry: BuilderEntry) -> BuilderEntry:
+        if entry.kind in self._entries:
+            raise SpecificationError(
+                f"scenario kind {entry.kind!r} is already registered")
+        self._entries[entry.kind] = entry
+        return entry
+
+    def entry(self, kind: str) -> BuilderEntry:
+        try:
+            return self._entries[kind]
+        except KeyError:
+            raise SpecificationError(
+                f"unknown scenario kind {kind!r}; registered kinds: "
+                f"{sorted(self._entries)}") from None
+
+    def kinds(self) -> List[str]:
+        return list(self._entries)
+
+    def entries(self) -> List[BuilderEntry]:
+        return list(self._entries.values())
+
+
+_REGISTRY = SpecRegistry()
+_BUILDERS_LOADED = False
+
+
+def register_builder(kind: str, builder: InstanceBuilder, *,
+                     description: str = "",
+                     dim_count: int = 2,
+                     routings: Sequence[str] = (),
+                     default_routing: Optional[str] = None,
+                     switchings: Sequence[str] = (),
+                     default_switching: Optional[str] = None,
+                     supports_vcs: bool = False,
+                     escape_style: Optional[str] = None,
+                     namer: Optional[Callable[[ScenarioSpec], str]] = None,
+                     ) -> BuilderEntry:
+    """Register an :class:`InstanceBuilder` for a scenario kind.
+
+    Called at import time by the instantiation packages; the entry
+    describes the kind's parameter space so matrix expansion can validate
+    grids eagerly and ``repro scenarios list`` can document what exists.
+    """
+    return _REGISTRY.register(BuilderEntry(
+        kind=kind, builder=builder, description=description,
+        dim_count=dim_count, routings=tuple(routings),
+        default_routing=default_routing, switchings=tuple(switchings),
+        default_switching=default_switching, supports_vcs=supports_vcs,
+        escape_style=escape_style, namer=namer))
+
+
+def _ensure_builders() -> None:
+    """Import the instantiation packages so their kinds are registered.
+
+    The loaded flag is only latched once every import succeeded, so a
+    transient import failure surfaces again on the next call instead of
+    leaving a silently half-populated registry.  Re-running the imports
+    is safe: already-imported modules are no-ops, and registration raises
+    on duplicates only when a module body actually re-executes.
+    """
+    global _BUILDERS_LOADED
+    if _BUILDERS_LOADED:
+        return
+    import repro.hermes.instantiation  # noqa: F401  (registers "mesh")
+    import repro.ringnoc.instantiation  # noqa: F401  (registers "ring")
+    import repro.vcnoc  # noqa: F401  (registers the vc-* kinds)
+    _BUILDERS_LOADED = True
+
+
+def spec_registry() -> SpecRegistry:
+    """The process-wide registry, with every shipped kind registered."""
+    _ensure_builders()
+    return _REGISTRY
+
+
+# ---------------------------------------------------------------------------
+# Matrix expansion
+# ---------------------------------------------------------------------------
+
+_TERM_RE = re.compile(r"^\s*(?P<kind>[A-Za-z][A-Za-z0-9_-]*)\s*:\s*"
+                      r"(?P<rest>\S.*)$")
+_RANGE_RE = re.compile(r"^(\d+)\.\.(\d+)$")
+
+#: Parameter keys of the matrix grammar, in expansion-nesting order
+#: (``routing`` varies slowest after dims, ``escape`` fastest).
+_PARAM_KEYS = ("routing", "switching", "vcs", "buffers", "policy", "escape")
+_INT_KEYS = frozenset({"vcs", "buffers"})
+
+
+def _split_top_level(text: str, separator: str) -> List[str]:
+    """Split on ``separator`` outside ``[...]`` brackets."""
+    parts: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for char in text:
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+            if depth < 0:
+                raise SpecificationError(
+                    f"unbalanced ']' in matrix fragment {text!r}")
+        if char == separator and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if depth != 0:
+        raise SpecificationError(
+            f"unbalanced '[' in matrix fragment {text!r}")
+    parts.append("".join(current))
+    return [part.strip() for part in parts if part.strip()]
+
+
+def _expand_range(text: str, *, context: str) -> List[int]:
+    match = _RANGE_RE.match(text)
+    if match:
+        low, high = int(match.group(1)), int(match.group(2))
+        if low > high:
+            raise SpecificationError(
+                f"empty range {text!r} in {context}: {low} > {high}")
+        return list(range(low, high + 1))
+    if text.isdigit():
+        return [int(text)]
+    raise SpecificationError(
+        f"expected an integer or INT..INT range in {context}, got {text!r}")
+
+
+def _expand_dims(text: str, *, context: str) -> List[Tuple[int, ...]]:
+    """``"2..3x2..3|5x5"`` -> the ordered dimension tuples."""
+    dims: List[Tuple[int, ...]] = []
+    for alternative in text.split("|"):
+        alternative = alternative.strip()
+        if not alternative:
+            raise SpecificationError(f"empty dims alternative in {context}")
+        axes = [_expand_range(axis.strip(), context=context)
+                for axis in alternative.split("x")]
+        dims.extend(itertools.product(*axes))
+    return dims
+
+
+def _parse_values(key: str, text: str, *, context: str) -> List[object]:
+    if text.startswith("["):
+        if not text.endswith("]"):
+            raise SpecificationError(
+                f"unterminated value list for {key!r} in {context}")
+        tokens = [token.strip() for token in text[1:-1].split(",")]
+        tokens = [token for token in tokens if token]
+        if not tokens:
+            raise SpecificationError(
+                f"empty value list for {key!r} in {context}")
+    elif key in _INT_KEYS and (_RANGE_RE.match(text) or text.isdigit()):
+        return list(_expand_range(text, context=context))
+    else:
+        tokens = [text]
+    if key in _INT_KEYS:
+        values: List[object] = []
+        for token in tokens:
+            values.extend(_expand_range(token, context=context))
+        return values
+    return list(tokens)
+
+
+def _expand_term(term: str) -> List[ScenarioSpec]:
+    match = _TERM_RE.match(term)
+    if not match:
+        raise SpecificationError(
+            f"matrix term {term!r} does not match 'kind: dims, key=value, "
+            f"...'")
+    kind = match.group("kind")
+    parts = _split_top_level(match.group("rest"), ",")
+    if not parts:
+        raise SpecificationError(f"matrix term {term!r} misses dimensions")
+    dims_list = _expand_dims(parts[0], context=f"term {term!r}")
+
+    params: Dict[str, List[object]] = {}
+    group: Optional[str] = None
+    for part in parts[1:]:
+        key, equals, value = part.partition("=")
+        key, value = key.strip(), value.strip()
+        if not equals or not value:
+            raise SpecificationError(
+                f"expected key=value in matrix term {term!r}, got {part!r}")
+        if key == "group":
+            group = value
+            continue
+        if key not in _PARAM_KEYS:
+            raise SpecificationError(
+                f"unknown matrix key {key!r} in term {term!r}; known keys: "
+                f"{list(_PARAM_KEYS) + ['group']}")
+        if key in params:
+            raise SpecificationError(
+                f"duplicate matrix key {key!r} in term {term!r}")
+        params[key] = _parse_values(key, value, context=f"term {term!r}")
+
+    registry = spec_registry()
+    entry = registry.entry(kind)
+    specs: List[ScenarioSpec] = []
+    axes = [params.get(key, [None]) for key in _PARAM_KEYS]
+    for dims in dims_list:
+        for routing, switching, vcs, buffers, policy, escape \
+                in itertools.product(*axes):
+            spec = ScenarioSpec(
+                kind=kind, dims=dims, routing=routing, switching=switching,
+                num_vcs=1 if vcs is None else vcs, escape=escape,
+                route_policy="escape" if policy is None else policy,
+                buffers=2 if buffers is None else buffers, group=group)
+            spec = entry.normalize(spec)
+            entry.validate(spec)
+            specs.append(spec)
+    return specs
+
+
+def expand_matrix(matrix: Union[str, Iterable[str]]) -> List[ScenarioSpec]:
+    """Expand a matrix expression into its ordered, validated spec list.
+
+    ``matrix`` is one expression or a sequence of expressions; each may
+    hold several ``;``-separated terms.  Expansion is deterministic: the
+    same grid always yields the same specs in the same order (terms left
+    to right, dims outermost, then routing / switching / vcs / buffers /
+    policy / escape in declaration order).  Invalid grids -- unknown
+    kinds, out-of-space tokens, malformed ranges -- raise
+    :class:`~repro.core.errors.SpecificationError` eagerly, before
+    anything is built.
+    """
+    sources = [matrix] if isinstance(matrix, str) else list(matrix)
+    specs: List[ScenarioSpec] = []
+    for source in sources:
+        for term in _split_top_level(source, ";"):
+            specs.extend(_expand_term(term))
+    return specs

@@ -15,6 +15,13 @@ from repro.core.configuration import Configuration
 from repro.core.genoc import GeNoCEngine, GeNoCResult
 from repro.core.instance import NoCInstance
 from repro.core.measure import flit_hop_measure
+from repro.core.spec import (
+    SWITCHING_TOKENS,
+    ScenarioSpec,
+    register_builder,
+    resolve_measure,
+    resolve_switching,
+)
 from repro.core.travel import Travel
 from repro.hermes.dependency import ExyDependencySpec
 from repro.hermes.injection import Iid
@@ -60,7 +67,8 @@ class HermesInstance(NoCInstance):
 def build_hermes_instance(width: int, height: int,
                           buffer_capacity: int = 2,
                           switching: Optional[object] = None,
-                          routing: Optional[object] = None) -> HermesInstance:
+                          routing: Optional[object] = None,
+                          measure: Optional[object] = None) -> HermesInstance:
     """Build the HERMES instantiation for a ``width x height`` mesh.
 
     ``buffer_capacity`` is the number of 1-flit buffers per port (Fig. 1b
@@ -83,9 +91,72 @@ def build_hermes_instance(width: int, height: int,
         switching=switching_fn,
         dependency_spec=dependency,
         witness_destination=MeshWitness(mesh) if uses_xy else None,
-        measure=flit_hop_measure,
+        measure=measure if measure is not None else flit_hop_measure,
         default_capacity=buffer_capacity,
     )
+
+
+# ---------------------------------------------------------------------------
+# The "mesh" scenario kind (declarative spec layer)
+# ---------------------------------------------------------------------------
+
+def _mesh_routing(token: str, mesh: Mesh2D):
+    """The mesh routing function named by a spec's routing token."""
+    from repro.routing.adaptive import (
+        FullyAdaptiveMinimalRouting,
+        ZigZagRouting,
+    )
+    from repro.routing.turn_model import (
+        NegativeFirstRouting,
+        NorthLastRouting,
+        WestFirstRouting,
+    )
+    from repro.routing.yx import YXRouting
+
+    routings = {
+        "xy": XYRouting,
+        "yx": YXRouting,
+        "west-first": WestFirstRouting,
+        "north-last": NorthLastRouting,
+        "negative-first": NegativeFirstRouting,
+        "adaptive": FullyAdaptiveMinimalRouting,
+        "zigzag": ZigZagRouting,
+    }
+    return routings[token](mesh)
+
+
+MESH_ROUTING_TOKENS = ("xy", "yx", "west-first", "north-last",
+                       "negative-first", "adaptive", "zigzag")
+
+
+def build_mesh_from_spec(spec: ScenarioSpec) -> HermesInstance:
+    """:class:`InstanceBuilder` of the ``mesh`` kind."""
+    width, height = spec.dims
+    mesh = Mesh2D(width, height)
+    return build_hermes_instance(
+        width, height,
+        buffer_capacity=spec.buffers,
+        routing=_mesh_routing(spec.routing, mesh),
+        switching=resolve_switching(spec.switching),
+        measure=resolve_measure(spec.measure),
+    )
+
+
+def _mesh_scenario_name(spec: ScenarioSpec) -> str:
+    switching = resolve_switching(spec.switching).name()
+    return f"{spec.group_key()}/R{spec.routing}/{switching}"
+
+
+register_builder(
+    "mesh", build_mesh_from_spec,
+    description="HERMES 2D mesh (port-level model, paper Section V)",
+    dim_count=2,
+    routings=MESH_ROUTING_TOKENS,
+    default_routing="xy",
+    switchings=SWITCHING_TOKENS,
+    default_switching="wormhole",
+    namer=_mesh_scenario_name,
+)
 
 
 def GeNoC2D(config: Configuration, width: int, height: int,

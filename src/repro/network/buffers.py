@@ -25,13 +25,6 @@ class FlitBufferError(Exception):
     """Raised on illegal buffer operations (overflow, underflow, ownership)."""
 
 
-#: Deprecated alias of :class:`FlitBufferError` (the old name's trailing
-#: underscore only existed to dodge the ``BufferError`` builtin).  Kept so
-#: existing ``except BufferError_`` call sites continue to work; new code
-#: should catch :class:`FlitBufferError`.
-BufferError_ = FlitBufferError
-
-
 class FlitBuffer:
     """A bounded FIFO of 1-flit buffers attached to a port.
 

@@ -7,6 +7,7 @@ from typing import Optional, Set
 from repro.core.dependency import DependencyGraphSpec
 from repro.core.instance import NoCInstance
 from repro.core.measure import flit_hop_measure
+from repro.core.spec import ScenarioSpec, register_builder, resolve_measure
 from repro.hermes.injection import Iid
 from repro.network.port import Direction, Port, PortName, trans
 from repro.network.ring import Ring
@@ -92,7 +93,8 @@ def ring_witness_destination(ring: Ring):
 
 
 def build_chain_ring_instance(size: int,
-                              buffer_capacity: int = 2) -> NoCInstance:
+                              buffer_capacity: int = 2,
+                              measure=None) -> NoCInstance:
     """The deadlock-free ring instantiation (chain routing, no wrap link)."""
     ring = Ring(size, bidirectional=True)
     routing = ChainRingRouting(ring)
@@ -104,13 +106,14 @@ def build_chain_ring_instance(size: int,
         switching=WormholeSwitching(),
         dependency_spec=ChainRingDependencySpec(ring),
         witness_destination=ring_witness_destination(ring),
-        measure=flit_hop_measure,
+        measure=measure if measure is not None else flit_hop_measure,
         default_capacity=buffer_capacity,
     )
 
 
 def build_clockwise_ring_instance(size: int,
-                                  buffer_capacity: int = 1) -> NoCInstance:
+                                  buffer_capacity: int = 1,
+                                  measure=None) -> NoCInstance:
     """The deadlock-prone ring instantiation (clockwise routing, wrap link).
 
     No dependency spec is attached: obligation (C-3) is checked on the
@@ -127,6 +130,41 @@ def build_clockwise_ring_instance(size: int,
         switching=WormholeSwitching(),
         dependency_spec=None,
         witness_destination=None,
-        measure=flit_hop_measure,
+        measure=measure if measure is not None else flit_hop_measure,
         default_capacity=buffer_capacity,
     )
+
+
+# ---------------------------------------------------------------------------
+# The "ring" scenario kind (declarative spec layer)
+# ---------------------------------------------------------------------------
+
+RING_ROUTING_TOKENS = ("chain", "clockwise")
+
+
+def build_ring_from_spec(spec: ScenarioSpec) -> NoCInstance:
+    """:class:`InstanceBuilder` of the ``ring`` kind."""
+    size = spec.dims[0]
+    measure = resolve_measure(spec.measure)
+    if spec.routing == "chain":
+        return build_chain_ring_instance(size, buffer_capacity=spec.buffers,
+                                         measure=measure)
+    return build_clockwise_ring_instance(size, buffer_capacity=spec.buffers,
+                                         measure=measure)
+
+
+def _ring_scenario_name(spec: ScenarioSpec) -> str:
+    return f"{spec.group_key()}/{spec.routing}"
+
+
+register_builder(
+    "ring", build_ring_from_spec,
+    description="bidirectional ring (deadlock-free chain vs. deadlock-prone "
+                "clockwise routing)",
+    dim_count=1,
+    routings=RING_ROUTING_TOKENS,
+    default_routing="chain",
+    switchings=("wormhole",),
+    default_switching="wormhole",
+    namer=_ring_scenario_name,
+)

@@ -32,6 +32,7 @@ from typing import Optional, Sequence
 
 from repro.core.instance import NoCInstance
 from repro.core.measure import flit_hop_measure
+from repro.core.spec import ScenarioSpec, register_builder, resolve_measure
 from repro.core.travel import Travel, make_travel
 from repro.hermes.injection import Iid
 from repro.network.mesh import Mesh2D
@@ -81,7 +82,8 @@ class VCNoCInstance(NoCInstance):
 
 def build_vc_mesh_instance(width: int, height: int, num_vcs: int = 2,
                            buffer_capacity: int = 2,
-                           route_policy: str = "escape") -> VCNoCInstance:
+                           route_policy: str = "escape",
+                           measure=None) -> VCNoCInstance:
     """Fully-adaptive minimal routing + one XY escape VC on a 2D mesh.
 
     ``num_vcs = 1`` is the degenerate deadlock-prone baseline (adaptive and
@@ -101,14 +103,15 @@ def build_vc_mesh_instance(width: int, height: int, num_vcs: int = 2,
         switching=VCWormholeSwitching(),
         dependency_spec=None,
         witness_destination=None,
-        measure=flit_hop_measure,
+        measure=measure if measure is not None else flit_hop_measure,
         default_capacity=buffer_capacity,
     )
 
 
 def build_vc_torus_instance(width: int, height: int, num_vcs: int = 2,
                             buffer_capacity: int = 2,
-                            route_policy: str = "escape") -> VCNoCInstance:
+                            route_policy: str = "escape",
+                            measure=None) -> VCNoCInstance:
     """Dateline escape pair (+ adaptive class from 3 VCs up) on a torus."""
     torus = Torus2D(width, height)
     relation = torus_escape_routing(torus, num_vcs=num_vcs,
@@ -121,14 +124,15 @@ def build_vc_torus_instance(width: int, height: int, num_vcs: int = 2,
         switching=VCWormholeSwitching(),
         dependency_spec=None,
         witness_destination=None,
-        measure=flit_hop_measure,
+        measure=measure if measure is not None else flit_hop_measure,
         default_capacity=buffer_capacity,
     )
 
 
 def build_vc_ring_instance(size: int, num_vcs: int = 2,
                            buffer_capacity: int = 2,
-                           route_policy: str = "escape") -> VCNoCInstance:
+                           route_policy: str = "escape",
+                           measure=None) -> VCNoCInstance:
     """Dateline escape pair on a bidirectional ring."""
     ring = Ring(size, bidirectional=True)
     relation = ring_escape_routing(ring, num_vcs=num_vcs,
@@ -141,9 +145,80 @@ def build_vc_ring_instance(size: int, num_vcs: int = 2,
         switching=VCWormholeSwitching(),
         dependency_spec=None,
         witness_destination=None,
-        measure=flit_hop_measure,
+        measure=measure if measure is not None else flit_hop_measure,
         default_capacity=buffer_capacity,
     )
+
+
+# ---------------------------------------------------------------------------
+# The vc-* scenario kinds (declarative spec layer)
+# ---------------------------------------------------------------------------
+
+def build_vc_mesh_from_spec(spec: ScenarioSpec) -> VCNoCInstance:
+    """:class:`InstanceBuilder` of the ``vc-mesh`` kind."""
+    return build_vc_mesh_instance(
+        spec.dims[0], spec.dims[1], num_vcs=spec.num_vcs,
+        buffer_capacity=spec.buffers, route_policy=spec.route_policy,
+        measure=resolve_measure(spec.measure))
+
+
+def build_vc_torus_from_spec(spec: ScenarioSpec) -> VCNoCInstance:
+    """:class:`InstanceBuilder` of the ``vc-torus`` kind."""
+    return build_vc_torus_instance(
+        spec.dims[0], spec.dims[1], num_vcs=spec.num_vcs,
+        buffer_capacity=spec.buffers, route_policy=spec.route_policy,
+        measure=resolve_measure(spec.measure))
+
+
+def build_vc_ring_from_spec(spec: ScenarioSpec) -> VCNoCInstance:
+    """:class:`InstanceBuilder` of the ``vc-ring`` kind."""
+    return build_vc_ring_instance(
+        spec.dims[0], num_vcs=spec.num_vcs,
+        buffer_capacity=spec.buffers, route_policy=spec.route_policy,
+        measure=resolve_measure(spec.measure))
+
+
+def _vc_mesh_name(spec: ScenarioSpec) -> str:
+    return f"{spec.group_key()}/Radaptive+esc-xy/{spec.num_vcs}vc"
+
+
+def _vc_torus_name(spec: ScenarioSpec) -> str:
+    return f"{spec.group_key()}/Rxy-torus+esc-dateline/{spec.num_vcs}vc"
+
+
+def _vc_ring_name(spec: ScenarioSpec) -> str:
+    return f"{spec.group_key()}/Rshortest-ring+esc-dateline/{spec.num_vcs}vc"
+
+
+register_builder(
+    "vc-mesh", build_vc_mesh_from_spec,
+    description="2D mesh at VC granularity: fully-adaptive class + one XY "
+                "escape VC",
+    dim_count=2,
+    supports_vcs=True,
+    escape_style="xy",
+    namer=_vc_mesh_name,
+)
+
+register_builder(
+    "vc-torus", build_vc_torus_from_spec,
+    description="2D torus at VC granularity: dimension-order routing with a "
+                "dateline escape pair (+ adaptive class from 3 VCs)",
+    dim_count=2,
+    supports_vcs=True,
+    escape_style="dateline",
+    namer=_vc_torus_name,
+)
+
+register_builder(
+    "vc-ring", build_vc_ring_from_spec,
+    description="bidirectional ring at VC granularity: shortest-path routing "
+                "with a dateline escape pair",
+    dim_count=1,
+    supports_vcs=True,
+    escape_style="dateline",
+    namer=_vc_ring_name,
+)
 
 
 __all__ = [
@@ -151,4 +226,7 @@ __all__ = [
     "build_vc_mesh_instance",
     "build_vc_torus_instance",
     "build_vc_ring_instance",
+    "build_vc_mesh_from_spec",
+    "build_vc_torus_from_spec",
+    "build_vc_ring_from_spec",
 ]

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.network.buffers import BufferError_, FlitBuffer, PortState
+from repro.network.buffers import FlitBuffer, FlitBufferError, PortState
 from repro.network.flit import Flit, FlitKind, make_flits
 
 
@@ -63,11 +63,11 @@ class TestFlitBuffer:
     def test_overflow_raises(self):
         buffer = FlitBuffer(1)
         buffer.push(make_flits(1, 1)[0])
-        with pytest.raises(BufferError_):
+        with pytest.raises(FlitBufferError):
             buffer.push(make_flits(2, 1)[0])
 
     def test_underflow_raises(self):
-        with pytest.raises(BufferError_):
+        with pytest.raises(FlitBufferError):
             FlitBuffer(1).pop()
 
     def test_occupancy_and_free_slots(self):
@@ -109,7 +109,7 @@ class TestFlitBuffer:
         accepted = 0
         for flit in flits[:pushes]:
             if buffer.is_full:
-                with pytest.raises(BufferError_):
+                with pytest.raises(FlitBufferError):
                     buffer.push(flit)
             else:
                 buffer.push(flit)
@@ -138,7 +138,7 @@ class TestPortState:
     def test_accept_of_wrong_travel_raises(self):
         state = PortState.with_capacity(2)
         state.accept(Flit(1, 0, FlitKind.HEADER))
-        with pytest.raises(BufferError_):
+        with pytest.raises(FlitBufferError):
             state.accept(Flit(2, 0, FlitKind.HEADER))
 
     def test_release_returns_fifo_head_and_frees_ownership(self):

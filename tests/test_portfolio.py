@@ -215,16 +215,17 @@ class TestParallelPortfolio:
 
 
 class TestReportSchema:
-    """Pin the schema-2 export shape; bump the schema when changing it."""
+    """Pin the schema-3 export shape; bump the schema when changing it."""
 
     def test_schema_version_and_keys(self):
         report = run_portfolio(standard_portfolio(mesh_sizes=(3,),
                                                   ring_sizes=(4,)))
         payload = report.to_json_dict()
-        assert payload["schema"] == 2
+        assert payload["schema"] == 3
         assert payload["kind"] == "repro-portfolio-report"
-        assert set(payload) == {"schema", "kind", "jobs", "scenarios",
-                                "summary", "session_stats", "cache"}
+        assert set(payload) == {"schema", "kind", "jobs", "shard",
+                                "scenarios", "summary", "session_stats",
+                                "cache"}
         assert set(payload["summary"]) == {
             "scenarios", "deadlock_free", "deadlock_prone",
             "elapsed_seconds", "jobs", "cache_hits", "cache_misses"}
@@ -232,11 +233,29 @@ class TestReportSchema:
             assert set(scenario) == {
                 "scenario", "topology", "routing", "switching", "condition",
                 "num_vcs", "deadlock_free", "edges", "new_edges",
-                "wall_time_s", "solver", "cycle_core", "escape_edges"}
+                "wall_time_s", "solver", "cycle_core", "escape_edges",
+                "spec", "shard"}
             assert scenario["wall_time_s"] >= 0
             assert isinstance(scenario["solver"], dict)
+            # Schema 3: the standard portfolio is spec-built, so every
+            # scenario embeds its originating spec; unsharded runs mark
+            # the shard as null.
+            assert scenario["spec"]["kind"] in {"mesh", "ring"}
+            assert scenario["shard"] is None
         assert payload["jobs"] == 1
+        assert payload["shard"] is None
         assert payload["cache"].keys() == {"hits", "misses"}
+
+    def test_schema_3_embeds_the_originating_spec(self):
+        from repro.core.spec import ScenarioSpec
+
+        report = run_portfolio(standard_portfolio(mesh_sizes=(3,),
+                                                  ring_sizes=()))
+        entry = report.to_json_dict()["scenarios"][0]
+        spec = ScenarioSpec.from_dict(entry["spec"])
+        assert spec.kind == "mesh"
+        assert spec.dims == (3, 3)
+        assert spec.scenario_name() == entry["scenario"]
 
     def test_comparable_dict_strips_only_nondeterministic_fields(self):
         report = run_portfolio(standard_portfolio(mesh_sizes=(3,),
@@ -244,9 +263,12 @@ class TestReportSchema:
         projection = report.comparable_dict()
         assert "jobs" not in projection
         assert "cache" not in projection
+        assert "shard" not in projection
         assert "elapsed_seconds" not in projection["summary"]
         for scenario in projection["scenarios"]:
             assert "wall_time_s" not in scenario
+            assert "spec" not in scenario   # construction-path metadata
+            assert "shard" not in scenario  # scheduling metadata
             assert "solver" in scenario  # deterministic, stays
 
     def test_write_json_roundtrip(self, tmp_path):
@@ -257,7 +279,7 @@ class TestReportSchema:
         path = tmp_path / "portfolio.json"
         report.write_json(str(path))
         payload = json.loads(path.read_text())
-        assert payload["schema"] == 2
+        assert payload["schema"] == 3
         assert payload["summary"]["scenarios"] == len(payload["scenarios"])
 
 

@@ -6,7 +6,6 @@ import pytest
 
 from repro.core.state import NetworkState
 from repro.network.buffers import (
-    BufferError_,
     FlitBuffer,
     FlitBufferError,
     PortState,
@@ -147,8 +146,12 @@ class TestWrapLinks:
 
 
 class TestFlitBufferErrorRename:
-    def test_deprecated_alias_is_the_same_class(self):
-        assert BufferError_ is FlitBufferError
+    def test_deprecated_alias_is_gone(self):
+        """``BufferError_`` (deprecated in the VC PR) has been removed;
+        :class:`FlitBufferError` is the one exception type."""
+        import repro.network.buffers as buffers
+
+        assert not hasattr(buffers, "BufferError_")
 
     def test_overflow_raises_flit_buffer_error(self):
         buffer = FlitBuffer(1)
@@ -168,7 +171,4 @@ class TestFlitBufferErrorRename:
         assert state.owner == 1
         foreign = make_flits(2, 1)[0]
         with pytest.raises(FlitBufferError, match="owned by travel 1"):
-            state.accept(foreign)
-        # The old alias still catches it.
-        with pytest.raises(BufferError_):
             state.accept(foreign)

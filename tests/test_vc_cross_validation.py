@@ -63,7 +63,7 @@ class TestPortfolioSimulationConsistency:
         verdicts = {v.scenario: v.deadlock_free for v in report.verdicts}
         simulated = 0
         for scenario in scenarios:
-            instance = scenario.instance
+            instance = scenario.resolve()
             for workload in _small_workloads(instance):
                 result = Simulator(instance, max_steps=2000).run(workload)
                 simulated += 1
