@@ -40,6 +40,7 @@ from repro.checking.sat import (
 from repro.checking.encodings import (
     acyclicity_oracle,
     encode_acyclicity,
+    encode_numbering_constraint,
     is_acyclic_by_sat,
 )
 from repro.checking.incremental import AcyclicityOracle, IncrementalSession
@@ -89,6 +90,7 @@ __all__ = [
     "IncrementalSession",
     "acyclicity_oracle",
     "encode_acyclicity",
+    "encode_numbering_constraint",
     "is_acyclic_by_sat",
     "TransitionSystem",
     "ReachabilityResult",

@@ -9,7 +9,17 @@ the acyclicity encodings can be decoded into port orderings.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 Literal = int
 Clause = Tuple[Literal, ...]
@@ -82,22 +92,45 @@ class CNF:
     def add_unit(self, literal: Literal) -> None:
         self.add_clause((literal,))
 
+    def iter_clauses(self, start: int = 0) -> Iterator[Clause]:
+        """The canonical clause-iteration path (clauses ``start`` onward).
+
+        Every consumer that walks the clause set -- evaluation, variable
+        enumeration, DIMACS export, solver clause streaming -- goes
+        through this iterator.  (The *write* side has a second, raw path:
+        the encoder hot loops in ``tseitin.py``/``encodings.py`` append
+        validated tuples to ``self.clauses`` directly, bypassing
+        :meth:`add_clause` -- safe because every literal they emit is
+        already allocated.)
+        """
+        clauses = self.clauses
+        return iter(clauses[start:]) if start else iter(clauses)
+
     # -- evaluation --------------------------------------------------------------------
     def evaluate(self, assignment: Mapping[int, bool]) -> bool:
         """Evaluate under a total assignment (variable -> bool)."""
-        for clause in self.clauses:
-            if not any(self._literal_value(literal, assignment)
+        for clause in self.iter_clauses():
+            if not any(self.literal_value(literal, assignment)
                        for literal in clause):
                 return False
         return True
 
     @staticmethod
-    def _literal_value(literal: Literal, assignment: Mapping[int, bool]) -> bool:
+    def literal_value(literal: Literal, assignment: Mapping[int, bool]) -> bool:
+        """Truth of one literal under ``assignment``."""
         value = assignment[abs(literal)]
         return value if literal > 0 else not value
 
+    # Backwards-compatible private alias (pre-arena callers).
+    _literal_value = literal_value
+
     def variables(self) -> Set[int]:
-        return {abs(literal) for clause in self.clauses for literal in clause}
+        return {abs(literal) for clause in self.iter_clauses()
+                for literal in clause}
+
+    def has_empty_clause(self) -> bool:
+        """Does the formula contain the (trivially false) empty clause?"""
+        return any(len(clause) == 0 for clause in self.iter_clauses())
 
     def copy(self) -> "CNF":
         clone = CNF()

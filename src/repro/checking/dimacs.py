@@ -18,7 +18,7 @@ def write_dimacs(cnf: CNF, stream: TextIO, comments: List[str] = None) -> None:
     for name, var in sorted(cnf.named_variables().items()):
         stream.write(f"c var {var} = {name}\n")
     stream.write(f"p cnf {cnf.num_vars} {cnf.num_clauses}\n")
-    for clause in cnf.clauses:
+    for clause in cnf.iter_clauses():
         stream.write(" ".join(str(literal) for literal in clause) + " 0\n")
 
 

@@ -25,18 +25,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Hashable, List, Sequence, Tuple, TypeVar
 
-from repro.checking.bool_expr import (
-    And,
-    BoolExpr,
-    FALSE,
-    Iff,
-    Not,
-    Or,
-    TRUE,
-    Var,
-    conjoin,
-    disjoin,
-)
+from repro.checking.bool_expr import And, BoolExpr, FALSE, Iff, Not, Or, Var
 from repro.checking.cnf import CNF
 from repro.checking.graphs import DirectedGraph
 from repro.checking.sat import SatSolver, solve_cnf
@@ -77,6 +66,61 @@ _vertex_bits = vertex_bits
 _less_than = less_than_bits
 
 
+def encode_numbering_constraint(encoder: TseitinEncoder,
+                                target_index: int,
+                                source_index: int,
+                                width: int) -> int:
+    """Direct CNF generation of ``number(target) < number(source)``.
+
+    Returns a literal ``lt`` such that asserting ``lt`` (directly or
+    behind a selector, as the acyclicity oracles do) forces the strict
+    comparison, and such that ``lt`` is assertable whenever the
+    comparison can hold.  This is the construction hot path of every
+    oracle -- thousands of edges per session -- so instead of walking the
+    :func:`less_than_bits` expression tree through the generic Tseitin
+    encoder (4 helper variables and 13 clauses per bit, plus the
+    structural-hash cache probes), the comparison is emitted as the
+    standard *one-sided comparator ladder*: one fresh variable and at
+    most three clauses per bit::
+
+        lt_k -> (~a_k | b_k)            no bit above k decides wrongly
+        lt_k -> (~a_k | lt_{k-1})       a_k = 1 forces b_k = 1: strictness
+        lt_k -> ( b_k | lt_{k-1})       comes from a lower bit
+        lt_0 -> ~a_0,  lt_0 -> b_0      base: strict at bit 0
+
+    One-sided (implication-only) clauses suffice because every consumer
+    uses the literal *positively*: the oracle asserts
+    ``selector -> lt`` and never ``~lt``.  ``lt_root = true`` forces
+    ``number(target) < number(source)`` in every model (induction over
+    the ladder), and any assignment with the comparison true extends to
+    the ladder -- so selector subsets are satisfiable exactly as with the
+    two-sided encoding, while the solver carries ~4x fewer helper
+    variables and clauses per edge.  Semantic equivalence against
+    brute-force integer comparison is pinned by
+    ``tests/test_clause_management.py``.
+    """
+    cnf = encoder.cnf
+    append = cnf.clauses.append
+    var = cnf.var
+    new_var = cnf.new_var
+    # Base: strict comparison at bit 0 alone.
+    a = var(bit_name(target_index, 0))
+    b = var(bit_name(source_index, 0))
+    result = new_var()
+    append((-result, -a))
+    append((-result, b))
+    # Ladder up through the remaining bits, least significant first.
+    for bit in range(1, width):
+        a = var(bit_name(target_index, bit))
+        b = var(bit_name(source_index, bit))
+        lt = new_var()
+        append((-lt, -a, b))
+        append((-lt, -a, result))
+        append((-lt, b, result))
+        result = lt
+    return result
+
+
 def encode_acyclicity(graph: DirectedGraph[V]) -> Tuple[CNF, Dict[V, int]]:
     """Encode "``graph`` admits a topological numbering" as CNF.
 
@@ -90,17 +134,21 @@ def encode_acyclicity(graph: DirectedGraph[V]) -> Tuple[CNF, Dict[V, int]]:
     width = max(1, math.ceil(math.log2(max(len(vertices), 2))))
 
     encoder = TseitinEncoder()
-    constraints: List[BoolExpr] = []
+    cnf = encoder.cnf
+    # Asserting the conjunction of the edge constraints is the same as
+    # asserting each constraint literal as a unit -- no And gadget needed.
+    empty = True
     for source, target in graph.edges():
+        empty = False
         if source == target:
             # A self-loop is a cycle; emit an unsatisfiable constraint.
-            constraints.append(FALSE)
+            cnf.add_unit(-encoder.true_literal())
             continue
-        source_bits = _vertex_bits(vertex_index[source], width)
-        target_bits = _vertex_bits(vertex_index[target], width)
-        constraints.append(_less_than(target_bits, source_bits))
-    encoder.assert_expr(conjoin(constraints))
-    return encoder.cnf, vertex_index
+        cnf.add_unit(encode_numbering_constraint(
+            encoder, vertex_index[target], vertex_index[source], width))
+    if empty:
+        cnf.add_unit(encoder.true_literal())
+    return cnf, vertex_index
 
 
 def is_acyclic_by_sat(graph: DirectedGraph[V]) -> bool:

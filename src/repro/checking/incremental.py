@@ -71,13 +71,9 @@ class IncrementalSession:
     # -- encoding -----------------------------------------------------------------
     def _sync(self) -> None:
         self.solver.ensure_vars(self.cnf.num_vars)
-        clauses = self.cnf.clauses
         loaded = self._loaded_clauses
-        add_clause = self.solver.add_clause
-        while loaded < len(clauses):
-            add_clause(clauses[loaded])
-            loaded += 1
-        self._loaded_clauses = loaded
+        self._loaded_clauses = self.cnf.num_clauses
+        self.solver.add_clauses(self.cnf.iter_clauses(start=loaded))
 
     def encode(self, expression: BoolExpr) -> Literal:
         """Tseitin-encode an expression, returning its literal."""
@@ -171,8 +167,8 @@ class AcyclicityOracle:
     def add_edge(self, source: V, target: V) -> None:
         """Add an edge to the universe (idempotent)."""
         # Imported here: this module is re-exported through repro.checking,
-        # so module-level imports of the core package would be circular.
-        from repro.core.cache import instance_cache
+        # so a module-level import would be circular through __init__.
+        from repro.checking.encodings import encode_numbering_constraint
 
         edge = (source, target)
         if edge in self._edge_selector:
@@ -186,13 +182,13 @@ class AcyclicityOracle:
             # A self-loop is a cycle on its own: selecting it is unsatisfiable.
             self._session.add_clause((-selector,))
         else:
-            # The numbering constraint only depends on the two vertex
-            # indices and the counter width, so the expression tree is
-            # shared across sessions through the process-wide cache.
-            constraint = instance_cache().numbering_constraint(
-                self._vertex_index[target], self._vertex_index[source],
-                self._width)
-            literal = self._session.encode(constraint)
+            # Direct clause generation (no expression tree): emits the
+            # same stream the Tseitin walk would, straight into the CNF;
+            # the following add_clause syncs the whole batch into the
+            # solver arena in order.
+            literal = encode_numbering_constraint(
+                self._session.encoder, self._vertex_index[target],
+                self._vertex_index[source], self._width)
             self._session.add_clause((-selector, literal))
         self._edge_selector[edge] = selector
         self._selector_edge[selector] = edge

@@ -1,14 +1,23 @@
-"""An incremental CDCL SAT solver (the offline stand-in for Z3/MiniSat).
+"""An incremental CDCL SAT solver over a flat clause arena.
 
 The solver implements the standard conflict-driven clause-learning loop:
 
-* two-watched-literal unit propagation,
+* two-watched-literal unit propagation over **literal-indexed watcher
+  lists** whose entries carry a *blocker* literal (a clause known to be
+  satisfied while its blocker is true is skipped without touching clause
+  memory),
+* a **flat clause arena**: every clause lives in one shared int list,
+  referenced by a dense clause id with offset/length (and learned-flag,
+  activity, LBD) kept in parallel arrays -- no per-clause Python objects,
 * first-UIP conflict analysis with clause learning, learned-clause
   minimisation and non-chronological backjumping,
+* **LBD ("glue") tracking**: every learned clause records the number of
+  distinct decision levels among its literals at learning time, and
+  learned-clause deletion retains clauses LBD-first (glue and binary
+  clauses are immortal), compacting the arena afterwards,
 * VSIDS-style activity-based decision heuristic backed by a binary heap,
   with phase saving,
 * Luby-sequence restarts,
-* activity-driven learned-clause deletion,
 * **incremental use**: clauses can be added between ``solve`` calls, a
   single solver instance can be re-queried many times, and each query can
   be made under *assumptions* (temporary unit hypotheses).  When a query is
@@ -26,7 +35,8 @@ topology/routing scenario is a fresh set of assumptions on the same solver.
 The solver is deterministic: two runs on the same formula with the same
 ``seed`` take the same decisions and return the same model and statistics.
 Correctness is cross-checked against a brute-force evaluator in the test
-suite (see ``tests/test_sat_incremental.py``).
+suite (see ``tests/test_sat_incremental.py`` and
+``tests/test_clause_management.py``).
 """
 
 from __future__ import annotations
@@ -35,9 +45,16 @@ import itertools
 import random
 from dataclasses import dataclass, field
 from heapq import heapify, heappop, heappush
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
-from repro.checking.cnf import CNF, Clause, Literal
+from repro.checking.cnf import CNF, Literal
+
+#: Truth values of the literal-indexed assignment array.
+_UNASSIGNED, _TRUE, _FALSE = 0, 1, 2
+
+#: LBD values at or above this bucket share one histogram key
+#: (``lbd_10`` counts every learned clause with LBD >= 10).
+LBD_HISTOGRAM_CAP = 10
 
 
 @dataclass
@@ -57,26 +74,10 @@ class SatResult:
         """Decode the model using the CNF's variable names."""
         if self.model is None:
             raise ValueError("no model: formula is unsatisfiable")
-        named = {}
-        for var, value in self.model.items():
-            name = cnf.name_of(var)
-            if name is not None:
-                named[name] = value
-        return named
-
-
-class _ClauseRef:
-    """Mutable clause wrapper used internally by the solver."""
-
-    __slots__ = ("literals", "learned", "activity")
-
-    def __init__(self, literals: Sequence[Literal], learned: bool = False):
-        # Fresh lists (the normal case) are adopted rather than copied --
-        # clause construction is on the encoding hot path.
-        self.literals: List[Literal] = (literals if isinstance(literals, list)
-                                        else list(literals))
-        self.learned = learned
-        self.activity = 0.0
+        model = self.model
+        return {name: model[var]
+                for name, var in cnf.named_variables().items()
+                if var in model}
 
 
 class _VarHeap:
@@ -190,24 +191,51 @@ class IncrementalSatSolver:
         solver.solve(assumptions=[selector])   # with the clause enabled
         solver.solve(assumptions=[-selector])  # with the clause disabled
 
-    All learned clauses are kept between queries, so repeated related
-    queries get monotonically faster.
+    All learned clauses are kept between queries (subject to LBD-driven
+    deletion), so repeated related queries get monotonically faster.
+
+    Internally the solver is a *flat-array engine*: clause literals live in
+    one shared int arena (``_arena``), clauses are dense ids indexing the
+    parallel ``_coff``/``_csize``/``_clearned``/``_cact``/``_clbd`` arrays,
+    truth values live in a literal-indexed bytearray and watcher lists are
+    flat ``[clause_id, blocker, ...]`` int lists -- no per-clause or
+    per-watch Python objects on the propagation path.
     """
 
     def __init__(self, seed: int = 2010,
                  random_polarity_freq: float = 0.0) -> None:
         self._num_vars = 0
-        self._clauses: List[_ClauseRef] = []
-        self._learnts: List[_ClauseRef] = []
-        # Watch lists, indexed by _watch_index(literal); each entry is a
-        # (clause, clause.literals) pair (see :meth:`_attach`).
-        self._watches: List[List[Tuple[_ClauseRef, List[Literal]]]] = []
-        # Per-variable state, 1-indexed (slot 0 unused).
-        self._assign: List[Optional[bool]] = [None]
+        # Literal-indexed state: index ``_center + literal`` is valid for
+        # every |literal| <= _cap, so truth lookups need no branch on the
+        # literal's sign.  Grown geometrically by _grow_literal_arrays.
+        self._cap = 0
+        self._center = 0
+        self._lit_val = bytearray(1)
+        #: Watcher lists, one per literal slot; each list is a flat
+        #: ``[clause_id, blocker, clause_id, blocker, ...]`` int sequence.
+        self._watches: List[List[int]] = [[]]
+        # The clause arena: all clause literals in one int list.  A clause
+        # is a dense id ``cid`` with literals at
+        # ``_arena[_coff[cid] : _coff[cid] + _csize[cid]]``; the watched
+        # pair sits at offsets 0 and 1.  Learned flags, activities and LBD
+        # scores live in parallel arrays indexed by ``cid``.
+        self._arena: List[int] = []
+        self._coff: List[int] = []
+        self._csize: List[int] = []
+        self._clearned = bytearray()
+        # Learned-clause side tables, keyed by cid.  Only learned clauses
+        # carry an activity and an LBD, so these stay off the problem-
+        # clause loading path (sparse "parallel arrays" of the arena).
+        self._cact: Dict[int, float] = {}
+        self._clbd: Dict[int, int] = {}
+        self._learnt_cids: List[int] = []
+        self._num_problem = 0
+        # Per-variable state, 1-indexed (slot 0 unused).  Reasons are
+        # clause ids (-1: decision / level-0 fact).
         self._level: List[int] = [0]
-        self._reason: List[Optional[_ClauseRef]] = [None]
+        self._reason: List[int] = [-1]
         self._activity: List[float] = [0.0]
-        self._polarity: List[bool] = [False]
+        self._polarity = bytearray(1)
         self._heap = _VarHeap(self._activity)
         self._trail: List[Literal] = []
         self._trail_lim: List[int] = []
@@ -220,9 +248,15 @@ class IncrementalSatSolver:
         self._max_learnts = 0.0
         self._rng = random.Random(seed)
         self._random_polarity_freq = random_polarity_freq
+        #: Assumptions of the previous solve, for prefix-trail reuse.
+        self._last_assumptions: List[Literal] = []
         self._stats = {"decisions": 0, "propagations": 0, "conflicts": 0,
                        "restarts": 0, "learned": 0, "deleted": 0,
-                       "solves": 0, "minimised": 0}
+                       "solves": 0, "minimised": 0,
+                       "arena_gcs": 0, "arena_reclaimed": 0}
+        #: LBD histogram of learned clauses: bucket -> count, buckets
+        #: capped at LBD_HISTOGRAM_CAP (the last bucket is ">= cap").
+        self._lbd_hist: Dict[int, int] = {}
         self._last_core: Optional[List[Literal]] = None
         # Reusable conflict-analysis scratch buffer (one byte per variable,
         # slot 0 unused); cleared selectively after every analysis so no
@@ -236,27 +270,26 @@ class IncrementalSatSolver:
 
     @property
     def stats(self) -> Dict[str, int]:
-        return dict(self._stats)
+        """Search statistics, including the LBD histogram (``lbd_<n>``)."""
+        merged = dict(self._stats)
+        for bucket in sorted(self._lbd_hist):
+            merged[f"lbd_{bucket}"] = self._lbd_hist[bucket]
+        return merged
+
+    def lbd_histogram(self) -> Dict[int, int]:
+        """Learned-clause LBD counts (bucket ``LBD_HISTOGRAM_CAP`` is
+        ">= cap"); cumulative over the solver's lifetime."""
+        return dict(self._lbd_hist)
 
     def new_var(self) -> int:
         """Allocate a fresh variable and return its index."""
-        self._num_vars += 1
-        var = self._num_vars
-        self._assign.append(None)
-        self._level.append(0)
-        self._reason.append(None)
-        self._activity.append(0.0)
-        self._polarity.append(False)
-        self._seen.append(0)
-        self._watches.append([])
-        self._watches.append([])
-        self._heap.push(var)
-        return var
+        self.ensure_vars(self._num_vars + 1)
+        return self._num_vars
 
     def ensure_vars(self, count: int) -> None:
         """Grow the variable range to at least ``count`` variables.
 
-        Bulk form of :meth:`new_var` (one extend per array instead of six
+        Bulk form of :meth:`new_var` (one extend per array instead of many
         appends per variable) -- encodings allocate variables in bursts
         through this path.
         """
@@ -265,35 +298,54 @@ class IncrementalSatSolver:
             return
         start = self._num_vars + 1
         self._num_vars = count
-        self._assign.extend([None] * grow)
         self._level.extend([0] * grow)
-        self._reason.extend([None] * grow)
+        self._reason.extend([-1] * grow)
         self._activity.extend([0.0] * grow)
-        self._polarity.extend([False] * grow)
+        self._polarity.extend(b"\x00" * grow)
         self._seen.extend(b"\x00" * grow)
-        self._watches.extend([] for _ in range(2 * grow))
+        if count > self._cap:
+            self._grow_literal_arrays(count)
         self._heap.push_fresh(start, count + 1)
 
-    @staticmethod
-    def _watch_index(literal: Literal) -> int:
-        var = literal if literal > 0 else -literal
-        return 2 * var - 2 + (literal < 0)
+    def _grow_literal_arrays(self, needed: int) -> None:
+        """Re-centre the literal-indexed arrays for |literal| <= needed.
+
+        Growth is geometric, so re-centring (which copies the assignment
+        bytes and re-homes the existing watch-list objects) stays rare and
+        amortised-free even when variables arrive one at a time.
+        """
+        new_cap = max(needed, 2 * self._cap, 64)
+        old_cap = self._cap
+        new_center = new_cap
+        new_lit_val = bytearray(2 * new_cap + 1)
+        new_lit_val[new_center - old_cap:new_center + old_cap + 1] = \
+            self._lit_val
+        new_watches: List[List[int]] = [[] for _ in range(2 * new_cap + 1)]
+        new_watches[new_center - old_cap:new_center + old_cap + 1] = \
+            self._watches
+        self._lit_val = new_lit_val
+        self._watches = new_watches
+        self._cap = new_cap
+        self._center = new_center
 
     # -- assignment helpers --------------------------------------------------------
     def _value(self, literal: Literal) -> Optional[bool]:
-        value = self._assign[abs(literal)]
-        if value is None:
+        value = self._lit_val[self._center + literal]
+        if value == _UNASSIGNED:
             return None
-        return value if literal > 0 else not value
+        return value == _TRUE
 
     @property
     def _decision_level(self) -> int:
         return len(self._trail_lim)
 
-    def _enqueue(self, literal: Literal, reason: Optional[_ClauseRef]) -> None:
-        var = abs(literal)
-        self._assign[var] = literal > 0
-        self._level[var] = self._decision_level
+    def _enqueue(self, literal: Literal, reason: int) -> None:
+        lit_val = self._lit_val
+        center = self._center
+        lit_val[center + literal] = _TRUE
+        lit_val[center - literal] = _FALSE
+        var = literal if literal > 0 else -literal
+        self._level[var] = len(self._trail_lim)
         self._reason[var] = reason
         self._trail.append(literal)
 
@@ -302,196 +354,300 @@ class IncrementalSatSolver:
         if len(self._trail_lim) <= level:
             return
         trail = self._trail
-        assign = self._assign
+        lit_val = self._lit_val
+        center = self._center
         polarity = self._polarity
         reason = self._reason
-        heap_push = self._heap.push
+        activity = self._activity
+        heap = self._heap
+        in_heap = heap._in_heap
+        version = heap._version
+        entries = heap._entries
+        pushed = 0
         limit = self._trail_lim[level]
         for literal in reversed(trail[limit:]):
             var = literal if literal > 0 else -literal
             polarity[var] = literal > 0
-            assign[var] = None
-            reason[var] = None
-            heap_push(var)
+            lit_val[center + literal] = _UNASSIGNED
+            lit_val[center - literal] = _UNASSIGNED
+            reason[var] = -1
+            # Inlined heap.push (hot: every backtracked variable).
+            if not in_heap[var]:
+                in_heap[var] = True
+                entry_version = version[var] + 1
+                version[var] = entry_version
+                heappush(entries, (-activity[var], var, entry_version))
+                pushed += 1
+        heap._size += pushed
         del trail[limit:]
         del self._trail_lim[level:]
         if self._qhead > limit:
             self._qhead = limit
 
     # -- clause addition -----------------------------------------------------------
+    def _new_clause(self, literals: List[Literal], learned: bool) -> int:
+        """Append a clause to the arena and attach its watchers.
+
+        The first two literals become the watched pair; each watcher
+        carries the *other* watched literal as its initial blocker.
+        """
+        arena = self._arena
+        self._coff.append(len(arena))
+        self._csize.append(len(literals))
+        arena.extend(literals)
+        cid = len(self._clearned)
+        self._clearned.append(1 if learned else 0)
+        if learned:
+            self._cact[cid] = 0.0
+            self._clbd[cid] = 0
+            self._learnt_cids.append(cid)
+        else:
+            self._num_problem += 1
+        watches = self._watches
+        center = self._center
+        first, second = literals[0], literals[1]
+        watch_list = watches[center + first]
+        watch_list.append(cid)
+        watch_list.append(second)
+        watch_list = watches[center + second]
+        watch_list.append(cid)
+        watch_list.append(first)
+        return cid
+
     def add_clause(self, literals: Iterable[Literal]) -> bool:
         """Add a clause; returns ``False`` when the formula became UNSAT.
 
         Can be called at any time, also between ``solve`` calls: the solver
         first backtracks to decision level 0.  Literals over unseen variables
         grow the variable range automatically.
+
+        One-clause form of :meth:`add_clauses` (which holds the single
+        copy of the simplify/dedup/attach logic); every bulk consumer
+        streams through :meth:`add_clauses` directly.
+        """
+        return self.add_clauses((literals,))
+
+    def add_clauses(self, clauses: Iterable[Iterable[Literal]]) -> bool:
+        """Stream many clauses into the arena (see :meth:`add_clause`).
+
+        Semantically a loop of :meth:`add_clause`, but with the per-clause
+        state (assignment bytes, arena, watcher table) hoisted out of the
+        loop -- whole encodings (thousands of clauses per oracle) load
+        through this path, and the hoisting is worth ~25% of load time.
+
+        An **empty** stream leaves the solver untouched: the sync layers
+        call this between every pair of solves (usually with nothing new),
+        and backtracking would needlessly destroy the assumption-prefix
+        trail that :meth:`solve` reuses.  The backtrack to level 0
+        happens only once the first real clause arrives.
         """
         if not self._ok:
             return False
+        iterator = iter(clauses)
+        for probe in iterator:
+            first_batch = (probe,)
+            break
+        else:
+            return True  # nothing to add: keep the reusable trail intact
         if self._trail_lim:
             self._cancel_until(0)
-
-        # Clause loading is hot when whole encodings stream in (thousands
-        # of clauses per oracle), so the per-literal work reads the
-        # assignment array directly and deduplicates against the (short)
-        # clause being built instead of allocating a set.
-        assign = self._assign
-        clause: List[Literal] = []
-        satisfied = False
-        for literal in literals:
-            if literal == 0:
-                raise ValueError("0 is not a valid literal")
-            var = literal if literal > 0 else -literal
-            if var > self._num_vars:
-                self.ensure_vars(var)
-            value = assign[var]
-            if value is not None:
-                if value == (literal > 0):
-                    satisfied = True  # already true at level 0
-                else:
-                    continue  # permanently false literal: drop it
-            if literal in clause:
-                continue
-            if -literal in clause:
-                return True  # tautology
-            clause.append(literal)
-        if satisfied:
-            return True
-        if not clause:
-            self._ok = False
-            return False
-        if len(clause) == 1:
-            self._enqueue(clause[0], None)
-            if self._propagate() is not None:
-                self._ok = False
-                return False
-            return True
-        ref = _ClauseRef(clause)
-        self._clauses.append(ref)
-        # Inlined _attach (one entry tuple, two watch-list appends).
+        clauses = itertools.chain(first_batch, iterator)
+        lit_val = self._lit_val
+        center = self._center
+        num_vars = self._num_vars
+        arena = self._arena
+        coff = self._coff
+        csize = self._csize
+        clearned = self._clearned
         watches = self._watches
-        entry = (ref, clause)
-        first = clause[0]
-        first_var = first if first > 0 else -first
-        watches[2 * first_var - 2 + (first < 0)].append(entry)
-        second = clause[1]
-        second_var = second if second > 0 else -second
-        watches[2 * second_var - 2 + (second < 0)].append(entry)
-        return True
-
-    def add_clauses(self, clauses: Iterable[Iterable[Literal]]) -> bool:
+        added = 0
         ok = True
-        for clause in clauses:
-            ok = self.add_clause(clause) and ok
+        for literals in clauses:
+            clause: List[Literal] = []
+            satisfied = False
+            tautology = False
+            for literal in literals:
+                if literal == 0:
+                    raise ValueError("0 is not a valid literal")
+                var = literal if literal > 0 else -literal
+                if var > num_vars:
+                    self.ensure_vars(var)
+                    lit_val = self._lit_val
+                    center = self._center
+                    num_vars = self._num_vars
+                    watches = self._watches
+                value = lit_val[center + literal]
+                if value:
+                    if value == 1:
+                        satisfied = True
+                    else:
+                        continue
+                if literal in clause:
+                    continue
+                if -literal in clause:
+                    tautology = True
+                    break
+                clause.append(literal)
+            if tautology or satisfied:
+                continue
+            if not clause:
+                self._ok = False
+                ok = False
+                break
+            if len(clause) == 1:
+                self._enqueue(clause[0], -1)
+                if self._propagate() >= 0:
+                    self._ok = False
+                    ok = False
+                    break
+                continue
+            coff.append(len(arena))
+            csize.append(len(clause))
+            arena.extend(clause)
+            cid = len(clearned)
+            clearned.append(0)
+            added += 1
+            first, second = clause[0], clause[1]
+            watch_list = watches[center + first]
+            watch_list.append(cid)
+            watch_list.append(second)
+            watch_list = watches[center + second]
+            watch_list.append(cid)
+            watch_list.append(first)
+        self._num_problem += added
         return ok
 
-    def _attach(self, ref: _ClauseRef) -> None:
-        # Watch lists hold (ref, literals) pairs: the literal list identity
-        # is stable (it is mutated in place), and carrying it in the entry
-        # saves one attribute load per clause visit in the propagation loop.
-        watches = self._watches
-        literals = ref.literals
-        entry = (ref, literals)
-        first = literals[0]
-        first_var = first if first > 0 else -first
-        watches[2 * first_var - 2 + (first < 0)].append(entry)
-        second = literals[1]
-        second_var = second if second > 0 else -second
-        watches[2 * second_var - 2 + (second < 0)].append(entry)
-
     # -- propagation ---------------------------------------------------------------
-    def _propagate(self) -> Optional[_ClauseRef]:
+    def _propagate(self) -> int:
         """Unit propagation from the current queue head.
 
-        Returns the conflicting clause, or ``None``.
+        Returns the conflicting clause id, or ``-1``.
 
-        This is the solver's hottest loop, so it trades a little clarity for
-        constant factors: the per-variable arrays are bound to locals, literal
-        values are read inline instead of through :meth:`_value`, watch lists
-        are compacted in place (two-pointer style) instead of being rebuilt,
-        and the propagation counter is flushed to the stats dict once per
-        call.  The visit order -- and therefore the whole search -- is
-        identical to the straightforward formulation.
+        This is the solver's hottest loop, so it trades a little clarity
+        for constant factors: watcher entries are flat ``cid, blocker``
+        int pairs; a true blocker skips the clause with a single bytearray
+        read; clause literals are read straight from the arena (the false
+        watch is normalised to slot 1 in place); watcher lists are
+        compacted in place (two-pointer style); and the propagation
+        counter is flushed to the stats dict once per call.
         """
         trail = self._trail
-        trail_append = trail.append
         watches = self._watches
-        assign = self._assign
+        lit_val = self._lit_val
+        center = self._center
+        arena = self._arena
+        coff = self._coff
+        csize = self._csize
         level = self._level
         reason = self._reason
         qhead = self._qhead
+        current_level = len(self._trail_lim)
         propagations = 0
-        conflict: Optional[_ClauseRef] = None
-        while qhead < len(trail):
+        conflict = -1
+        trail_len = len(trail)
+        while qhead < trail_len:
             literal = trail[qhead]
             qhead += 1
             propagations += 1
             false_literal = -literal
-            var = false_literal if false_literal > 0 else -false_literal
-            watch_list = watches[2 * var - 2 + (false_literal < 0)]
+            watch_list = watches[center + false_literal]
             end = len(watch_list)
             read = write = 0
             while read < end:
-                entry = watch_list[read]
-                read += 1
-                literals = entry[1]
-                # Ensure the false literal is at position 1.
-                if literals[0] == false_literal:
-                    literals[0] = literals[1]
-                    literals[1] = false_literal
-                first = literals[0]
-                first_var = first if first > 0 else -first
-                first_value = assign[first_var]
-                if first_value is not None and \
-                        (first_value if first > 0 else not first_value):
-                    watch_list[write] = entry
-                    write += 1
+                blocker = watch_list[read + 1]
+                if lit_val[center + blocker] == 1:
+                    # Clause satisfied by its blocker: keep, untouched.
+                    watch_list[write] = watch_list[read]
+                    watch_list[write + 1] = blocker
+                    write += 2
+                    read += 2
+                    continue
+                cid = watch_list[read]
+                read += 2
+                if csize[cid] == 2:
+                    # Binary fast path: the blocker of a binary watcher is
+                    # always the clause's other literal (watches never
+                    # move), so the clause is unit or conflicting without
+                    # touching the arena.  Behaviour-identical to the
+                    # general path below, just fewer loads.
+                    watch_list[write] = cid
+                    watch_list[write + 1] = blocker
+                    write += 2
+                    if lit_val[center + blocker]:  # == _FALSE: conflict
+                        while read < end:
+                            watch_list[write] = watch_list[read]
+                            watch_list[write + 1] = watch_list[read + 1]
+                            write += 2
+                            read += 2
+                        conflict = cid
+                        break
+                    lit_val[center + blocker] = 1
+                    lit_val[center - blocker] = 2
+                    var = blocker if blocker > 0 else -blocker
+                    level[var] = current_level
+                    reason[var] = cid
+                    trail.append(blocker)
+                    trail_len += 1
+                    continue
+                offset = coff[cid]
+                # Normalise the false watch to slot 1.
+                if arena[offset] == false_literal:
+                    arena[offset] = arena[offset + 1]
+                    arena[offset + 1] = false_literal
+                first = arena[offset]
+                first_value = lit_val[center + first]
+                if first_value == 1:
+                    # The other watch is true: keep, with it as blocker.
+                    watch_list[write] = cid
+                    watch_list[write + 1] = first
+                    write += 2
                     continue
                 # Look for a new literal to watch.
-                found = False
-                for position in range(2, len(literals)):
-                    candidate = literals[position]
-                    candidate_var = candidate if candidate > 0 else -candidate
-                    candidate_value = assign[candidate_var]
-                    if candidate_value is None or \
-                            (candidate_value if candidate > 0
-                             else not candidate_value):
-                        literals[1] = candidate
-                        literals[position] = false_literal
-                        watches[2 * candidate_var - 2
-                                + (candidate < 0)].append(entry)
-                        found = True
+                for position in range(offset + 2, offset + csize[cid]):
+                    candidate = arena[position]
+                    if lit_val[center + candidate] != 2:
+                        arena[offset + 1] = candidate
+                        arena[position] = false_literal
+                        other_list = watches[center + candidate]
+                        other_list.append(cid)
+                        other_list.append(first)
                         break
-                if found:
-                    continue
-                # Clause is unit or conflicting.
-                watch_list[write] = entry
-                write += 1
-                if first_value is not None:  # i.e. ``first`` is false
-                    while read < end:
-                        watch_list[write] = watch_list[read]
-                        write += 1
-                        read += 1
-                    conflict = entry[0]
-                    break
-                assign[first_var] = first > 0
-                level[first_var] = len(self._trail_lim)
-                reason[first_var] = entry[0]
-                trail_append(first)
+                else:
+                    # Clause is unit or conflicting.
+                    watch_list[write] = cid
+                    watch_list[write + 1] = first
+                    write += 2
+                    if first_value:  # == _FALSE: every literal false
+                        while read < end:
+                            watch_list[write] = watch_list[read]
+                            watch_list[write + 1] = watch_list[read + 1]
+                            write += 2
+                            read += 2
+                        conflict = cid
+                        break
+                    # Inlined _enqueue of the unit literal.
+                    lit_val[center + first] = 1
+                    lit_val[center - first] = 2
+                    var = first if first > 0 else -first
+                    level[var] = current_level
+                    reason[var] = cid
+                    trail.append(first)
+                    trail_len += 1
             del watch_list[write:]
-            if conflict is not None:
-                qhead = len(trail)
+            if conflict >= 0:
+                qhead = trail_len
                 break
         self._qhead = qhead
         self._stats["propagations"] += propagations
         return conflict
 
     # -- conflict analysis ---------------------------------------------------------
-    def _analyse(self, conflict: _ClauseRef) -> Tuple[List[Literal], int]:
+    def _analyse(self, conflict: int) -> Tuple[List[Literal], int, int]:
         """First-UIP conflict analysis.
 
-        Returns the learned clause (asserting literal first) and the
-        backjump level.
+        Returns the learned clause (asserting literal first), the backjump
+        level and the clause's LBD (distinct decision levels among its
+        literals, measured before backjumping).
         """
         learned: List[Literal] = []
         seen = self._seen
@@ -500,19 +656,24 @@ class IncrementalSatSolver:
         levels = self._level
         reasons = self._reason
         activity = self._activity
+        arena = self._arena
+        coff = self._coff
+        csize = self._csize
         heap_update = self._heap.update
-        current_level = self._decision_level
+        current_level = len(self._trail_lim)
         counter = 0
-        literal: Optional[Literal] = None
+        literal = 0
         # ``skip`` is the trail literal being resolved on; 0 matches nothing,
         # so the whole conflict clause participates in the first round.
         skip: Literal = 0
-        reason_literals: Iterable[Literal] = conflict.literals
+        reason_cid = conflict
         self._bump_clause(conflict)
         trail_index = len(trail) - 1
 
         while True:
-            for reason_literal in reason_literals:
+            offset = coff[reason_cid]
+            for position in range(offset, offset + csize[reason_cid]):
+                reason_literal = arena[position]
                 if reason_literal == skip:
                     continue
                 var = reason_literal if reason_literal > 0 else -reason_literal
@@ -539,25 +700,29 @@ class IncrementalSatSolver:
             counter -= 1
             if counter == 0:
                 break
-            reason_ref = reasons[literal if literal > 0 else -literal]
-            assert reason_ref is not None
-            self._bump_clause(reason_ref)
+            reason_cid = reasons[literal if literal > 0 else -literal]
+            assert reason_cid >= 0
+            self._bump_clause(reason_cid)
             skip = literal
-            reason_literals = reason_ref.literals
-        assert literal is not None
 
         # Learned-clause minimisation: drop any literal whose reason clause
         # consists only of literals already in the learned clause (or set at
         # level 0) -- resolving on it cannot add information.
         minimised: List[Literal] = []
         for candidate in learned:
-            reason_ref = self._reason[abs(candidate)]
-            if reason_ref is None:
+            reason_cid = reasons[abs(candidate)]
+            if reason_cid < 0:
                 minimised.append(candidate)
                 continue
-            redundant = all(
-                seen[abs(other)] or self._level[abs(other)] == 0
-                for other in reason_ref.literals if other != -candidate)
+            offset = coff[reason_cid]
+            redundant = True
+            for position in range(offset, offset + csize[reason_cid]):
+                other = arena[position]
+                if other == -candidate:
+                    continue
+                if not (seen[abs(other)] or levels[abs(other)] == 0):
+                    redundant = False
+                    break
             if redundant:
                 self._stats["minimised"] += 1
             else:
@@ -570,9 +735,13 @@ class IncrementalSatSolver:
         if len(learned) == 1:
             backjump_level = 0
         else:
-            backjump_level = max(self._level[abs(lit)]
-                                 for lit in learned[1:])
-        return learned, backjump_level
+            backjump_level = max(levels[abs(lit)] for lit in learned[1:])
+        # LBD while the conflict-time levels are still live (the asserting
+        # literal sits on the current level, the rest at or below the
+        # backjump level).
+        lbd = len({levels[abs(lit)] for lit in learned[1:]}) + 1 \
+            if len(learned) > 1 else 1
+        return learned, backjump_level, lbd
 
     def _analyse_final(self, failed: Literal) -> List[Literal]:
         """Why is the assumption ``failed`` false right now?
@@ -584,21 +753,27 @@ class IncrementalSatSolver:
         is an assumption.
         """
         core = [failed]
-        if self._decision_level == 0:
+        if not self._trail_lim:
             return core
+        arena = self._arena
+        coff = self._coff
+        csize = self._csize
+        levels = self._level
         seen = {abs(failed)}
         for index in range(len(self._trail) - 1, self._trail_lim[0] - 1, -1):
             literal = self._trail[index]
             var = abs(literal)
             if var not in seen:
                 continue
-            reason = self._reason[var]
-            if reason is None:
+            reason_cid = self._reason[var]
+            if reason_cid < 0:
                 # A decision below the first search level is an assumption.
                 core.append(literal)
             else:
-                for other in reason.literals:
-                    if self._level[abs(other)] > 0:
+                offset = coff[reason_cid]
+                for position in range(offset, offset + csize[reason_cid]):
+                    other = arena[position]
+                    if levels[abs(other)] > 0:
                         seen.add(abs(other))
             seen.discard(var)
         return core
@@ -624,13 +799,15 @@ class IncrementalSatSolver:
     def _decay_activity(self) -> None:
         self._activity_inc /= self._activity_decay
 
-    def _bump_clause(self, ref: _ClauseRef) -> None:
-        if not ref.learned:
+    def _bump_clause(self, cid: int) -> None:
+        if not self._clearned[cid]:
             return
-        ref.activity += self._clause_inc
-        if ref.activity > 1e20:
-            for learnt in self._learnts:
-                learnt.activity *= 1e-20
+        cact = self._cact
+        activity = cact[cid] + self._clause_inc
+        cact[cid] = activity
+        if activity > 1e20:
+            for learnt in self._learnt_cids:
+                cact[learnt] *= 1e-20
             self._clause_inc *= 1e-20
 
     def _decay_clause(self) -> None:
@@ -638,41 +815,128 @@ class IncrementalSatSolver:
 
     # -- learned-clause deletion -----------------------------------------------------
     def _reduce_db(self) -> None:
-        """Delete the less active half of the learned clauses.
+        """Delete the worst half of the learned clauses, LBD-first.
 
-        Binary clauses and clauses that are currently the reason of a trail
-        assignment are kept.
+        Retention follows the glue-clause insight: clauses are ranked
+        worst-first by (LBD descending, activity ascending, age); binary
+        clauses, glue clauses (LBD <= 2) and clauses currently acting as
+        the reason of a trail assignment are immortal.  The arena is
+        compacted afterwards (see :meth:`_collect_garbage`).
         """
-        locked = {id(self._reason[abs(lit)]) for lit in self._trail
-                  if self._reason[abs(lit)] is not None}
-        ranked = sorted(self._learnts, key=lambda ref: ref.activity)
-        cut = len(ranked) // 2
-        doomed = {id(ref) for ref in ranked[:cut]
-                  if len(ref.literals) > 2 and id(ref) not in locked}
+        reason = self._reason
+        locked = set()
+        for literal in self._trail:
+            reason_cid = reason[literal if literal > 0 else -literal]
+            if reason_cid >= 0:
+                locked.add(reason_cid)
+        csize = self._csize
+        clbd = self._clbd
+        cact = self._cact
+        candidates = [cid for cid in self._learnt_cids
+                      if csize[cid] > 2 and clbd[cid] > 2
+                      and cid not in locked]
+        # Worst first: highest LBD, then lowest activity, then oldest.
+        candidates.sort(key=lambda cid: (-clbd[cid], cact[cid], cid))
+        doomed = candidates[:len(self._learnt_cids) // 2]
         if not doomed:
             return
-        self._learnts = [ref for ref in self._learnts
-                         if id(ref) not in doomed]
-        for index in range(len(self._watches)):
-            watch_list = self._watches[index]
-            self._watches[index] = [entry for entry in watch_list
-                                    if id(entry[0]) not in doomed]
         self._stats["deleted"] += len(doomed)
+        self._collect_garbage(set(doomed))
+
+    def _collect_garbage(self, doomed: set) -> None:
+        """Drop ``doomed`` clauses and compact the arena.
+
+        Every surviving clause is copied to a fresh, gap-free arena and
+        renumbered; watcher lists and reason references are rewritten to
+        the new ids (locked clauses are never doomed, so no reason can
+        dangle).  The reclaimed arena length is recorded in the
+        ``arena_reclaimed`` statistic.
+        """
+        old_arena = self._arena
+        coff = self._coff
+        csize = self._csize
+        clearned = self._clearned
+        cact = self._cact
+        clbd = self._clbd
+        count = len(coff)
+        remap = [-1] * count
+        new_arena: List[int] = []
+        new_coff: List[int] = []
+        new_csize: List[int] = []
+        new_learned = bytearray()
+        new_act: Dict[int, float] = {}
+        new_lbd: Dict[int, int] = {}
+        for cid in range(count):
+            if cid in doomed:
+                continue
+            new_cid = len(new_coff)
+            remap[cid] = new_cid
+            offset = coff[cid]
+            size = csize[cid]
+            new_coff.append(len(new_arena))
+            new_csize.append(size)
+            new_arena.extend(old_arena[offset:offset + size])
+            new_learned.append(clearned[cid])
+            if clearned[cid]:
+                new_act[new_cid] = cact[cid]
+                new_lbd[new_cid] = clbd[cid]
+        reclaimed = len(old_arena) - len(new_arena)
+        self._arena = new_arena
+        self._coff = new_coff
+        self._csize = new_csize
+        self._clearned = new_learned
+        self._cact = new_act
+        self._clbd = new_lbd
+        self._learnt_cids = [remap[cid] for cid in self._learnt_cids
+                             if remap[cid] >= 0]
+        for watch_list in self._watches:
+            if not watch_list:
+                continue
+            write = 0
+            for read in range(0, len(watch_list), 2):
+                new_cid = remap[watch_list[read]]
+                if new_cid < 0:
+                    continue
+                watch_list[write] = new_cid
+                watch_list[write + 1] = watch_list[read + 1]
+                write += 2
+            del watch_list[write:]
+        reason = self._reason
+        for var in range(1, self._num_vars + 1):
+            reason_cid = reason[var]
+            if reason_cid >= 0:
+                reason[var] = remap[reason_cid]
+        self._stats["arena_gcs"] += 1
+        self._stats["arena_reclaimed"] += reclaimed
 
     # -- decisions -----------------------------------------------------------------
     def _pick_branch_variable(self) -> Optional[int]:
+        # Inlined lazy-heap pop: stale entries (superseded versions) and
+        # already-assigned variables are skipped in one loop without the
+        # per-entry method dispatch of heap.pop().
         heap = self._heap
-        while len(heap):
-            var = heap.pop()
-            if self._assign[var] is None:
-                return var
+        entries = heap._entries
+        version = heap._version
+        in_heap = heap._in_heap
+        lit_val = self._lit_val
+        center = self._center
+        size = heap._size
+        while size:
+            _, var, entry_version = heappop(entries)
+            if in_heap[var] and version[var] == entry_version:
+                in_heap[var] = False
+                size -= 1
+                if lit_val[center + var] == _UNASSIGNED:
+                    heap._size = size
+                    return var
+        heap._size = size
         return None
 
     def _decision_polarity(self, var: int) -> bool:
         if (self._random_polarity_freq > 0.0
                 and self._rng.random() < self._random_polarity_freq):
             return self._rng.random() < 0.5
-        return self._polarity[var]
+        return bool(self._polarity[var])
 
     # -- restarts ------------------------------------------------------------------
     @staticmethod
@@ -692,6 +956,16 @@ class IncrementalSatSolver:
 
         The solver state survives the call: further clauses can be added and
         further queries (with different assumptions) issued afterwards.
+
+        Consecutive queries reuse the **assumption-prefix trail**: the
+        solver only backtracks to the longest common prefix of the previous
+        and the current assumption list, so everything propagated under the
+        shared assumptions stays in place.  The incremental deadlock
+        queries -- same edge universe, one selector toggled per query --
+        share almost their whole prefix, which makes this the single
+        biggest saving on portfolio workloads.  (Adding a clause still
+        backtracks to level 0, so prefix reuse never survives a formula
+        change.)
         """
         self._stats["solves"] += 1
         self._last_core = None
@@ -704,47 +978,57 @@ class IncrementalSatSolver:
 
         if not self._ok:
             return SatResult(satisfiable=False, stats=self.stats)
-        self._cancel_until(0)
-        if self._propagate() is not None:
-            self._ok = False
-            return SatResult(satisfiable=False, stats=self.stats)
+        # Longest common prefix with the previous query's assumptions,
+        # capped by the decision levels actually still on the trail.
+        previous = self._last_assumptions
+        prefix = 0
+        limit = min(len(previous), len(assumption_list),
+                    len(self._trail_lim))
+        while prefix < limit and previous[prefix] == assumption_list[prefix]:
+            prefix += 1
+        self._last_assumptions = assumption_list
+        self._cancel_until(prefix)
 
         if self._max_learnts <= 0:
-            self._max_learnts = max(100.0, len(self._clauses) / 3.0)
+            self._max_learnts = max(100.0, self._num_problem / 3.0)
         restart_index = 1
         conflicts_since_restart = 0
         restart_limit = 32 * self._luby(restart_index)
 
         while True:
             conflict = self._propagate()
-            if conflict is not None:
+            if conflict >= 0:
                 self._stats["conflicts"] += 1
                 conflicts_since_restart += 1
-                if self._decision_level == 0:
+                if not self._trail_lim:
                     self._ok = False
                     return SatResult(satisfiable=False, stats=self.stats)
-                learned, backjump_level = self._analyse(conflict)
+                learned, backjump_level, lbd = self._analyse(conflict)
                 self._cancel_until(backjump_level)
                 if len(learned) == 1:
-                    self._enqueue(learned[0], None)
+                    self._enqueue(learned[0], -1)
                 else:
                     # Watch the asserting literal and a literal from the
                     # backjump level so the watch invariant survives future
                     # backtracking.
+                    levels = self._level
                     for position in range(2, len(learned)):
-                        if (self._level[abs(learned[position])]
-                                >= self._level[abs(learned[1])]):
+                        if (levels[abs(learned[position])]
+                                >= levels[abs(learned[1])]):
                             learned[1], learned[position] = (
                                 learned[position], learned[1])
-                    ref = _ClauseRef(learned, learned=True)
-                    ref.activity = self._clause_inc
-                    self._learnts.append(ref)
-                    self._attach(ref)
+                    cid = self._new_clause(learned, learned=True)
+                    self._cact[cid] = self._clause_inc
+                    self._clbd[cid] = lbd
+                    bucket = min(lbd, LBD_HISTOGRAM_CAP)
+                    self._lbd_hist[bucket] = \
+                        self._lbd_hist.get(bucket, 0) + 1
                     self._stats["learned"] += 1
-                    self._enqueue(learned[0], ref)
+                    self._enqueue(learned[0], cid)
                 self._decay_activity()
                 self._decay_clause()
-                if len(self._learnts) >= self._max_learnts + len(self._trail):
+                if len(self._learnt_cids) >= \
+                        self._max_learnts + len(self._trail):
                     self._reduce_db()
                     self._max_learnts *= 1.1
                 continue
@@ -757,26 +1041,30 @@ class IncrementalSatSolver:
                 self._cancel_until(0)
                 continue
 
-            if self._decision_level < len(assumption_list):
+            if len(self._trail_lim) < len(assumption_list):
                 # Place the next assumption as a decision on its own level.
-                literal = assumption_list[self._decision_level]
+                literal = assumption_list[len(self._trail_lim)]
                 value = self._value(literal)
                 if value is False:
                     core = self._analyse_final(literal)
                     self._last_core = core
-                    self._cancel_until(0)
+                    # No backtrack: the placed assumption levels stay on
+                    # the trail for the next query's prefix reuse.
                     return SatResult(satisfiable=False, stats=self.stats,
                                      core=core)
                 self._trail_lim.append(len(self._trail))
                 if value is None:
-                    self._enqueue(literal, None)
+                    self._enqueue(literal, -1)
                 continue
 
             variable = self._pick_branch_variable()
             if variable is None:
-                model = {var: bool(self._assign[var])
+                lit_val = self._lit_val
+                center = self._center
+                model = {var: lit_val[center + var] == _TRUE
                          for var in range(1, self._num_vars + 1)}
-                self._cancel_until(0)
+                # No backtrack (see the docstring): the next solve or
+                # clause addition cancels exactly as far as it must.
                 return SatResult(satisfiable=True, model=model,
                                  stats=self.stats)
             self._stats["decisions"] += 1
@@ -784,15 +1072,64 @@ class IncrementalSatSolver:
             trail_lim.append(len(self._trail))
             polarity = self._decision_polarity(variable)
             # Inlined _enqueue for the decision (reason-free) case.
-            self._assign[variable] = polarity
+            literal = variable if polarity else -variable
+            lit_val = self._lit_val
+            center = self._center
+            lit_val[center + literal] = _TRUE
+            lit_val[center - literal] = _FALSE
             self._level[variable] = len(trail_lim)
-            self._reason[variable] = None
-            self._trail.append(variable if polarity else -variable)
+            self._reason[variable] = -1
+            self._trail.append(literal)
 
     def last_core(self) -> Optional[List[Literal]]:
         """The assumption core of the most recent UNSAT-under-assumptions
         answer (``None`` otherwise)."""
         return self._last_core
+
+    # -- introspection (tests, debugging) -------------------------------------------
+    def clause_literals(self, cid: int) -> List[Literal]:
+        """The literals of clause ``cid`` as stored in the arena."""
+        offset = self._coff[cid]
+        return self._arena[offset:offset + self._csize[cid]]
+
+    def check_watch_invariants(self) -> List[str]:
+        """Audit the watcher structures; returns violations (empty = OK).
+
+        Checked by the clause-management test suite, in particular across
+        arena garbage collections: every clause with >= 2 literals must be
+        watched on exactly its first two arena slots, every watcher entry
+        must reference a live clause, and every blocker must be a literal
+        of its clause.
+        """
+        errors: List[str] = []
+        count = len(self._coff)
+        watched: Dict[int, List[int]] = {cid: [] for cid in range(count)}
+        center = self._center
+        for slot, watch_list in enumerate(self._watches):
+            if len(watch_list) % 2:
+                errors.append(f"watch list at slot {slot} has odd length")
+                continue
+            literal = slot - center
+            for read in range(0, len(watch_list), 2):
+                cid = watch_list[read]
+                blocker = watch_list[read + 1]
+                if not 0 <= cid < count:
+                    errors.append(f"watcher references dead clause {cid}")
+                    continue
+                watched[cid].append(literal)
+                literals = self.clause_literals(cid)
+                if blocker not in literals:
+                    errors.append(f"blocker {blocker} of clause {cid} is "
+                                  f"not one of its literals {literals}")
+        for cid in range(count):
+            literals = self.clause_literals(cid)
+            if len(literals) < 2:
+                continue
+            if sorted(watched[cid]) != sorted(literals[:2]):
+                errors.append(
+                    f"clause {cid} watches {sorted(watched[cid])} but its "
+                    f"watched pair is {sorted(literals[:2])}")
+        return errors
 
 
 class SatSolver:
@@ -815,11 +1152,11 @@ class SatSolver:
         return self._engine
 
     def _sync(self) -> None:
-        """Load CNF clauses that were added since the last solve."""
+        """Stream CNF clauses added since the last solve into the arena."""
         self._engine.ensure_vars(self._cnf.num_vars)
-        for clause in self._cnf.clauses[self._loaded_clauses:]:
-            self._engine.add_clause(clause)
-        self._loaded_clauses = len(self._cnf.clauses)
+        loaded = self._loaded_clauses
+        self._loaded_clauses = self._cnf.num_clauses
+        self._engine.add_clauses(self._cnf.iter_clauses(start=loaded))
 
     def add_clause(self, literals: Iterable[Literal]) -> None:
         """Add a clause to both the CNF and the live solver."""
@@ -827,19 +1164,14 @@ class SatSolver:
         self._sync()
 
     def solve(self, assumptions: Iterable[Literal] = ()) -> SatResult:
-        """Decide satisfiability (optionally under unit assumptions)."""
+        """Decide satisfiability (optionally under unit assumptions).
+
+        Models are *not* re-evaluated against the CNF here (that O(formula)
+        pass per solve was measurable on one-shot queries); the property
+        suite cross-checks models against :meth:`CNF.evaluate` instead.
+        """
         self._sync()
-        result = self._engine.solve(assumptions)
-        if result.satisfiable:
-            # Defensive check: a complete assignment returned as a model
-            # must satisfy every original clause.
-            model = dict(result.model or {})
-            for var in self._cnf.variables():
-                model.setdefault(var, False)
-            if not self._cnf.evaluate(model):  # pragma: no cover
-                raise AssertionError(
-                    "internal SAT solver error: model does not satisfy CNF")
-        return result
+        return self._engine.solve(assumptions)
 
     def last_core(self) -> Optional[List[Literal]]:
         return self._engine.last_core()
@@ -854,7 +1186,7 @@ def brute_force_satisfiable(cnf: CNF) -> bool:
     """Exponential reference implementation used to validate the solver."""
     variables = sorted(cnf.variables())
     if not variables:
-        return all(len(clause) > 0 for clause in cnf.clauses) or not cnf.clauses
+        return not cnf.has_empty_clause()
     for bits in itertools.product([False, True], repeat=len(variables)):
         assignment = dict(zip(variables, bits))
         if cnf.evaluate(assignment):
@@ -870,7 +1202,7 @@ def brute_force_models(cnf: CNF) -> Iterator[Dict[int, bool]]:
     """
     variables = sorted(cnf.variables())
     if not variables:
-        if all(len(clause) > 0 for clause in cnf.clauses) or not cnf.clauses:
+        if not cnf.has_empty_clause():
             yield {}
         return
     for bits in itertools.product([False, True], repeat=len(variables)):

@@ -38,8 +38,9 @@ class TseitinEncoder:
 
     def encode(self, expression: BoolExpr) -> Literal:
         """Return a literal equivalent to ``expression`` (adding clauses)."""
-        if expression in self._cache:
-            return self._cache[expression]
+        literal = self._cache.get(expression)
+        if literal is not None:
+            return literal
         literal = self._encode_uncached(expression)
         self._cache[expression] = literal
         return literal
@@ -77,40 +78,60 @@ class TseitinEncoder:
             return self._encode_iff(left, right)
         raise TypeError(f"unknown expression type: {type(expression)!r}")
 
-    def _encode_const(self, expression: Const) -> Literal:
+    def true_literal(self) -> Literal:
+        """The (lazily allocated) literal asserted true in this encoding.
+
+        Shared by every ``Const`` encountered -- and by the direct clause
+        generators of :mod:`repro.checking.encodings`, which bypass the
+        expression tree but must agree with it on the true literal.
+        """
         if self._true_literal == 0:
             self._true_literal = self.cnf.new_var()
             self.cnf.add_unit(self._true_literal)
-        return self._true_literal if expression.value else -self._true_literal
+        return self._true_literal
+
+    def _encode_const(self, expression: Const) -> Literal:
+        true_literal = self.true_literal()
+        return true_literal if expression.value else -true_literal
+
+    # The defining clauses below are appended to the CNF's clause list
+    # directly: every literal is either the fresh output variable or came
+    # out of ``encode`` (so it is non-zero and within the allocated
+    # variable range), which makes ``CNF.add_clause``'s per-literal
+    # validation pure overhead on this hot path.  The emitted clause
+    # stream is identical.
 
     def _encode_and(self, literals) -> Literal:
         if len(literals) == 1:
             return literals[0]
         output = self._fresh("and")
+        append = self.cnf.clauses.append
         # output -> each literal
         for literal in literals:
-            self.cnf.add_clause((-output, literal))
+            append((-output, literal))
         # all literals -> output
-        self.cnf.add_clause(tuple(-lit for lit in literals) + (output,))
+        append(tuple(-lit for lit in literals) + (output,))
         return output
 
     def _encode_or(self, literals) -> Literal:
         if len(literals) == 1:
             return literals[0]
         output = self._fresh("or")
+        append = self.cnf.clauses.append
         # each literal -> output
         for literal in literals:
-            self.cnf.add_clause((-literal, output))
+            append((-literal, output))
         # output -> some literal
-        self.cnf.add_clause((-output,) + tuple(literals))
+        append((-output,) + tuple(literals))
         return output
 
     def _encode_iff(self, left: Literal, right: Literal) -> Literal:
         output = self._fresh("iff")
-        self.cnf.add_clause((-output, -left, right))
-        self.cnf.add_clause((-output, left, -right))
-        self.cnf.add_clause((output, left, right))
-        self.cnf.add_clause((output, -left, -right))
+        append = self.cnf.clauses.append
+        append((-output, -left, right))
+        append((-output, left, -right))
+        append((output, left, right))
+        append((output, -left, -right))
         return output
 
 

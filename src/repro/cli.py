@@ -137,6 +137,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "of the sweep (e.g. 0/2); shards never split a "
                             "session group and their union is the unsharded "
                             "run")
+    batch.add_argument("--shard-balance", type=str, default="hash",
+                       choices=["hash", "weighted"],
+                       help="group-to-shard assignment: 'hash' (CRC-32, "
+                            "cost-oblivious) or 'weighted' (LPT over a "
+                            "deterministic port-count cost model, evening "
+                            "out shard wall times; default: hash)")
     batch.add_argument("--mesh-sizes", type=int, nargs="*", default=[3, 4],
                        help="square mesh sizes to sweep (default: 3 4)")
     batch.add_argument("--ring-sizes", type=int, nargs="*", default=[4],
@@ -186,6 +192,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--json", type=str, default=None, metavar="PATH",
                        help="write the BENCH report to PATH (default: "
                             "BENCH_<date>.json in the current directory)")
+    bench.add_argument("--compare", type=str, nargs=2, default=None,
+                       metavar=("OLD.json", "NEW.json"),
+                       help="compare two committed BENCH reports instead of "
+                            "running anything: print the per-benchmark "
+                            "speedup table and exit non-zero on regressions "
+                            "beyond --threshold")
+    bench.add_argument("--threshold", type=float, default=0.95,
+                       help="minimum acceptable speedup in --compare mode "
+                            "(default 0.95: new may be at most 5%% slower)")
 
     return parser
 
@@ -548,7 +563,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                                              buffer_capacity=buffers)
     shard = _parse_shard(args.shard)
     report = run_portfolio(scenarios, cross_check=args.cross_check,
-                           jobs=args.jobs, shard=shard)
+                           jobs=args.jobs, shard=shard,
+                           shard_balance=args.shard_balance)
     print(report.formatted())
     print(report.summary())
     if shard is not None:
@@ -575,10 +591,27 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     from repro.core.bench import (
         bench_report_path,
+        compare_bench_reports,
+        format_bench_comparison,
         format_bench_summary,
         run_benchmark,
         write_bench_report,
     )
+
+    if args.compare:
+        old_path, new_path = args.compare
+        with open(old_path, encoding="utf-8") as handle:
+            old_report = json.load(handle)
+        with open(new_path, encoding="utf-8") as handle:
+            new_report = json.load(handle)
+        rows, regressions = compare_bench_reports(old_report, new_report,
+                                                  threshold=args.threshold)
+        if not rows:
+            print("the two reports share no comparable benchmarks")
+            return 1
+        print(format_bench_comparison(rows, regressions,
+                                      threshold=args.threshold))
+        return 1 if regressions else 0
 
     reference = None
     if args.reference:

@@ -29,7 +29,13 @@ import platform
 import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-BENCH_SCHEMA = 1
+#: Schema 2 (the flat-array CDCL core): portfolio runs must carry the
+#: per-group ``session_stats``, whose solver counters now include the
+#: learned-clause LBD histogram (``lbd_<n>``, bucket 10 = ">= 10") and
+#: the arena garbage-collection counters (``arena_gcs``,
+#: ``arena_reclaimed``).  Schema 1 reports remain readable (`--compare`
+#: accepts both); new reports are always written at the current schema.
+BENCH_SCHEMA = 2
 BENCH_KIND = "repro-bench-trajectory"
 
 
@@ -355,7 +361,7 @@ def validate_bench_report(report: Dict[str, object]) -> List[str]:
             for run in runs:
                 for key in ("jobs", "wall_time_s", "scenarios",
                             "deadlock_free", "cache_hits", "cache_misses",
-                            "per_scenario"):
+                            "session_stats", "per_scenario"):
                     require(key in run, f"portfolio run missing {key!r}")
                 for entry in run.get("per_scenario", []):
                     for key in ("scenario", "wall_time_s", "deadlock_free",
@@ -363,6 +369,83 @@ def validate_bench_report(report: Dict[str, object]) -> List[str]:
                         require(key in entry,
                                 f"per-scenario entry missing {key!r}")
     return errors
+
+
+# ---------------------------------------------------------------------------
+# Trajectory comparison (``repro bench --compare OLD.json NEW.json``)
+# ---------------------------------------------------------------------------
+
+def _portfolio_serial_wall(report: Dict[str, object]) -> Optional[float]:
+    """The serial (jobs=1) portfolio wall time of a report, if recorded."""
+    portfolio = report.get("portfolio", {})
+    if not isinstance(portfolio, dict):
+        return None
+    flat = portfolio.get("serial_wall_time_s")
+    if isinstance(flat, (int, float)):
+        return float(flat)
+    for run in portfolio.get("runs", []) or []:
+        if run.get("jobs") == 1 and isinstance(run.get("wall_time_s"),
+                                               (int, float)):
+            return float(run["wall_time_s"])
+    return None
+
+
+def compare_bench_reports(old: Dict[str, object],
+                          new: Dict[str, object],
+                          threshold: float = 0.95):
+    """Per-benchmark speedup of ``new`` over ``old``.
+
+    Returns ``(rows, regressions)``: ``rows`` is a list of
+    ``(name, old_s, new_s, speedup)`` tuples -- one per microbench name
+    the two reports share, plus ``solver-suite-aggregate`` and (when both
+    reports carry a serial run) ``portfolio-serial`` -- and
+    ``regressions`` names every row whose speedup falls below
+    ``threshold`` (0.95 = "new may be at most 5% slower").  Old reports
+    of any schema are accepted; only the sections both reports share are
+    compared.
+    """
+    rows: List[Tuple[str, float, float, float]] = []
+    old_micro = old.get("solver_microbench", {}) or {}
+    new_micro = new.get("solver_microbench", {}) or {}
+    base_total = measured_total = 0.0
+    for name in old_micro:
+        if name not in new_micro:
+            continue
+        old_wall = old_micro[name].get("wall_time_s")
+        new_wall = new_micro[name].get("wall_time_s")
+        if not old_wall or new_wall is None:
+            continue
+        base_total += old_wall
+        measured_total += new_wall
+        rows.append((name, old_wall, new_wall,
+                     round(old_wall / max(new_wall, 1e-9), 3)))
+    if measured_total:
+        rows.append(("solver-suite-aggregate", base_total, measured_total,
+                     round(base_total / measured_total, 3)))
+    old_serial = _portfolio_serial_wall(old)
+    new_serial = _portfolio_serial_wall(new)
+    if old_serial and new_serial is not None:
+        rows.append(("portfolio-serial", old_serial, new_serial,
+                     round(old_serial / max(new_serial, 1e-9), 3)))
+    regressions = [name for name, _, _, speedup in rows
+                   if speedup < threshold]
+    return rows, regressions
+
+
+def format_bench_comparison(rows, regressions,
+                            threshold: float = 0.95) -> str:
+    """Human-readable speedup table for :func:`compare_bench_reports`."""
+    from repro.reporting.tables import format_table
+
+    body = [[name, f"{old_wall * 1000:.1f}", f"{new_wall * 1000:.1f}",
+             f"{speedup:.2f}x" + ("  REGRESSION" if name in regressions
+                                  else "")]
+            for name, old_wall, new_wall, speedup in rows]
+    table = format_table(["benchmark", "old ms", "new ms", "speedup"], body)
+    if regressions:
+        table += (f"\n{len(regressions)} regression(s) beyond the "
+                  f"{threshold:.2f}x threshold: {', '.join(regressions)}")
+    return table
 
 
 def bench_report_path(directory: str = ".",

@@ -19,10 +19,11 @@ result:
   corrupt the shared copy.
 * **escape-coverage reports** ((V-1) of the VC condition), keyed the same
   way -- the portfolio driver and the VC theorem both need them.
-* **numbering constraints**: the Tseitin-ready ``number(target) <
-  number(source)`` bit-vector expression for a (target-index, source-index,
-  width) triple, shared by every oracle that encodes an edge between the
-  same vertex indices.
+
+(The numbering-constraint expression cache of earlier revisions is gone:
+the oracles now emit each edge's comparison directly as clauses --
+:func:`repro.checking.encodings.encode_numbering_constraint` -- so there
+is no expression tree left to share.)
 
 One cache lives per process (:func:`instance_cache`).  Portfolio worker
 processes each get their own -- scenario groups are scheduled with group
@@ -52,8 +53,6 @@ class InstanceCache:
         # routing-relation identity -> (V-1) coverage report
         self._coverage: "weakref.WeakKeyDictionary" = \
             weakref.WeakKeyDictionary()
-        # (target_index, source_index, width) -> BoolExpr
-        self._numbering_constraints: Dict[Tuple[int, int, int], object] = {}
         # ScenarioSpec -> NoCInstance (specs are frozen and hashable)
         self._instances: Dict[object, object] = {}
         self.hits = 0
@@ -66,14 +65,12 @@ class InstanceCache:
             "misses": self.misses,
             "graphs": len(self._graphs),
             "coverage_reports": len(self._coverage),
-            "numbering_constraints": len(self._numbering_constraints),
             "instances": len(self._instances),
         }
 
     def clear(self) -> None:
         self._graphs.clear()
         self._coverage.clear()
-        self._numbering_constraints.clear()
         self._instances.clear()
         self.hits = 0
         self.misses = 0
@@ -142,29 +139,6 @@ class InstanceCache:
         except TypeError:  # pragma: no cover - non-weakref-able relation
             pass
         return report
-
-    # -- numbering constraints ----------------------------------------------------
-    def numbering_constraint(self, target_index: int, source_index: int,
-                             width: int):
-        """``number(target) < number(source)`` over ``width``-bit counters.
-
-        The expression trees are immutable, so one instance serves every
-        oracle encoding an edge between the same vertex indices (the
-        per-session Tseitin encoders still allocate their own CNF
-        variables).
-        """
-        key = (target_index, source_index, width)
-        constraint = self._numbering_constraints.get(key)
-        if constraint is not None:
-            self.hits += 1
-            return constraint
-        from repro.checking.encodings import less_than_bits, vertex_bits
-
-        self.misses += 1
-        constraint = less_than_bits(vertex_bits(target_index, width),
-                                    vertex_bits(source_index, width))
-        self._numbering_constraints[key] = constraint
-        return constraint
 
 
 _CACHE: Optional[InstanceCache] = None

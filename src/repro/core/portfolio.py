@@ -111,6 +111,57 @@ def shard_index_of(group_key: str, shard_count: int) -> int:
     return zlib.crc32(group_key.encode("utf-8")) % shard_count
 
 
+#: Recognised ``shard_balance`` policies of :func:`run_portfolio`.
+SHARD_BALANCE_POLICIES = ("hash", "weighted")
+
+
+def scenario_cost(scenario: Scenario) -> float:
+    """Deterministic relative cost estimate of one scenario.
+
+    Estimated from the spec's dimensions and channel counts: the number
+    of network ports drives both the encoding size (ports x counter
+    bits) and the dependency-edge count, and observed solver work grows
+    super-linearly in the port count on the shipped topologies -- so the
+    model is ``ports ** 1.5``.  Instance-backed scenarios read their real
+    port count; spec-backed scenarios *estimate* it from dims/VCs alone,
+    so cost assignment never needs to build an instance.
+    """
+    spec = scenario.spec
+    if spec is None:
+        ports = len(scenario.instance.topology.ports)
+        return float(ports) ** 1.5
+    nodes = 1
+    for dim in spec.dims:
+        nodes *= int(dim)
+    # Port model: rings have 2 cardinal ports per node, 2D kinds 4; one
+    # local port each; VC kinds multiply the cardinal channels.
+    cardinal = 2 if len(spec.dims) == 1 else 4
+    ports = nodes * (cardinal * max(1, int(spec.num_vcs)) + 1)
+    return float(ports) ** 1.5
+
+
+def weighted_shard_assignment(group_costs: Dict[str, float],
+                              shard_count: int) -> Dict[str, int]:
+    """LPT (longest-processing-time) group-to-shard assignment.
+
+    Groups are placed heaviest-first onto the currently lightest shard --
+    the classic 4/3-approximation for makespan -- with every tie broken
+    deterministically (equal costs: lexicographic group key; equal loads:
+    lowest shard index), so all shards of a run agree on the partition
+    without communicating, exactly like :func:`shard_index_of`.
+    """
+    if shard_count < 1:
+        raise ValueError("shard count must be at least 1")
+    loads = [0.0] * shard_count
+    assignment: Dict[str, int] = {}
+    for key, cost in sorted(group_costs.items(),
+                            key=lambda item: (-item[1], item[0])):
+        shard = min(range(shard_count), key=lambda index: loads[index])
+        assignment[key] = shard
+        loads[shard] += cost
+    return assignment
+
+
 @dataclass
 class ScenarioVerdict:
     """The batch driver's answer for one scenario."""
@@ -475,7 +526,8 @@ def run_portfolio(scenarios: Sequence[Scenario],
                   analyse_failures: bool = True,
                   cross_check: bool = False,
                   jobs: int = 1,
-                  shard: Optional[Tuple[int, int]] = None) -> PortfolioReport:
+                  shard: Optional[Tuple[int, int]] = None,
+                  shard_balance: str = "hash") -> PortfolioReport:
     """Run every scenario through shared incremental deadlock sessions.
 
     ``analyse_failures`` additionally extracts the cycle core and the
@@ -502,6 +554,13 @@ def run_portfolio(scenarios: Sequence[Scenario],
     incremental sessions stay whole and
     :func:`merge_shard_reports` reassembles the exact unsharded report.
 
+    ``shard_balance`` chooses the group-to-shard assignment: ``"hash"``
+    (CRC-32, cost-oblivious) or ``"weighted"`` (LPT over the
+    :func:`scenario_cost` model, evening out shard wall times on skewed
+    grids).  Both are deterministic functions of the full scenario list,
+    so every shard of one run agrees on the partition; the merged report
+    is identical either way, only the work split differs.
+
     Scenarios whose routing is a
     :class:`~repro.routing.escape.EscapeChannelRouting` are decided by the
     VC-granular escape condition: (V-1) by explicit enumeration, (V-2) as
@@ -513,6 +572,9 @@ def run_portfolio(scenarios: Sequence[Scenario],
     start = time.perf_counter()
     ordered = list(scenarios)
     jobs = resolve_jobs(jobs)
+    if shard_balance not in SHARD_BALANCE_POLICIES:
+        raise ValueError(f"shard_balance must be one of "
+                         f"{SHARD_BALANCE_POLICIES}, got {shard_balance!r}")
     if shard is not None:
         shard_index, shard_count = int(shard[0]), int(shard[1])
         if shard_count < 1 or not 0 <= shard_index < shard_count:
@@ -529,8 +591,19 @@ def run_portfolio(scenarios: Sequence[Scenario],
         groups.setdefault(scenario.group_key(), []).append((index, scenario))
 
     if shard is not None:
-        groups = {key: indexed for key, indexed in groups.items()
-                  if shard_index_of(key, shard[1]) == shard[0]}
+        if shard_balance == "weighted":
+            # Costs are derived from the FULL group set (every shard sees
+            # the whole scenario list), so all shards compute the same
+            # LPT assignment independently.
+            costs = {key: sum(scenario_cost(scenario)
+                              for _, scenario in indexed)
+                     for key, indexed in groups.items()}
+            assignment = weighted_shard_assignment(costs, shard[1])
+            groups = {key: indexed for key, indexed in groups.items()
+                      if assignment[key] == shard[0]}
+        else:
+            groups = {key: indexed for key, indexed in groups.items()
+                      if shard_index_of(key, shard[1]) == shard[0]}
 
     # In a sharded run the verdict list covers only this shard's scenarios;
     # verdicts keep their original submission index, the report orders them

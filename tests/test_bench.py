@@ -10,6 +10,8 @@ from repro.core.bench import (
     BENCH_SCHEMA,
     SOLVER_MICROBENCHMARKS,
     bench_report_path,
+    compare_bench_reports,
+    format_bench_comparison,
     format_bench_summary,
     run_benchmark,
     run_portfolio_bench,
@@ -85,6 +87,72 @@ class TestSchemaValidation:
     def test_bench_report_path_shape(self):
         assert bench_report_path("/x", "2026-07-30") \
             == "/x/BENCH_2026-07-30.json"
+
+
+class TestCompare:
+    def _report(self, micro, serial):
+        return {
+            "solver_microbench": {name: {"wall_time_s": wall}
+                                  for name, wall in micro.items()},
+            "portfolio": {"runs": [{"jobs": 1, "wall_time_s": serial}]},
+        }
+
+    def test_speedups_and_aggregate(self):
+        old = self._report({"a": 1.0, "b": 2.0}, 10.0)
+        new = self._report({"a": 0.5, "b": 1.0}, 5.0)
+        rows, regressions = compare_bench_reports(old, new)
+        by_name = {name: speedup for name, _, _, speedup in rows}
+        assert by_name["a"] == 2.0
+        assert by_name["b"] == 2.0
+        assert by_name["solver-suite-aggregate"] == 2.0
+        assert by_name["portfolio-serial"] == 2.0
+        assert regressions == []
+
+    def test_regressions_beyond_threshold_are_flagged(self):
+        old = self._report({"a": 1.0, "b": 1.0}, 10.0)
+        new = self._report({"a": 1.5, "b": 0.9}, 9.0)
+        rows, regressions = compare_bench_reports(old, new, threshold=0.95)
+        assert "a" in regressions
+        assert "b" not in regressions
+        # The aggregate (2.0 s -> 2.4 s) regresses along with "a".
+        assert "solver-suite-aggregate" in regressions
+        table = format_bench_comparison(rows, regressions)
+        assert "REGRESSION" in table
+        assert "2 regression(s)" in table
+
+    def test_schema_1_reports_remain_comparable(self):
+        """The committed pre-rewrite baseline (schema 1, flat
+        serial_wall_time_s reference shape) must stay comparable."""
+        old = {"schema": 1,
+               "solver_microbench": {"a": {"wall_time_s": 2.0}},
+               "portfolio": {"serial_wall_time_s": 8.0}}
+        new = self._report({"a": 1.0, "extra": 1.0}, 4.0)
+        rows, regressions = compare_bench_reports(old, new)
+        by_name = {name: speedup for name, _, _, speedup in rows}
+        assert by_name["a"] == 2.0
+        assert by_name["portfolio-serial"] == 2.0
+        assert "extra" not in by_name  # only shared names compared
+        assert regressions == []
+
+    def test_disjoint_reports_share_nothing(self):
+        rows, regressions = compare_bench_reports(
+            {"solver_microbench": {"x": {"wall_time_s": 1.0}}},
+            {"solver_microbench": {"y": {"wall_time_s": 1.0}}})
+        assert rows == [] and regressions == []
+
+    def test_cli_compare_exits_nonzero_on_regression(self, tmp_path):
+        import json
+
+        from repro.cli import main
+
+        old = self._report({"a": 1.0}, 10.0)
+        new = self._report({"a": 2.0}, 20.0)
+        old_path, new_path = tmp_path / "old.json", tmp_path / "new.json"
+        old_path.write_text(json.dumps(old))
+        new_path.write_text(json.dumps(new))
+        assert main(["bench", "--compare", str(old_path), str(new_path)]) == 1
+        # And zero when the new report is faster.
+        assert main(["bench", "--compare", str(new_path), str(old_path)]) == 0
 
 
 class TestRunners:

@@ -82,31 +82,29 @@ class TestInstanceCache:
         assert first is second
         assert first.holds
 
-    def test_numbering_constraint_is_memoised(self):
-        cache = InstanceCache()
-        first = cache.numbering_constraint(0, 1, 4)
-        second = cache.numbering_constraint(0, 1, 4)
-        assert first is second
-        assert cache.numbering_constraint(1, 0, 4) is not first
-        assert cache.numbering_constraint(0, 1, 5) is not first
-
     def test_stats_and_clear(self):
+        from repro.routing.xy import XYRouting
+
         cache = InstanceCache()
-        cache.numbering_constraint(0, 1, 2)
-        cache.numbering_constraint(0, 1, 2)
+        routing = XYRouting(Mesh2D(2, 2))
+        first = cache.dependency_graph(routing)
+        second = cache.dependency_graph(routing)
+        assert first is second
         stats = cache.stats()
         assert stats["hits"] == 1
         assert stats["misses"] == 1
-        assert stats["numbering_constraints"] == 1
+        assert stats["graphs"] == 1
         cache.clear()
         assert cache.stats()["hits"] == 0
-        assert cache.stats()["numbering_constraints"] == 0
+        assert cache.stats()["graphs"] == 0
 
     def test_reset_instance_cache_clears_the_global_cache(self):
+        from repro.routing.xy import XYRouting
+
         cache = instance_cache()
-        cache.numbering_constraint(2, 3, 4)
+        cache.dependency_graph(XYRouting(Mesh2D(2, 2)))
         assert reset_instance_cache() is cache
-        assert cache.stats()["numbering_constraints"] == 0
+        assert cache.stats()["graphs"] == 0
 
     def test_cached_graph_survives_oracle_and_session_use(self):
         """The frozen cached graph must be accepted by every consumer."""
