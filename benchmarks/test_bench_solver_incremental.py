@@ -96,10 +96,10 @@ def test_bench_portfolio_driver(benchmark):
             standard_portfolio(mesh_sizes=(3,), ring_sizes=(4,)))
 
     result = benchmark.pedantic(sweep, rounds=2, iterations=1)
-    report("Portfolio sweep (3x3 mesh x 8 scenarios + ring pair)",
+    report("Portfolio sweep (3x3 mesh x 9 scenarios + ring pair)",
            result.formatted() + "\n" + result.summary())
-    assert result.deadlock_free_count == 7
-    assert len(result.verdicts) == 10
+    assert result.deadlock_free_count == 8
+    assert len(result.verdicts) == 11
 
 
 def test_bench_solver_reuse_on_repeated_queries(benchmark):

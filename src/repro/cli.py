@@ -11,6 +11,8 @@ Usage (after ``pip install -e .``)::
     python -m repro scenarios expand "mesh:2..4x2..4, routing=[xy,yx]"
     python -m repro batch --mesh-sizes 3 4 --ring-sizes 4 --jobs 4
     python -m repro batch --matrix "vc-mesh:3x3, vcs=1..4" --shard 0/2
+    python -m repro batch --matrix "mesh:3x3, routing=[west_first], faults=0..2, seed=0..4"
+    python -m repro fuzz --seeds 200 --max-size 3x3
     python -m repro bench --profile extended-8 --jobs 1 4 --json bench.json
 
 Each sub-command drives one part of the library's public API; the examples in
@@ -171,6 +173,29 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--json", type=str, default=None, metavar="PATH",
                        help="write the machine-readable report "
                             "(scenarios, verdicts, solver stats) to PATH")
+
+    fuzz = commands.add_parser(
+        "fuzz",
+        help="fuzz randomized topologies (faults, turn models, VC escapes) "
+             "and cross-validate the CDCL, explicit, brute-force and "
+             "simulation verdicts against each other")
+    fuzz.add_argument("--seeds", type=int, default=200, metavar="N",
+                      help="number of seeded random instances (default 200)")
+    fuzz.add_argument("--max-size", type=str, default="3x3", metavar="WxH",
+                      help="largest mesh/torus dimensions to draw "
+                           "(default 3x3)")
+    fuzz.add_argument("--campaign-seed", type=int, default=2010,
+                      help="campaign seed; instance i of a seed is always "
+                           "the same spec (default 2010)")
+    fuzz.add_argument("--no-brute", action="store_true",
+                      help="skip the brute-force self-reachability decider")
+    fuzz.add_argument("--no-sim", action="store_true",
+                      help="skip the GeNoC simulation cross-validation")
+    fuzz.add_argument("--quiet", action="store_true",
+                      help="suppress per-instance progress lines")
+    fuzz.add_argument("--json", type=str, default=None, metavar="PATH",
+                      help="write the machine-readable campaign report to "
+                           "PATH")
 
     bench = commands.add_parser(
         "bench",
@@ -586,6 +611,31 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.fuzz import run_fuzz_campaign
+
+    try:
+        width_text, height_text = args.max_size.lower().split("x")
+        max_size = (int(width_text), int(height_text))
+    except ValueError:
+        raise SystemExit(f"--max-size must look like '3x3', "
+                         f"got {args.max_size!r}")
+    progress = None if args.quiet else (lambda line: print(line))
+    report = run_fuzz_campaign(count=args.seeds, max_size=max_size,
+                               campaign_seed=args.campaign_seed,
+                               brute_force=not args.no_brute,
+                               simulate=not args.no_sim,
+                               progress=progress)
+    print(report.format_summary())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_json_dict(), handle, indent=2, sort_keys=True)
+        print(f"JSON report written to {args.json}")
+    return 0 if report.ok else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json
 
@@ -634,6 +684,7 @@ _COMMANDS = {
     "deadlock": _cmd_deadlock,
     "scenarios": _cmd_scenarios,
     "batch": _cmd_batch,
+    "fuzz": _cmd_fuzz,
     "bench": _cmd_bench,
 }
 

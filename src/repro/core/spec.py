@@ -32,13 +32,18 @@ The matrix grammar (see ``docs/scenarios.md`` for the full reference)::
     range   :=  INT | INT '..' INT            -- inclusive, ascending
     param   :=  key '=' values                -- routing=, switching=,
                                               -- vcs=, buffers=, policy=,
-                                              -- escape=, group=
+                                              -- escape=, faults=, seed=,
+                                              -- group=
     values  :=  value | INT '..' INT | '[' value (',' value)* ']'
 
 Expansion order is pinned: terms left to right; within a term dims vary
 outermost (alternatives in order, per-axis ranges ascending, leftmost axis
 slowest), then ``routing``, ``switching``, ``vcs``, ``buffers``,
-``policy`` and ``escape`` values in declaration order, innermost last.
+``policy``, ``escape``, ``faults`` and ``seed`` values in declaration
+order, innermost last.  ``faults``/``seed`` select the deterministic
+fault model of :mod:`repro.network.faults` (``seed`` is ignored -- and
+normalised to 0 -- when ``faults`` is 0, so fault-free rows of a sweep
+collapse onto the healthy construction path).
 """
 
 from __future__ import annotations
@@ -142,6 +147,10 @@ class ScenarioSpec:
     buffers: int = 2
     injection: str = "iid"
     measure: str = "flit-hop"
+    #: Number of injected faults (dead links/routers); 0 = healthy fabric.
+    faults: int = 0
+    #: Seed of the deterministic fault draw (ignored when ``faults`` is 0).
+    fault_seed: int = 0
     #: Explicit scenario-name override (``None``: derived from the spec).
     label: Optional[str] = None
     #: Explicit session-group override (``None``: derived from the spec).
@@ -164,6 +173,8 @@ class ScenarioSpec:
             "buffers": self.buffers,
             "injection": self.injection,
             "measure": self.measure,
+            "faults": self.faults,
+            "fault_seed": self.fault_seed,
             "label": self.label,
             "group": self.group,
         }
@@ -229,6 +240,17 @@ class ScenarioSpec:
         return spec_registry().entry(spec.kind).builder(spec)
 
 
+def fault_suffix(spec: ScenarioSpec) -> str:
+    """The scenario-name suffix of a fault-injected spec (empty if healthy).
+
+    Used by every namer so fault variants of one design get distinct,
+    stable scenario names (e.g. ``.../f2s1``).
+    """
+    if spec.faults <= 0:
+        return ""
+    return f"/f{spec.faults}s{spec.fault_seed}"
+
+
 #: An :class:`InstanceBuilder` turns a normalized spec into an instance.
 InstanceBuilder = Callable[[ScenarioSpec], object]
 
@@ -254,18 +276,30 @@ class BuilderEntry:
     supports_vcs: bool = False
     #: The escape style of a VC kind (``None`` for port-level kinds).
     escape_style: Optional[str] = None
+    #: Does the kind accept ``faults > 0`` (a fault-aware builder path)?
+    supports_faults: bool = False
     #: Scenario-name deriver; receives a normalized spec.
     namer: Optional[Callable[[ScenarioSpec], str]] = None
 
     def normalize(self, spec: ScenarioSpec) -> ScenarioSpec:
-        """Fill the kind's defaults into ``spec`` (idempotent)."""
+        """Fill the kind's defaults into ``spec`` (idempotent).
+
+        Also canonicalises underscore routing aliases (``west_first`` ->
+        ``west-first``) and normalises the fault seed of a healthy spec to
+        0, so ``faults=0, seed=0..n`` sweep rows collapse onto one spec.
+        """
         updates: Dict[str, object] = {}
         if spec.routing is None and self.default_routing is not None:
             updates["routing"] = self.default_routing
+        elif (spec.routing is not None and spec.routing not in self.routings
+                and spec.routing.replace("_", "-") in self.routings):
+            updates["routing"] = spec.routing.replace("_", "-")
         if spec.switching is None and self.default_switching is not None:
             updates["switching"] = self.default_switching
         if spec.escape is None and self.escape_style is not None:
             updates["escape"] = self.escape_style
+        if spec.faults == 0 and spec.fault_seed != 0:
+            updates["fault_seed"] = 0
         return replace(spec, **updates) if updates else spec
 
     def validate(self, spec: ScenarioSpec) -> None:
@@ -309,6 +343,12 @@ class BuilderEntry:
             fail(f"injection must be one of {INJECTION_TOKENS}")
         if spec.measure not in MEASURE_TOKENS:
             fail(f"measure must be one of {MEASURE_TOKENS}")
+        if spec.faults < 0:
+            fail("faults must be non-negative")
+        if spec.fault_seed < 0:
+            fail("fault seed must be non-negative")
+        if spec.faults > 0 and not self.supports_faults:
+            fail(f"kind {self.kind!r} has no fault-aware builder path")
 
     def name_for(self, spec: ScenarioSpec) -> str:
         if self.namer is not None:
@@ -318,7 +358,7 @@ class BuilderEntry:
             parts.append(f"R{spec.routing}")
         if spec.num_vcs > 1:
             parts.append(f"{spec.num_vcs}vc")
-        return "/".join(parts)
+        return "/".join(parts) + fault_suffix(spec)
 
 
 class SpecRegistry:
@@ -367,6 +407,7 @@ def register_builder(kind: str, builder: InstanceBuilder, *,
                      default_switching: Optional[str] = None,
                      supports_vcs: bool = False,
                      escape_style: Optional[str] = None,
+                     supports_faults: bool = False,
                      namer: Optional[Callable[[ScenarioSpec], str]] = None,
                      ) -> BuilderEntry:
     """Register an :class:`InstanceBuilder` for a scenario kind.
@@ -380,7 +421,8 @@ def register_builder(kind: str, builder: InstanceBuilder, *,
         dim_count=dim_count, routings=tuple(routings),
         default_routing=default_routing, switchings=tuple(switchings),
         default_switching=default_switching, supports_vcs=supports_vcs,
-        escape_style=escape_style, namer=namer))
+        escape_style=escape_style, supports_faults=supports_faults,
+        namer=namer))
 
 
 def _ensure_builders() -> None:
@@ -416,9 +458,10 @@ _TERM_RE = re.compile(r"^\s*(?P<kind>[A-Za-z][A-Za-z0-9_-]*)\s*:\s*"
 _RANGE_RE = re.compile(r"^(\d+)\.\.(\d+)$")
 
 #: Parameter keys of the matrix grammar, in expansion-nesting order
-#: (``routing`` varies slowest after dims, ``escape`` fastest).
-_PARAM_KEYS = ("routing", "switching", "vcs", "buffers", "policy", "escape")
-_INT_KEYS = frozenset({"vcs", "buffers"})
+#: (``routing`` varies slowest after dims, ``seed`` fastest).
+_PARAM_KEYS = ("routing", "switching", "vcs", "buffers", "policy", "escape",
+               "faults", "seed")
+_INT_KEYS = frozenset({"vcs", "buffers", "faults", "seed"})
 
 
 def _split_top_level(text: str, separator: str) -> List[str]:
@@ -532,13 +575,15 @@ def _expand_term(term: str) -> List[ScenarioSpec]:
     specs: List[ScenarioSpec] = []
     axes = [params.get(key, [None]) for key in _PARAM_KEYS]
     for dims in dims_list:
-        for routing, switching, vcs, buffers, policy, escape \
+        for routing, switching, vcs, buffers, policy, escape, faults, seed \
                 in itertools.product(*axes):
             spec = ScenarioSpec(
                 kind=kind, dims=dims, routing=routing, switching=switching,
                 num_vcs=1 if vcs is None else vcs, escape=escape,
                 route_policy="escape" if policy is None else policy,
-                buffers=2 if buffers is None else buffers, group=group)
+                buffers=2 if buffers is None else buffers,
+                faults=0 if faults is None else faults,
+                fault_seed=0 if seed is None else seed, group=group)
             spec = entry.normalize(spec)
             entry.validate(spec)
             specs.append(spec)
@@ -552,7 +597,8 @@ def expand_matrix(matrix: Union[str, Iterable[str]]) -> List[ScenarioSpec]:
     hold several ``;``-separated terms.  Expansion is deterministic: the
     same grid always yields the same specs in the same order (terms left
     to right, dims outermost, then routing / switching / vcs / buffers /
-    policy / escape in declaration order).  Invalid grids -- unknown
+    policy / escape / faults / seed in declaration order).  Invalid grids
+    -- unknown
     kinds, out-of-space tokens, malformed ranges -- raise
     :class:`~repro.core.errors.SpecificationError` eagerly, before
     anything is built.

@@ -18,6 +18,7 @@ from repro.core.measure import flit_hop_measure
 from repro.core.spec import (
     SWITCHING_TOKENS,
     ScenarioSpec,
+    fault_suffix,
     register_builder,
     resolve_measure,
     resolve_switching,
@@ -68,7 +69,8 @@ def build_hermes_instance(width: int, height: int,
                           buffer_capacity: int = 2,
                           switching: Optional[object] = None,
                           routing: Optional[object] = None,
-                          measure: Optional[object] = None) -> HermesInstance:
+                          measure: Optional[object] = None,
+                          mesh: Optional[Mesh2D] = None) -> HermesInstance:
     """Build the HERMES instantiation for a ``width x height`` mesh.
 
     ``buffer_capacity`` is the number of 1-flit buffers per port (Fig. 1b
@@ -76,15 +78,20 @@ def build_hermes_instance(width: int, height: int,
     ablation variants (e.g. store-and-forward switching or YX routing); the
     dependency graph and witness function are only attached when the routing
     is the paper's XY routing, since ``Exy_dep`` is specific to it.
+    ``mesh`` overrides the topology (the fault-injected builder path passes
+    a :class:`~repro.network.faults.FaultyMesh2D`); the routing must then be
+    defined over that same topology.
     """
-    mesh = Mesh2D(width, height)
+    plain = mesh is None
+    if plain:
+        mesh = Mesh2D(width, height)
     routing_fn = routing if routing is not None else XYRouting(mesh)
     switching_fn = switching if switching is not None else WormholeSwitching()
     uses_xy = isinstance(routing_fn, XYRouting)
     dependency = ExyDependencySpec(mesh) if uses_xy else None
 
     return HermesInstance(
-        name=f"HERMES-{width}x{height}",
+        name=(f"HERMES-{width}x{height}" if plain else f"HERMES-{mesh}"),
         topology=mesh,
         injection=Iid(),
         routing=routing_fn,
@@ -109,6 +116,7 @@ def _mesh_routing(token: str, mesh: Mesh2D):
     from repro.routing.turn_model import (
         NegativeFirstRouting,
         NorthLastRouting,
+        OddEvenRouting,
         WestFirstRouting,
     )
     from repro.routing.yx import YXRouting
@@ -119,6 +127,7 @@ def _mesh_routing(token: str, mesh: Mesh2D):
         "west-first": WestFirstRouting,
         "north-last": NorthLastRouting,
         "negative-first": NegativeFirstRouting,
+        "odd-even": OddEvenRouting,
         "adaptive": FullyAdaptiveMinimalRouting,
         "zigzag": ZigZagRouting,
     }
@@ -126,25 +135,43 @@ def _mesh_routing(token: str, mesh: Mesh2D):
 
 
 MESH_ROUTING_TOKENS = ("xy", "yx", "west-first", "north-last",
-                       "negative-first", "adaptive", "zigzag")
+                       "negative-first", "odd-even", "adaptive", "zigzag")
 
 
 def build_mesh_from_spec(spec: ScenarioSpec) -> HermesInstance:
-    """:class:`InstanceBuilder` of the ``mesh`` kind."""
+    """:class:`InstanceBuilder` of the ``mesh`` kind.
+
+    ``faults = 0`` is byte-for-byte the historical healthy construction
+    path; ``faults > 0`` samples the deterministic fault set, builds the
+    faulty mesh and reroutes via the fault-aware variant of the routing
+    token (:mod:`repro.routing.fault_aware`).
+    """
     width, height = spec.dims
-    mesh = Mesh2D(width, height)
+    if spec.faults:
+        from repro.network.faults import FaultyMesh2D, sample_fault_spec
+        from repro.routing.fault_aware import fault_aware_mesh_routing
+
+        fault_spec = sample_fault_spec(Mesh2D(width, height), spec.faults,
+                                       spec.fault_seed)
+        mesh = FaultyMesh2D(width, height, fault_spec)
+        routing = fault_aware_mesh_routing(spec.routing, mesh)
+    else:
+        mesh = Mesh2D(width, height)
+        routing = _mesh_routing(spec.routing, mesh)
     return build_hermes_instance(
         width, height,
         buffer_capacity=spec.buffers,
-        routing=_mesh_routing(spec.routing, mesh),
+        routing=routing,
         switching=resolve_switching(spec.switching),
         measure=resolve_measure(spec.measure),
+        mesh=mesh if spec.faults else None,
     )
 
 
 def _mesh_scenario_name(spec: ScenarioSpec) -> str:
     switching = resolve_switching(spec.switching).name()
-    return f"{spec.group_key()}/R{spec.routing}/{switching}"
+    return (f"{spec.group_key()}/R{spec.routing}/{switching}"
+            f"{fault_suffix(spec)}")
 
 
 register_builder(
@@ -155,6 +182,7 @@ register_builder(
     default_routing="xy",
     switchings=SWITCHING_TOKENS,
     default_switching="wormhole",
+    supports_faults=True,
     namer=_mesh_scenario_name,
 )
 

@@ -7,7 +7,12 @@ from typing import Optional, Set
 from repro.core.dependency import DependencyGraphSpec
 from repro.core.instance import NoCInstance
 from repro.core.measure import flit_hop_measure
-from repro.core.spec import ScenarioSpec, register_builder, resolve_measure
+from repro.core.spec import (
+    ScenarioSpec,
+    fault_suffix,
+    register_builder,
+    resolve_measure,
+)
 from repro.hermes.injection import Iid
 from repro.network.port import Direction, Port, PortName, trans
 from repro.network.ring import Ring
@@ -143,9 +148,38 @@ RING_ROUTING_TOKENS = ("chain", "clockwise")
 
 
 def build_ring_from_spec(spec: ScenarioSpec) -> NoCInstance:
-    """:class:`InstanceBuilder` of the ``ring`` kind."""
+    """:class:`InstanceBuilder` of the ``ring`` kind.
+
+    ``faults = 0`` is the historical healthy construction path; ``faults
+    > 0`` samples the deterministic fault set (links only: a ring with a
+    dead router stays a chain, but the witness machinery below assumes the
+    full node set, so router kills are excluded) and reroutes via the
+    fault-aware shortest-surviving-path relation.  No dependency spec or
+    witness is attached -- obligation (C-3) is decided on the
+    routing-induced graph, like the clockwise variant.
+    """
     size = spec.dims[0]
     measure = resolve_measure(spec.measure)
+    if spec.faults:
+        from repro.network.faults import FaultyRing, sample_fault_spec
+        from repro.routing.fault_aware import fault_aware_ring_routing
+
+        fault_spec = sample_fault_spec(Ring(size, bidirectional=True),
+                                       spec.faults, spec.fault_seed,
+                                       allow_routers=False)
+        ring = FaultyRing(size, fault_spec)
+        routing = fault_aware_ring_routing(spec.routing, ring)
+        return NoCInstance(
+            name=f"Ring-{spec.routing}-{ring}",
+            topology=ring,
+            injection=Iid(),
+            routing=routing,
+            switching=WormholeSwitching(),
+            dependency_spec=None,
+            witness_destination=None,
+            measure=measure if measure is not None else flit_hop_measure,
+            default_capacity=spec.buffers,
+        )
     if spec.routing == "chain":
         return build_chain_ring_instance(size, buffer_capacity=spec.buffers,
                                          measure=measure)
@@ -154,7 +188,7 @@ def build_ring_from_spec(spec: ScenarioSpec) -> NoCInstance:
 
 
 def _ring_scenario_name(spec: ScenarioSpec) -> str:
-    return f"{spec.group_key()}/{spec.routing}"
+    return f"{spec.group_key()}/{spec.routing}{fault_suffix(spec)}"
 
 
 register_builder(
@@ -166,5 +200,6 @@ register_builder(
     default_routing="chain",
     switchings=("wormhole",),
     default_switching="wormhole",
+    supports_faults=True,
     namer=_ring_scenario_name,
 )

@@ -17,6 +17,13 @@ forbidden:
 * **negative-first** -- a packet first travels in the negative directions
   (West/North, i.e. decreasing coordinates) and only then in the positive
   ones.
+* **odd-even** (Chiu) -- instead of banning a turn class globally, the bans
+  alternate by column parity: eastbound packets may turn vertical only in
+  odd columns (no EN/ES turn in an even column), westbound packets only in
+  even columns (no NW/SW turn in an odd column).  Any dependency cycle
+  would need both an east-to-vertical and a vertical-to-west turn in its
+  rightmost column, which the parity split makes impossible, so the graph
+  stays acyclic while no single turn is forbidden everywhere.
 
 Because a turn-model function is only meaningful on ports a packet can
 actually occupy, the ``s R d`` reachability predicate is the set of
@@ -104,3 +111,46 @@ class NegativeFirstRouting(_TurnModelRouting):
         if negative:
             return negative
         return minimal
+
+
+def odd_even_directions(current: Port, destination: Port) -> List[PortName]:
+    """The odd-even allowed-direction set at ``current`` (Chiu's ROUTE).
+
+    Eastbound (``dx > 0``): vertical movement is allowed only in odd
+    columns -- or at the source node itself -- and the final East hop into
+    an even destination column is deferred until the vertical movement is
+    complete (``dx == 1`` with ``dy != 0`` may not take East when the
+    destination column is even), since turning vertical there would be a
+    forbidden EN/ES turn.  Westbound (``dx < 0``): West is always allowed
+    and vertical movement only in even columns (NW/SW turns are forbidden
+    in odd columns).  The port level sees the arrival direction through
+    the in-port name; "at the source" is the local in-port.
+    """
+    dx = destination.x - current.x
+    dy = destination.y - current.y
+    vertical = PortName.NORTH if dy < 0 else PortName.SOUTH
+    if dx == 0:
+        return [vertical]
+    allowed: List[PortName] = []
+    if dx > 0:
+        at_source = current.name is PortName.LOCAL
+        if dy != 0 and (current.x % 2 == 1 or at_source):
+            allowed.append(vertical)
+        if dy == 0 or destination.x % 2 == 1 or dx != 1:
+            allowed.append(PortName.EAST)
+    else:
+        allowed.append(PortName.WEST)
+        if dy != 0 and current.x % 2 == 0:
+            allowed.append(vertical)
+    return allowed
+
+
+class OddEvenRouting(_TurnModelRouting):
+    """Odd-even turn-model routing (see :func:`odd_even_directions`)."""
+
+    def name(self) -> str:
+        return "Rodd-even"
+
+    def _allowed_directions(self, current: Port,
+                            destination: Port) -> List[PortName]:
+        return odd_even_directions(current, destination)

@@ -32,7 +32,12 @@ from typing import Optional, Sequence
 
 from repro.core.instance import NoCInstance
 from repro.core.measure import flit_hop_measure
-from repro.core.spec import ScenarioSpec, register_builder, resolve_measure
+from repro.core.spec import (
+    ScenarioSpec,
+    fault_suffix,
+    register_builder,
+    resolve_measure,
+)
 from repro.core.travel import Travel, make_travel
 from repro.hermes.injection import Iid
 from repro.network.mesh import Mesh2D
@@ -154,8 +159,38 @@ def build_vc_ring_instance(size: int, num_vcs: int = 2,
 # The vc-* scenario kinds (declarative spec layer)
 # ---------------------------------------------------------------------------
 
+def _build_vc_faulty(spec: ScenarioSpec, label: str, topology,
+                     style: str, with_adaptive: bool) -> VCNoCInstance:
+    """A fault-injected VC instance over an already-built faulty topology."""
+    from repro.routing.fault_aware import fault_aware_escape_routing
+
+    relation = fault_aware_escape_routing(
+        topology, spec.num_vcs, route_policy=spec.route_policy,
+        style=style, with_adaptive=with_adaptive)
+    return VCNoCInstance(
+        name=f"VC-{label}-{topology}-{spec.num_vcs}vc",
+        topology=relation.topology,
+        injection=Iid(),
+        routing=relation,
+        switching=VCWormholeSwitching(),
+        dependency_spec=None,
+        witness_destination=None,
+        measure=resolve_measure(spec.measure),
+        default_capacity=spec.buffers,
+    )
+
+
 def build_vc_mesh_from_spec(spec: ScenarioSpec) -> VCNoCInstance:
     """:class:`InstanceBuilder` of the ``vc-mesh`` kind."""
+    if spec.faults:
+        from repro.network.faults import FaultyMesh2D, sample_fault_spec
+
+        width, height = spec.dims
+        fault_spec = sample_fault_spec(Mesh2D(width, height), spec.faults,
+                                       spec.fault_seed)
+        mesh = FaultyMesh2D(width, height, fault_spec)
+        return _build_vc_faulty(spec, "mesh", mesh, style="xy",
+                                with_adaptive=True)
     return build_vc_mesh_instance(
         spec.dims[0], spec.dims[1], num_vcs=spec.num_vcs,
         buffer_capacity=spec.buffers, route_policy=spec.route_policy,
@@ -164,6 +199,16 @@ def build_vc_mesh_from_spec(spec: ScenarioSpec) -> VCNoCInstance:
 
 def build_vc_torus_from_spec(spec: ScenarioSpec) -> VCNoCInstance:
     """:class:`InstanceBuilder` of the ``vc-torus`` kind."""
+    if spec.faults:
+        from repro.network.faults import FaultyTorus2D, sample_fault_spec
+
+        width, height = spec.dims
+        fault_spec = sample_fault_spec(Torus2D(width, height), spec.faults,
+                                       spec.fault_seed)
+        torus = FaultyTorus2D(width, height, fault_spec)
+        # Like the healthy builder: an adaptive class exists from 3 VCs up.
+        return _build_vc_faulty(spec, "torus", torus, style="dateline",
+                                with_adaptive=spec.num_vcs > 2)
     return build_vc_torus_instance(
         spec.dims[0], spec.dims[1], num_vcs=spec.num_vcs,
         buffer_capacity=spec.buffers, route_policy=spec.route_policy,
@@ -172,6 +217,16 @@ def build_vc_torus_from_spec(spec: ScenarioSpec) -> VCNoCInstance:
 
 def build_vc_ring_from_spec(spec: ScenarioSpec) -> VCNoCInstance:
     """:class:`InstanceBuilder` of the ``vc-ring`` kind."""
+    if spec.faults:
+        from repro.network.faults import FaultyRing, sample_fault_spec
+
+        size = spec.dims[0]
+        fault_spec = sample_fault_spec(Ring(size, bidirectional=True),
+                                       spec.faults, spec.fault_seed,
+                                       allow_routers=False)
+        ring = FaultyRing(size, fault_spec)
+        return _build_vc_faulty(spec, "ring", ring, style="dateline",
+                                with_adaptive=False)
     return build_vc_ring_instance(
         spec.dims[0], num_vcs=spec.num_vcs,
         buffer_capacity=spec.buffers, route_policy=spec.route_policy,
@@ -179,15 +234,18 @@ def build_vc_ring_from_spec(spec: ScenarioSpec) -> VCNoCInstance:
 
 
 def _vc_mesh_name(spec: ScenarioSpec) -> str:
-    return f"{spec.group_key()}/Radaptive+esc-xy/{spec.num_vcs}vc"
+    return (f"{spec.group_key()}/Radaptive+esc-xy/{spec.num_vcs}vc"
+            f"{fault_suffix(spec)}")
 
 
 def _vc_torus_name(spec: ScenarioSpec) -> str:
-    return f"{spec.group_key()}/Rxy-torus+esc-dateline/{spec.num_vcs}vc"
+    return (f"{spec.group_key()}/Rxy-torus+esc-dateline/{spec.num_vcs}vc"
+            f"{fault_suffix(spec)}")
 
 
 def _vc_ring_name(spec: ScenarioSpec) -> str:
-    return f"{spec.group_key()}/Rshortest-ring+esc-dateline/{spec.num_vcs}vc"
+    return (f"{spec.group_key()}/Rshortest-ring+esc-dateline/{spec.num_vcs}vc"
+            f"{fault_suffix(spec)}")
 
 
 register_builder(
@@ -196,6 +254,7 @@ register_builder(
                 "escape VC",
     dim_count=2,
     supports_vcs=True,
+    supports_faults=True,
     escape_style="xy",
     namer=_vc_mesh_name,
 )
@@ -206,6 +265,7 @@ register_builder(
                 "dateline escape pair (+ adaptive class from 3 VCs)",
     dim_count=2,
     supports_vcs=True,
+    supports_faults=True,
     escape_style="dateline",
     namer=_vc_torus_name,
 )
@@ -216,6 +276,7 @@ register_builder(
                 "with a dateline escape pair",
     dim_count=1,
     supports_vcs=True,
+    supports_faults=True,
     escape_style="dateline",
     namer=_vc_ring_name,
 )

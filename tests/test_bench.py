@@ -163,8 +163,8 @@ class TestRunners:
         assert [run["jobs"] for run in section["runs"]] == [1, 2]
         assert section["parallel_speedup"] is not None
         for run in section["runs"]:
-            assert run["scenarios"] == 10
-            assert len(run["per_scenario"]) == 10
+            assert run["scenarios"] == 11
+            assert len(run["per_scenario"]) == 11
             assert all(entry["solver"] for entry in run["per_scenario"])
 
     def test_unknown_profile_is_rejected(self):

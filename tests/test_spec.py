@@ -193,7 +193,8 @@ class TestMatrixExpansion:
         assert [spec.scenario_name() for spec in specs] == [
             "mesh-3x3/Rxy/Swh", "mesh-3x3/Ryx/Swh",
             "mesh-3x3/Rwest-first/Swh", "mesh-3x3/Rnorth-last/Swh",
-            "mesh-3x3/Rnegative-first/Swh", "mesh-3x3/Radaptive/Swh",
+            "mesh-3x3/Rnegative-first/Swh", "mesh-3x3/Rodd-even/Swh",
+            "mesh-3x3/Radaptive/Swh",
             "mesh-3x3/Rzigzag/Swh", "mesh-3x3/Rxy/Svct",
             "ring-4/chain", "ring-4/clockwise",
         ]

@@ -220,6 +220,72 @@ class TestVcSimulation:
         assert (vc_result.genoc_result.steps
                 == hermes_result.genoc_result.steps)
 
+    def test_fault_injected_escape_proved_free_drains(self):
+        """A fault-injected escape-channel design the prover calls free
+        must evacuate every simulated workload: vc-mesh 3x3 with 2 VCs and
+        the seed-0 single dead link L(0,2)-(1,2)."""
+        from repro.core.spec import ScenarioSpec
+        from repro.core.theorems import check_deadlock_freedom_vc
+
+        spec = ScenarioSpec(kind="vc-mesh", dims=(3, 3), num_vcs=2,
+                            faults=1, fault_seed=0).normalized()
+        instance = spec.build()
+        assert "~L" in instance.name, "the fault must reach the instance"
+        assert check_deadlock_freedom_vc(instance.routing).holds
+        for workload in _small_workloads(instance):
+            result = Simulator(instance, max_steps=2000).run(workload)
+            assert not result.genoc_result.deadlocked
+            assert result.genoc_result.evacuated
+
+    def test_fault_injected_escape_proved_prone_stalls(self):
+        """The contrapositive, witnessed on a faulty instance: the 1-VC
+        vc-mesh (escape class shares the single channel with the adaptive
+        class) is proved prone, and four worms chasing each other around a
+        surviving unit square actually deadlock under capacity 1."""
+        from repro.core.spec import ScenarioSpec
+        from repro.core.theorems import check_deadlock_freedom_vc
+        from repro.network.port import Direction, Port, PortName
+
+        spec = ScenarioSpec(kind="vc-mesh", dims=(3, 3), num_vcs=1,
+                            faults=1, fault_seed=1).normalized()
+        instance = spec.build()
+        assert not check_deadlock_freedom_vc(instance.routing).holds
+
+        def channel(x, y, name, direction):
+            return VirtualChannel(Port(x, y, name, direction), 0)
+
+        def hop_names(a, b):
+            if b[0] == a[0] + 1:
+                return PortName.EAST, PortName.WEST
+            if b[0] == a[0] - 1:
+                return PortName.WEST, PortName.EAST
+            if b[1] == a[1] + 1:
+                return PortName.SOUTH, PortName.NORTH
+            return PortName.NORTH, PortName.SOUTH
+
+        # The seed-1 fault kills L(1,0)-(2,0), leaving the unit square
+        # (0,0)-(1,0)-(1,1)-(0,1) intact.  Each worm travels two
+        # consecutive legs of the square cycle -- every route is minimal
+        # and every hop legal for the adaptive class.
+        corners = [(0, 0), (1, 0), (1, 1), (0, 1)]
+        travels = []
+        for travel_id in range(4):
+            p0 = corners[travel_id]
+            p1 = corners[(travel_id + 1) % 4]
+            p2 = corners[(travel_id + 2) % 4]
+            route = [channel(*p0, PortName.LOCAL, Direction.IN)]
+            for a, b in ((p0, p1), (p1, p2)):
+                out_name, in_name = hop_names(a, b)
+                route.append(channel(*a, out_name, Direction.OUT))
+                route.append(channel(*b, in_name, Direction.IN))
+            route.append(channel(*p2, PortName.LOCAL, Direction.OUT))
+            travels.append(make_travel(route[0], route[-1], num_flits=3,
+                                       travel_id=travel_id + 1)
+                           .with_route(route))
+        result = instance.run(travels, capacity=1)
+        assert result.deadlocked
+        assert not result.evacuated
+
     def test_vc_switching_is_never_faster_only_safer(self):
         """Credit allocation can only delay a worm, never reorder it: the
         VC policy evacuates the same workload in at least as many steps."""
