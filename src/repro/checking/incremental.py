@@ -61,10 +61,14 @@ class IncrementalSession:
         session.solve([-fast])                         # ... and with it off
     """
 
-    def __init__(self, seed: int = 2010) -> None:
+    def __init__(self, seed: int = 2010, trace=None) -> None:
         self.cnf = CNF()
         self.encoder = TseitinEncoder(self.cnf)
-        self.solver = IncrementalSatSolver(seed=seed)
+        #: Optional :class:`repro.core.trace.TraceWriter`, shared with the
+        #: solver so session-level spans and solver events interleave in
+        #: one stream.
+        self.trace = trace
+        self.solver = IncrementalSatSolver(seed=seed, trace=trace)
         self._loaded_clauses = 0
         self._selectors: Dict[str, Literal] = {}
 
@@ -149,8 +153,9 @@ class AcyclicityOracle:
     edges are simultaneously satisfiable.
     """
 
-    def __init__(self, graph: DirectedGraph[V], seed: int = 2010) -> None:
-        self._session = IncrementalSession(seed=seed)
+    def __init__(self, graph: DirectedGraph[V], seed: int = 2010,
+                 trace=None) -> None:
+        self._session = IncrementalSession(seed=seed, trace=trace)
         self._vertices = sorted(graph.vertices, key=repr)
         self._vertex_index = {vertex: index
                               for index, vertex in enumerate(self._vertices)}
@@ -159,6 +164,10 @@ class AcyclicityOracle:
         self._edge_selector: Dict[Tuple[V, V], Literal] = {}
         self._edges: List[Tuple[V, V]] = []
         self._selector_edge: Dict[Literal, Tuple[V, V]] = {}
+        # Edges encoded since the last emitted ``edge_batch`` event; the
+        # batch is flushed lazily before the next traced query so bulk
+        # universe growth costs one event, not one event per edge.
+        self._pending_edges = 0
         for source, target in graph.edges():
             self.add_edge(source, target)
         self.stats_queries = 0
@@ -193,6 +202,15 @@ class AcyclicityOracle:
         self._edge_selector[edge] = selector
         self._selector_edge[selector] = edge
         self._edges.append(edge)
+        self._pending_edges += 1
+
+    def _flush_edge_batch(self) -> None:
+        """Emit the pending ``edge_batch`` span (traced sessions only)."""
+        trace = self._session.trace
+        if trace is not None and self._pending_edges:
+            trace.emit("edge_batch", edges=self._pending_edges,
+                       total=len(self._edges))
+        self._pending_edges = 0
 
     # -- inspection ----------------------------------------------------------------
     @property
@@ -229,7 +247,14 @@ class AcyclicityOracle:
                    edges: Optional[Iterable[Tuple[V, V]]] = None) -> bool:
         """Is the subgraph spanned by ``edges`` (default: all) acyclic?"""
         self.stats_queries += 1
-        result = self._session.solve(self._assumptions_for(edges))
+        assumptions = self._assumptions_for(edges)
+        trace = self._session.trace
+        if trace is not None:
+            self._flush_edge_batch()
+        result = self._session.solve(assumptions)
+        if trace is not None:
+            trace.emit("oracle_query", query=self.stats_queries,
+                       edges=len(assumptions), sat=result.satisfiable)
         return result.satisfiable
 
     def is_acyclic_without(self,
@@ -290,7 +315,14 @@ class AcyclicityOracle:
         from repro.checking.encodings import bit_name
 
         self.stats_queries += 1
-        result = self._session.solve(self._assumptions_for(edges))
+        assumptions = self._assumptions_for(edges)
+        trace = self._session.trace
+        if trace is not None:
+            self._flush_edge_batch()
+        result = self._session.solve(assumptions)
+        if trace is not None:
+            trace.emit("oracle_query", query=self.stats_queries,
+                       edges=len(assumptions), sat=result.satisfiable)
         if not result.satisfiable:
             raise ValueError(
                 "graph has a cycle; no topological numbering exists")

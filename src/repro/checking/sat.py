@@ -203,7 +203,8 @@ class IncrementalSatSolver:
     """
 
     def __init__(self, seed: int = 2010,
-                 random_polarity_freq: float = 0.0) -> None:
+                 random_polarity_freq: float = 0.0,
+                 trace=None) -> None:
         self._num_vars = 0
         # Literal-indexed state: index ``_center + literal`` is valid for
         # every |literal| <= _cap, so truth lookups need no branch on the
@@ -262,6 +263,15 @@ class IncrementalSatSolver:
         # slot 0 unused); cleared selectively after every analysis so no
         # per-conflict allocation is needed.
         self._seen = bytearray(1)
+        #: Optional :class:`repro.core.trace.TraceWriter`.  ``None`` keeps
+        #: every trace hook to a single pointer test off the propagation
+        #: loop -- behaviour and verdicts are identical to an untraced
+        #: solver (pinned by the trace test suite).
+        self._trace = trace
+        # Conflict count at which the next ``solver_phase`` sample is due,
+        # and the stat snapshot the sample's deltas are computed against.
+        self._trace_phase_mark = 0
+        self._trace_phase_snapshot: Dict[str, int] = {}
 
     # -- variables ----------------------------------------------------------------
     @property
@@ -270,10 +280,18 @@ class IncrementalSatSolver:
 
     @property
     def stats(self) -> Dict[str, int]:
-        """Search statistics, including the LBD histogram (``lbd_<n>``)."""
+        """Search statistics, including the LBD histogram (``lbd_<n>``).
+
+        The key set is **identical on every path** -- the LBD buckets
+        ``lbd_1..lbd_{cap}`` are always present (zero-filled before any
+        clause is learned), so the trivially-UNSAT early return, a
+        fresh solver and a long search all report the same keys and
+        stat-delta consumers never have to special-case missing ones.
+        """
         merged = dict(self._stats)
-        for bucket in sorted(self._lbd_hist):
-            merged[f"lbd_{bucket}"] = self._lbd_hist[bucket]
+        hist = self._lbd_hist
+        for bucket in range(1, LBD_HISTOGRAM_CAP + 1):
+            merged[f"lbd_{bucket}"] = hist.get(bucket, 0)
         return merged
 
     def lbd_histogram(self) -> Dict[int, int]:
@@ -841,6 +859,11 @@ class IncrementalSatSolver:
         if not doomed:
             return
         self._stats["deleted"] += len(doomed)
+        if self._trace is not None:
+            self._trace.emit(
+                "reduce_db", deleted=len(doomed),
+                retained=len(self._learnt_cids) - len(doomed),
+                lbd_cutoff=min(clbd[cid] for cid in doomed))
         self._collect_garbage(set(doomed))
 
     def _collect_garbage(self, doomed: set) -> None:
@@ -908,6 +931,9 @@ class IncrementalSatSolver:
                 reason[var] = remap[reason_cid]
         self._stats["arena_gcs"] += 1
         self._stats["arena_reclaimed"] += reclaimed
+        if self._trace is not None:
+            self._trace.emit("arena_gc", reclaimed=reclaimed,
+                             live=len(new_arena))
 
     # -- decisions -----------------------------------------------------------------
     def _pick_branch_variable(self) -> Optional[int]:
@@ -938,6 +964,35 @@ class IncrementalSatSolver:
             return self._rng.random() < 0.5
         return bool(self._polarity[var])
 
+    # -- tracing -------------------------------------------------------------------
+    @property
+    def trace(self):
+        """The attached :class:`~repro.core.trace.TraceWriter` (or ``None``)."""
+        return self._trace
+
+    def _emit_trace_phase(self, trace) -> None:
+        """Emit a sampled ``solver_phase`` record and re-arm the sampler."""
+        stats = self._stats
+        snapshot = self._trace_phase_snapshot
+        keys = ("decisions", "propagations", "conflicts", "learned",
+                "restarts")
+        trace.emit(
+            "solver_phase",
+            conflicts=stats["conflicts"],
+            delta={key: stats[key] - snapshot.get(key, 0) for key in keys},
+            trail=len(self._trail),
+            lbd={str(bucket): self._lbd_hist[bucket]
+                 for bucket in sorted(self._lbd_hist)})
+        self._trace_phase_snapshot = {key: stats[key] for key in keys}
+        self._trace_phase_mark = stats["conflicts"] + trace.phase_interval
+
+    def _emit_trace_solve_end(self, trace, before: Dict[str, int],
+                              sat: bool) -> None:
+        """Emit ``solve_end`` with this solve's stat-counter deltas."""
+        stats = self._stats
+        trace.emit("solve_end", sat=sat,
+                   delta={key: stats[key] - before[key] for key in stats})
+
     # -- restarts ------------------------------------------------------------------
     @staticmethod
     def _luby(index: int) -> int:
@@ -967,6 +1022,8 @@ class IncrementalSatSolver:
         backtracks to level 0, so prefix reuse never survives a formula
         change.)
         """
+        trace = self._trace
+        stats_before = dict(self._stats) if trace is not None else {}
         self._stats["solves"] += 1
         self._last_core = None
         assumption_list = list(assumptions)
@@ -977,6 +1034,13 @@ class IncrementalSatSolver:
                 self.ensure_vars(abs(literal))
 
         if not self._ok:
+            # Trivially UNSAT: the formula already failed at level 0.  The
+            # span is still emitted (and the stats keys are the full set,
+            # see :attr:`stats`), so stream consumers need no special case.
+            if trace is not None:
+                trace.emit("solve_begin", solve=self._stats["solves"],
+                           assumptions=len(assumption_list), prefix_reuse=0)
+                self._emit_trace_solve_end(trace, stats_before, False)
             return SatResult(satisfiable=False, stats=self.stats)
         # Longest common prefix with the previous query's assumptions,
         # capped by the decision levels actually still on the trail.
@@ -988,6 +1052,12 @@ class IncrementalSatSolver:
             prefix += 1
         self._last_assumptions = assumption_list
         self._cancel_until(prefix)
+        if trace is not None:
+            trace.emit("solve_begin", solve=self._stats["solves"],
+                       assumptions=len(assumption_list), prefix_reuse=prefix)
+            if self._trace_phase_mark <= self._stats["conflicts"]:
+                self._trace_phase_mark = (self._stats["conflicts"]
+                                          + trace.phase_interval)
 
         if self._max_learnts <= 0:
             self._max_learnts = max(100.0, self._num_problem / 3.0)
@@ -1000,8 +1070,13 @@ class IncrementalSatSolver:
             if conflict >= 0:
                 self._stats["conflicts"] += 1
                 conflicts_since_restart += 1
+                if (trace is not None
+                        and self._stats["conflicts"] >= self._trace_phase_mark):
+                    self._emit_trace_phase(trace)
                 if not self._trail_lim:
                     self._ok = False
+                    if trace is not None:
+                        self._emit_trace_solve_end(trace, stats_before, False)
                     return SatResult(satisfiable=False, stats=self.stats)
                 learned, backjump_level, lbd = self._analyse(conflict)
                 self._cancel_until(backjump_level)
@@ -1035,6 +1110,10 @@ class IncrementalSatSolver:
 
             if conflicts_since_restart >= restart_limit:
                 self._stats["restarts"] += 1
+                if trace is not None:
+                    trace.emit("restart", conflicts=self._stats["conflicts"],
+                               interval=conflicts_since_restart,
+                               limit=restart_limit)
                 restart_index += 1
                 conflicts_since_restart = 0
                 restart_limit = 32 * self._luby(restart_index)
@@ -1048,6 +1127,8 @@ class IncrementalSatSolver:
                 if value is False:
                     core = self._analyse_final(literal)
                     self._last_core = core
+                    if trace is not None:
+                        self._emit_trace_solve_end(trace, stats_before, False)
                     # No backtrack: the placed assumption levels stay on
                     # the trail for the next query's prefix reuse.
                     return SatResult(satisfiable=False, stats=self.stats,
@@ -1063,6 +1144,8 @@ class IncrementalSatSolver:
                 center = self._center
                 model = {var: lit_val[center + var] == _TRUE
                          for var in range(1, self._num_vars + 1)}
+                if trace is not None:
+                    self._emit_trace_solve_end(trace, stats_before, True)
                 # No backtrack (see the docstring): the next solve or
                 # clause addition cancels exactly as far as it must.
                 return SatResult(satisfiable=True, model=model,
@@ -1141,9 +1224,9 @@ class SatSolver:
     assumptions -- learned clauses are shared between the queries.
     """
 
-    def __init__(self, cnf: CNF, seed: int = 2010) -> None:
+    def __init__(self, cnf: CNF, seed: int = 2010, trace=None) -> None:
         self._cnf = cnf
-        self._engine = IncrementalSatSolver(seed=seed)
+        self._engine = IncrementalSatSolver(seed=seed, trace=trace)
         self._loaded_clauses = 0
         self._sync()
 

@@ -14,6 +14,8 @@ Usage (after ``pip install -e .``)::
     python -m repro batch --matrix "mesh:3x3, routing=[west_first], faults=0..2, seed=0..4"
     python -m repro fuzz --seeds 200 --max-size 3x3
     python -m repro bench --profile extended-8 --jobs 1 4 --json bench.json
+    python -m repro batch --matrix "mesh:3x3, routing=[xy]" --trace run.jsonl
+    python -m repro trace summary run.jsonl --json
 
 Each sub-command drives one part of the library's public API; the examples in
 ``examples/`` show the same flows as scripts.  The ``batch`` command is the
@@ -173,6 +175,11 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--json", type=str, default=None, metavar="PATH",
                        help="write the machine-readable report "
                             "(scenarios, verdicts, solver stats) to PATH")
+    batch.add_argument("--trace", type=str, default=None, metavar="PATH",
+                       help="record a structured JSONL event trace of the "
+                            "run to PATH (solver/oracle/portfolio events; "
+                            "analyse with 'repro trace'); requires "
+                            "--jobs 1")
 
     fuzz = commands.add_parser(
         "fuzz",
@@ -226,6 +233,36 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--threshold", type=float, default=0.95,
                        help="minimum acceptable speedup in --compare mode "
                             "(default 0.95: new may be at most 5%% slower)")
+    bench.add_argument("--trace-dir", type=str, default=None, metavar="DIR",
+                       help="also record a JSONL event trace per serial "
+                            "portfolio lane into DIR (created if missing); "
+                            "parallel lanes are never traced")
+
+    trace = commands.add_parser(
+        "trace",
+        help="offline analysis of a recorded JSONL event trace "
+             "(see 'repro batch --trace' / 'repro bench --trace-dir')")
+    trace_commands = trace.add_subparsers(dest="trace_command",
+                                          required=True)
+    for name, help_text in [
+            ("summary", "whole-run breakdown: event counts, solver work "
+                        "shares, per-group reconciliation"),
+            ("lbd", "learned-clause LBD histogram over time"),
+            ("restarts", "restart cadence table"),
+            ("hot", "top-K scenarios by solver work")]:
+        sub = trace_commands.add_parser(name, help=help_text)
+        sub.add_argument("trace_file", metavar="TRACE",
+                         help="JSONL trace file to analyse")
+        sub.add_argument("--json", action="store_true",
+                         help="print the analysis as JSON instead of a "
+                              "table")
+        if name == "lbd":
+            sub.add_argument("--buckets", type=int, default=6,
+                             help="LBD buckets before folding into the "
+                                  "'>=' tail (default 6)")
+        if name == "hot":
+            sub.add_argument("--top", type=int, default=10,
+                             help="number of scenarios to list (default 10)")
 
     return parser
 
@@ -587,9 +624,22 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                                              vc_counts=args.vcs,
                                              buffer_capacity=buffers)
     shard = _parse_shard(args.shard)
-    report = run_portfolio(scenarios, cross_check=args.cross_check,
-                           jobs=args.jobs, shard=shard,
-                           shard_balance=args.shard_balance)
+    if args.trace is not None:
+        if args.jobs != 1:
+            raise SystemExit("--trace requires a serial run: use --jobs 1")
+        from repro.core.trace import TraceWriter
+
+        with TraceWriter(args.trace, label="repro batch") as trace:
+            report = run_portfolio(scenarios, cross_check=args.cross_check,
+                                   jobs=1, shard=shard,
+                                   shard_balance=args.shard_balance,
+                                   trace=trace)
+        print(f"trace written to {args.trace} "
+              f"(analyse with 'repro trace summary {args.trace}')")
+    else:
+        report = run_portfolio(scenarios, cross_check=args.cross_check,
+                               jobs=args.jobs, shard=shard,
+                               shard_balance=args.shard_balance)
     print(report.formatted())
     print(report.summary())
     if shard is not None:
@@ -668,11 +718,53 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         with open(args.reference, encoding="utf-8") as handle:
             reference = json.load(handle)
     report = run_benchmark(profile=args.profile, jobs_list=args.jobs,
-                           repeat=args.repeat, reference=reference)
+                           repeat=args.repeat, reference=reference,
+                           trace_dir=args.trace_dir)
     path = args.json or bench_report_path()
     write_bench_report(report, path)
     print(format_bench_summary(report))
     print(f"bench report written to {path}")
+    if args.trace_dir:
+        print(f"serial-lane traces written to {args.trace_dir}/")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core import trace_analysis
+    from repro.core.trace import load_trace, validate_trace
+
+    try:
+        events = load_trace(args.trace_file)
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"cannot read trace {args.trace_file!r}: {error}")
+    errors = validate_trace(events)
+    if errors:
+        for error in errors[:10]:
+            print(f"invalid trace: {error}", file=sys.stderr)
+        raise SystemExit(f"trace {args.trace_file!r} failed schema "
+                         f"validation ({len(errors)} violation(s))")
+
+    if args.trace_command == "summary":
+        analysis = trace_analysis.analyze_summary(events)
+        formatted = trace_analysis.format_summary(analysis)
+    elif args.trace_command == "lbd":
+        analysis = trace_analysis.analyze_lbd(events, buckets=args.buckets)
+        formatted = trace_analysis.format_lbd(analysis)
+    elif args.trace_command == "restarts":
+        analysis = trace_analysis.analyze_restarts(events)
+        formatted = trace_analysis.format_restarts(analysis)
+    else:
+        analysis = trace_analysis.analyze_hot(events, top=args.top)
+        formatted = trace_analysis.format_hot(analysis)
+
+    if args.json:
+        print(json.dumps(analysis, indent=2, sort_keys=False))
+    else:
+        print(formatted)
+    if args.trace_command == "summary" and not analysis["reconciled"]:
+        return 1
     return 0
 
 
@@ -686,6 +778,7 @@ _COMMANDS = {
     "batch": _cmd_batch,
     "fuzz": _cmd_fuzz,
     "bench": _cmd_bench,
+    "trace": _cmd_trace,
 }
 
 

@@ -191,7 +191,9 @@ def _bench_scenarios(profile: str):
 
 def run_portfolio_bench(profile: str = "smoke",
                         jobs_list: Sequence[int] = (1,),
-                        cross_check: bool = False) -> Dict[str, object]:
+                        cross_check: bool = False,
+                        trace_dir: Optional[str] = None
+                        ) -> Dict[str, object]:
     """Run the profile's portfolio once per requested job count.
 
     Every run re-derives the scenario list (construction cost is part of
@@ -201,17 +203,37 @@ def run_portfolio_bench(profile: str = "smoke",
     (:meth:`~repro.core.portfolio.PortfolioReport.comparable_dict`) is
     asserted equal for every later run -- the bench doubles as the
     parallel-determinism gate.
+
+    ``trace_dir`` additionally records a JSONL event trace
+    (:mod:`repro.core.trace`) per **serial** lane into
+    ``<trace_dir>/portfolio-<profile>-jobs1.jsonl``; parallel lanes are
+    never traced (writers cannot cross the pool boundary), and traced
+    serial wall times include the tracing overhead by design -- the
+    trace is telemetry about the run it measures.
     """
     from repro.core.cache import reset_instance_cache
     from repro.core.portfolio import run_portfolio
 
     runs: List[Dict[str, object]] = []
     reference_projection: Optional[Dict[str, object]] = None
+    if trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
     for jobs in jobs_list:
         reset_instance_cache()
         scenarios = _bench_scenarios(profile)
         started = time.perf_counter()
-        report = run_portfolio(scenarios, cross_check=cross_check, jobs=jobs)
+        if trace_dir is not None and jobs == 1:
+            from repro.core.trace import TraceWriter
+
+            trace_path = os.path.join(
+                trace_dir, f"portfolio-{profile}-jobs1.jsonl")
+            with TraceWriter(trace_path,
+                             label=f"bench {profile} jobs=1") as trace:
+                report = run_portfolio(scenarios, cross_check=cross_check,
+                                       jobs=jobs, trace=trace)
+        else:
+            report = run_portfolio(scenarios, cross_check=cross_check,
+                                   jobs=jobs)
         wall = time.perf_counter() - started
         projection = report.comparable_dict()
         if reference_projection is None:
@@ -257,13 +279,16 @@ def run_benchmark(profile: str = "smoke",
                   jobs_list: Sequence[int] = (1,),
                   repeat: int = 3,
                   reference: Optional[Dict[str, object]] = None,
-                  notes: Optional[str] = None) -> Dict[str, object]:
+                  notes: Optional[str] = None,
+                  trace_dir: Optional[str] = None) -> Dict[str, object]:
     """Assemble one full bench report (microbench + portfolio trajectory).
 
     ``reference`` is an optional mapping with the same shape as the
     ``solver_microbench`` / ``portfolio`` sections of a previous report
     (e.g. the seed engine of the current PR); when present, speedups
-    against it are recorded next to the fresh numbers.
+    against it are recorded next to the fresh numbers.  ``trace_dir``
+    records JSONL event traces of the serial portfolio lanes (see
+    :func:`run_portfolio_bench`).
     """
     report: Dict[str, object] = {
         "schema": BENCH_SCHEMA,
@@ -276,7 +301,8 @@ def run_benchmark(profile: str = "smoke",
         },
         "solver_microbench": run_solver_microbench(repeat=repeat),
         "portfolio": run_portfolio_bench(profile=profile,
-                                         jobs_list=jobs_list),
+                                         jobs_list=jobs_list,
+                                         trace_dir=trace_dir),
     }
     if notes:
         report["notes"] = notes
@@ -402,7 +428,9 @@ def compare_bench_reports(old: Dict[str, object],
     ``regressions`` names every row whose speedup falls below
     ``threshold`` (0.95 = "new may be at most 5% slower").  Old reports
     of any schema are accepted; only the sections both reports share are
-    compared.
+    compared, and the ``portfolio-serial`` row only when both reports ran
+    the **same profile** -- wall times of different scenario matrices are
+    not comparable and would fake a speedup (or regression).
     """
     rows: List[Tuple[str, float, float, float]] = []
     old_micro = old.get("solver_microbench", {}) or {}
@@ -424,6 +452,10 @@ def compare_bench_reports(old: Dict[str, object],
                      round(base_total / measured_total, 3)))
     old_serial = _portfolio_serial_wall(old)
     new_serial = _portfolio_serial_wall(new)
+    old_profile = (old.get("portfolio") or {}).get("profile")
+    new_profile = (new.get("portfolio") or {}).get("profile")
+    if old_profile is not None and old_profile != new_profile:
+        old_serial = None
     if old_serial and new_serial is not None:
         rows.append(("portfolio-serial", old_serial, new_serial,
                      round(old_serial / max(new_serial, 1e-9), 3)))

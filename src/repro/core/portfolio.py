@@ -386,8 +386,9 @@ def merge_shard_reports(reports: Sequence[PortfolioReport]
         shard=None)
 
 
-def _run_group(payload: Tuple) -> Tuple[str, List[Tuple[int, ScenarioVerdict]],
-                                        Dict[str, int], Dict[str, int]]:
+def _run_group(payload: Tuple,
+               trace=None) -> Tuple[str, List[Tuple[int, ScenarioVerdict]],
+                                    Dict[str, int], Dict[str, int]]:
     """Run one scenario group through one shared incremental session.
 
     ``payload`` is a single picklable tuple ``(group_key, indexed_scenarios,
@@ -403,6 +404,12 @@ def _run_group(payload: Tuple) -> Tuple[str, List[Tuple[int, ScenarioVerdict]],
     bit-for-bit reproductions of serial ones (see
     :meth:`PortfolioReport.comparable_dict`).
 
+    ``trace`` (a :class:`~repro.core.trace.TraceWriter`, serial runs only
+    -- writers cannot cross the process-pool boundary) opens a
+    ``scenario_begin``/``scenario_end`` span per scenario, nesting the
+    session's solver/oracle events, and closes the group with a
+    ``session_summary`` carrying the shared session's aggregate counters.
+
     Returns the group key, the ``(original_index, verdict)`` pairs, the
     group session's solver statistics, and the construction-cache counter
     deltas the group accounted for.
@@ -415,8 +422,14 @@ def _run_group(payload: Tuple) -> Tuple[str, List[Tuple[int, ScenarioVerdict]],
     cache_hits_before = cache.hits
     cache_misses_before = cache.misses
 
-    resolved = [(index, scenario, scenario.resolve())
-                for index, scenario in indexed_scenarios]
+    resolved = []
+    cache_deltas: Dict[int, Dict[str, int]] = {}
+    for index, scenario in indexed_scenarios:
+        hits_before, misses_before = cache.hits, cache.misses
+        instance = scenario.resolve()
+        cache_deltas[index] = {"hits": cache.hits - hits_before,
+                               "misses": cache.misses - misses_before}
+        resolved.append((index, scenario, instance))
     vertices: Dict[Port, None] = {}
     for _, _, instance in resolved:
         for port in instance.topology.ports:
@@ -425,11 +438,16 @@ def _run_group(payload: Tuple) -> Tuple[str, List[Tuple[int, ScenarioVerdict]],
     base: DirectedGraph[Port] = DirectedGraph()
     for port in vertices:
         base.add_vertex(port)
-    session = DeadlockQuerySession(base, name=group_key, seed=seed)
+    session = DeadlockQuerySession(base, name=group_key, seed=seed,
+                                   trace=trace)
     known_edges: set = set()
     results: List[Tuple[int, ScenarioVerdict]] = []
 
     for index, scenario, instance in resolved:
+        if trace is not None:
+            trace.emit("scenario_begin", scenario=scenario.name,
+                       group=group_key, index=index,
+                       shard=list(shard) if shard is not None else None)
         scenario_start = time.perf_counter()
         solver_before = session.solver_stats
         graph = routing_dependency_graph(instance.routing)
@@ -488,6 +506,16 @@ def _run_group(payload: Tuple) -> Tuple[str, List[Tuple[int, ScenarioVerdict]],
                     f"explicit={reference}")
 
         solver_after = session.solver_stats
+        solver_delta = {key: solver_after[key] - solver_before.get(key, 0)
+                        for key in solver_after}
+        elapsed = time.perf_counter() - scenario_start
+        if trace is not None:
+            trace.emit("scenario_end", scenario=scenario.name,
+                       group=group_key, deadlock_free=deadlock_free,
+                       condition=condition, edges=len(edges),
+                       new_edges=new_edges, solver=solver_delta,
+                       cache=cache_deltas[index],
+                       wall_time_s=round(elapsed, 6))
         results.append((index, ScenarioVerdict(
             scenario=scenario.name,
             topology=str(instance.topology),
@@ -496,19 +524,21 @@ def _run_group(payload: Tuple) -> Tuple[str, List[Tuple[int, ScenarioVerdict]],
             deadlock_free=deadlock_free,
             edges=len(edges),
             new_edges=new_edges,
-            elapsed_seconds=time.perf_counter() - scenario_start,
+            elapsed_seconds=elapsed,
             cycle_core=cycle_core,
             escape_edges=escape,
             condition=condition,
             num_vcs=num_vcs,
-            solver={key: solver_after[key] - solver_before.get(key, 0)
-                    for key in solver_after},
+            solver=solver_delta,
             spec=(scenario.spec.to_dict()
                   if scenario.spec is not None else None),
             shard=shard,
             index=index,
         )))
 
+    if trace is not None:
+        trace.emit("session_summary", group=group_key,
+                   stats=session.solver_stats)
     cache_delta = {"hits": cache.hits - cache_hits_before,
                    "misses": cache.misses - cache_misses_before}
     return group_key, results, session.solver_stats, cache_delta
@@ -527,7 +557,8 @@ def run_portfolio(scenarios: Sequence[Scenario],
                   cross_check: bool = False,
                   jobs: int = 1,
                   shard: Optional[Tuple[int, int]] = None,
-                  shard_balance: str = "hash") -> PortfolioReport:
+                  shard_balance: str = "hash",
+                  trace=None) -> PortfolioReport:
     """Run every scenario through shared incremental deadlock sessions.
 
     ``analyse_failures`` additionally extracts the cycle core and the
@@ -568,10 +599,19 @@ def run_portfolio(scenarios: Sequence[Scenario],
     universe.  Their group sessions therefore host *channel* vertices; mix
     VC and single-VC scenarios in one group only if their vertex universes
     agree.
+
+    ``trace`` (a :class:`~repro.core.trace.TraceWriter`) records the run as
+    a structured event stream -- portfolio/scenario spans wrapping the
+    oracle and solver events.  Tracing is **serial only**: a writer cannot
+    cross the process-pool boundary, so ``trace`` with ``jobs != 1`` is an
+    error rather than a silently partial stream.
     """
     start = time.perf_counter()
     ordered = list(scenarios)
     jobs = resolve_jobs(jobs)
+    if trace is not None and jobs > 1:
+        raise ValueError(
+            "tracing requires a serial run: pass jobs=1 with trace=")
     if shard_balance not in SHARD_BALANCE_POLICIES:
         raise ValueError(f"shard_balance must be one of "
                          f"{SHARD_BALANCE_POLICIES}, got {shard_balance!r}")
@@ -616,12 +656,17 @@ def run_portfolio(scenarios: Sequence[Scenario],
     payloads = [(key, indexed, seed, analyse_failures, cross_check, shard)
                 for key, indexed in groups.items()]
 
+    if trace is not None:
+        trace.emit("portfolio_begin", scenarios=len(kept_indices),
+                   shard=list(shard) if shard is not None else None)
+
     # ``jobs`` in the report records what actually happened: 1 when the
     # run stayed in-process (requested serial, or nothing to parallelise),
     # the worker count of the pool otherwise.
     if jobs <= 1 or len(groups) <= 1:
         jobs = 1
-        group_results = [_run_group(payload) for payload in payloads]
+        group_results = [_run_group(payload, trace=trace)
+                         for payload in payloads]
     else:
         from concurrent.futures import ProcessPoolExecutor
 
@@ -642,6 +687,13 @@ def run_portfolio(scenarios: Sequence[Scenario],
             verdicts[positions[index]] = verdict
 
     assert all(verdict is not None for verdict in verdicts)
+    if trace is not None:
+        free = sum(1 for verdict in verdicts
+                   if verdict is not None and verdict.deadlock_free)
+        trace.emit("portfolio_end", scenarios=len(verdicts),
+                   deadlock_free=free,
+                   deadlock_prone=len(verdicts) - free)
+        trace.flush()
     return PortfolioReport(
         verdicts=verdicts,  # type: ignore[arg-type]
         elapsed_seconds=time.perf_counter() - start,

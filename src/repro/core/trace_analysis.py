@@ -1,0 +1,293 @@
+"""Offline analysis of trace-lab event streams (``repro trace``).
+
+The recording side (:mod:`repro.core.trace`) writes what the engine did;
+this module answers what it *meant*: where the solver work went, how the
+learned-clause quality (LBD) evolved, how the restart cadence behaved and
+which scenarios dominated the run.  Every analysis consumes a parsed event
+list (:func:`repro.core.trace.load_trace`), returns a JSON-serialisable
+dict (the ``--json`` payload) and has a ``format_*`` companion rendering
+the human table.
+
+The :func:`analyze_summary` reconciliation is the trace lab's core
+integrity check: per session group, the per-scenario ``scenario_end``
+solver deltas must sum exactly to the group's ``session_summary``
+aggregate counters -- the event stream and the solver's own bookkeeping
+describe the same run or the trace is lying.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.core.trace import TIMING_FIELDS  # noqa: F401  (re-export context)
+
+#: Stat counters treated as "solver work" when ranking scenarios.
+WORK_KEYS = ("propagations", "decisions", "conflicts")
+
+
+def _work_of(stats: Dict[str, int]) -> int:
+    """The scalar work metric of a stats(-delta) dict."""
+    return sum(int(stats.get(key, 0)) for key in WORK_KEYS)
+
+
+# ---------------------------------------------------------------------------
+# summary
+# ---------------------------------------------------------------------------
+
+def analyze_summary(events: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Whole-run breakdown: totals, per-group reconciliation, work shares.
+
+    ``reconciled`` is True iff, for every session group, the sum of the
+    per-scenario ``scenario_end.solver`` deltas equals the group's
+    ``session_summary.stats`` on **every** counter the summary reports.
+    """
+    event_counts: Dict[str, int] = {}
+    group_scenario_sums: Dict[str, Dict[str, int]] = {}
+    group_scenarios: Dict[str, int] = {}
+    group_stats: Dict[str, Dict[str, int]] = {}
+    scenarios: List[Dict[str, object]] = []
+    label = ""
+    for event in events:
+        ev = str(event.get("ev"))
+        event_counts[ev] = event_counts.get(ev, 0) + 1
+        if ev == "trace_begin":
+            label = str(event.get("label", ""))
+        elif ev == "scenario_end":
+            group = str(event.get("group"))
+            solver = dict(event.get("solver") or {})
+            sums = group_scenario_sums.setdefault(group, {})
+            for key, value in solver.items():
+                sums[key] = sums.get(key, 0) + int(value)
+            group_scenarios[group] = group_scenarios.get(group, 0) + 1
+            scenarios.append({
+                "scenario": event.get("scenario"),
+                "group": group,
+                "deadlock_free": event.get("deadlock_free"),
+                "work": _work_of(solver),
+                "solver": solver,
+                "wall_time_s": event.get("wall_time_s"),
+            })
+        elif ev == "session_summary":
+            group_stats[str(event.get("group"))] = dict(
+                event.get("stats") or {})
+
+    groups: List[Dict[str, object]] = []
+    totals: Dict[str, int] = {}
+    reconciled = True
+    for group in sorted(set(group_stats) | set(group_scenario_sums)):
+        stats = group_stats.get(group, {})
+        sums = group_scenario_sums.get(group, {})
+        mismatched = sorted(
+            key for key in stats
+            if int(stats.get(key, 0)) != int(sums.get(key, 0)))
+        if mismatched or not stats:
+            reconciled = False
+        for key, value in stats.items():
+            totals[key] = totals.get(key, 0) + int(value)
+        groups.append({
+            "group": group,
+            "scenarios": group_scenarios.get(group, 0),
+            "stats": stats,
+            "scenario_delta_sum": sums,
+            "reconciled": not mismatched and bool(stats),
+            "mismatched_keys": mismatched,
+        })
+
+    total_work = _work_of(totals)
+    for scenario in scenarios:
+        scenario["share"] = (scenario["work"] / total_work
+                             if total_work else 0.0)
+    work_share = {key: (int(totals.get(key, 0)) / total_work
+                        if total_work else 0.0)
+                  for key in WORK_KEYS}
+    return {
+        "label": label,
+        "events": len(events),
+        "event_counts": dict(sorted(event_counts.items())),
+        "groups": groups,
+        "totals": totals,
+        "work_share": work_share,
+        "scenarios": sorted(scenarios, key=lambda s: -int(s["work"])),
+        "reconciled": reconciled,
+    }
+
+
+def format_summary(summary: Dict[str, object]) -> str:
+    from repro.reporting.tables import format_table
+
+    lines: List[str] = []
+    label = summary.get("label") or "(unlabelled)"
+    lines.append(f"trace: {summary['events']} events, label {label}")
+    counts = summary["event_counts"]
+    lines.append("  " + ", ".join(f"{ev}={count}"
+                                  for ev, count in counts.items()))
+    totals = summary["totals"]
+    share = summary["work_share"]
+    if totals:
+        lines.append(
+            f"solver totals: {totals.get('solves', 0)} solves, "
+            f"{totals.get('conflicts', 0)} conflicts, "
+            f"{totals.get('propagations', 0)} propagations, "
+            f"{totals.get('decisions', 0)} decisions, "
+            f"{totals.get('learned', 0)} learned, "
+            f"{totals.get('restarts', 0)} restarts")
+        lines.append("work share: " + ", ".join(
+            f"{key} {share[key] * 100:.1f}%" for key in WORK_KEYS))
+    rows = [[group["group"], group["scenarios"],
+             group["stats"].get("solves", 0),
+             group["stats"].get("conflicts", 0),
+             group["stats"].get("propagations", 0),
+             "yes" if group["reconciled"] else
+             f"NO ({', '.join(group['mismatched_keys']) or 'no summary'})"]
+            for group in summary["groups"]]
+    if rows:
+        lines.append(format_table(
+            ["group", "scenarios", "solves", "conflicts", "propagations",
+             "reconciled"], rows, title="session groups"))
+    scenario_rows = [[s["scenario"], s["group"], s["work"],
+                      f"{s['share'] * 100:.1f}",
+                      "free" if s["deadlock_free"] else "PRONE"]
+                     for s in summary["scenarios"]]
+    if scenario_rows:
+        lines.append(format_table(
+            ["scenario", "group", "work", "share %", "verdict"],
+            scenario_rows, title="per-scenario solver share"))
+    lines.append("reconciliation: " +
+                 ("OK (scenario deltas sum to session aggregates)"
+                  if summary["reconciled"] else "MISMATCH"))
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# lbd
+# ---------------------------------------------------------------------------
+
+def analyze_lbd(events: Sequence[Dict[str, object]],
+                buckets: int = 6) -> Dict[str, object]:
+    """LBD histogram over time: one row per ``solver_phase`` sample.
+
+    Each ``solver_phase`` record carries the solver's cumulative LBD
+    histogram; rows report the per-window *delta* (clauses learned in that
+    window per bucket, the last bucket folding everything ``>= buckets``).
+    A sample whose histogram does not dominate its predecessor starts a
+    fresh solver (new session group), so its delta is the snapshot itself.
+    """
+    buckets = max(1, int(buckets))
+    rows: List[Dict[str, object]] = []
+    previous: Dict[int, int] = {}
+    for event in events:
+        if event.get("ev") != "solver_phase":
+            continue
+        snapshot = {int(bucket): int(count)
+                    for bucket, count in (event.get("lbd") or {}).items()}
+        fresh = any(snapshot.get(bucket, 0) < count
+                    for bucket, count in previous.items())
+        base = {} if fresh else previous
+        delta: Dict[int, int] = {}
+        for bucket, count in snapshot.items():
+            window = count - base.get(bucket, 0)
+            slot = min(bucket, buckets)
+            delta[slot] = delta.get(slot, 0) + window
+        rows.append({
+            "eid": event.get("eid"),
+            "conflicts": event.get("conflicts"),
+            "learned": sum(delta.values()),
+            "buckets": {str(slot): delta.get(slot, 0)
+                        for slot in range(1, buckets + 1)},
+        })
+        previous = snapshot
+    return {"samples": len(rows), "bucket_cap": buckets, "rows": rows}
+
+
+def format_lbd(lbd: Dict[str, object]) -> str:
+    from repro.reporting.tables import format_table
+
+    buckets = int(lbd["bucket_cap"])
+    headers = (["eid", "conflicts", "learned"]
+               + [f"lbd{'>=' if b == buckets else '='}{b}"
+                  for b in range(1, buckets + 1)])
+    rows = [[row["eid"], row["conflicts"], row["learned"]]
+            + [row["buckets"][str(b)] for b in range(1, buckets + 1)]
+            for row in lbd["rows"]]
+    if not rows:
+        return ("no solver_phase samples in this trace "
+                "(run was below the phase-sampling interval)")
+    return format_table(headers, rows,
+                        title=f"LBD histogram over time "
+                              f"({lbd['samples']} samples)")
+
+
+# ---------------------------------------------------------------------------
+# restarts
+# ---------------------------------------------------------------------------
+
+def analyze_restarts(events: Sequence[Dict[str, object]]
+                     ) -> Dict[str, object]:
+    """Restart cadence: one row per ``restart`` event plus summary stats."""
+    rows = [{"eid": event.get("eid"),
+             "conflicts": event.get("conflicts"),
+             "interval": int(event.get("interval", 0)),
+             "limit": event.get("limit")}
+            for event in events if event.get("ev") == "restart"]
+    intervals = [row["interval"] for row in rows]
+    return {
+        "restarts": len(rows),
+        "rows": rows,
+        "mean_interval": (sum(intervals) / len(intervals)
+                          if intervals else 0.0),
+        "min_interval": min(intervals) if intervals else 0,
+        "max_interval": max(intervals) if intervals else 0,
+    }
+
+
+def format_restarts(restarts: Dict[str, object]) -> str:
+    from repro.reporting.tables import format_table
+
+    if not restarts["rows"]:
+        return "no restarts in this trace"
+    table = format_table(
+        ["eid", "conflicts", "interval", "luby limit"],
+        [[row["eid"], row["conflicts"], row["interval"], row["limit"]]
+         for row in restarts["rows"]],
+        title=f"restart cadence ({restarts['restarts']} restarts)")
+    return (f"{table}\n"
+            f"interval: mean {restarts['mean_interval']:.1f}, "
+            f"min {restarts['min_interval']}, "
+            f"max {restarts['max_interval']}")
+
+
+# ---------------------------------------------------------------------------
+# hot
+# ---------------------------------------------------------------------------
+
+def analyze_hot(events: Sequence[Dict[str, object]],
+                top: int = 10) -> Dict[str, object]:
+    """Top-K scenarios by solver work (propagations + decisions +
+    conflicts of the scenario's stat delta)."""
+    summary = analyze_summary(events)
+    scenarios = summary["scenarios"]
+    top = max(1, int(top))
+    return {
+        "top": top,
+        "total_scenarios": len(scenarios),
+        "total_work": _work_of(summary["totals"]),
+        "rows": scenarios[:top],
+    }
+
+
+def format_hot(hot: Dict[str, object]) -> str:
+    from repro.reporting.tables import format_table
+
+    if not hot["rows"]:
+        return "no scenario spans in this trace"
+    rows = [[s["scenario"], s["group"], s["work"],
+             s["solver"].get("propagations", 0),
+             s["solver"].get("conflicts", 0),
+             f"{s['share'] * 100:.1f}",
+             "free" if s["deadlock_free"] else "PRONE"]
+            for s in hot["rows"]]
+    return format_table(
+        ["scenario", "group", "work", "propagations", "conflicts",
+         "share %", "verdict"], rows,
+        title=f"top {len(rows)} of {hot['total_scenarios']} scenarios "
+              f"by solver work (total {hot['total_work']})")
