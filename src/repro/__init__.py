@@ -43,4 +43,50 @@ __all__ = [
     "simulation",
     "ringnoc",
     "reporting",
+    "__engine_fingerprint__",
 ]
+
+_engine_fingerprint_cache = None
+
+
+def _compute_engine_fingerprint() -> str:
+    """A content hash of the engine's own source tree.
+
+    ``repro.__engine_fingerprint__`` keys persisted verdicts (the
+    checkpoint journal of :mod:`repro.core.checkpoint`, and eventually the
+    content-addressed verdict store): a cached verdict is only valid for
+    the exact engine that produced it, so *any* source change invalidates
+    it.  The hash covers every ``.py`` file of the installed package in a
+    fixed order -- deterministic across processes, machines and import
+    order, unlike bytecode hashes or mtimes.
+    """
+    import hashlib
+    import os
+
+    root = os.path.dirname(os.path.abspath(__file__))
+    digest = hashlib.sha256()
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(name for name in dirnames
+                             if name != "__pycache__")
+        for name in sorted(filenames):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, name)
+            relative = os.path.relpath(path, root).replace(os.sep, "/")
+            digest.update(relative.encode("utf-8"))
+            digest.update(b"\0")
+            with open(path, "rb") as handle:
+                digest.update(handle.read())
+            digest.update(b"\0")
+    return f"repro-{__version__}-{digest.hexdigest()[:16]}"
+
+
+def __getattr__(name: str):
+    # PEP 562 lazy attribute: computing the fingerprint walks the source
+    # tree, so it only happens when something actually asks for it.
+    if name == "__engine_fingerprint__":
+        global _engine_fingerprint_cache
+        if _engine_fingerprint_cache is None:
+            _engine_fingerprint_cache = _compute_engine_fingerprint()
+        return _engine_fingerprint_cache
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

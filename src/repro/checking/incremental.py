@@ -125,6 +125,17 @@ class IncrementalSession:
         self._sync()
         return self.solver.solve([self._to_literal(a) for a in assumptions])
 
+    def set_interrupt(self, callback) -> None:
+        """Install (or clear with ``None``) a cooperative solve budget.
+
+        Forwarded to
+        :meth:`~repro.checking.sat.IncrementalSatSolver.set_interrupt`:
+        once ``callback`` returns a truthy reason, queries raise
+        :class:`~repro.checking.sat.SolverTimeout` while leaving the
+        session's formula, learned clauses and selector map intact.
+        """
+        self.solver.set_interrupt(callback)
+
     def last_core_names(self) -> Optional[List[str]]:
         """The selector names in the last UNSAT core (non-selector literals
         are reported as their CNF names or literal values)."""
@@ -225,6 +236,11 @@ class AcyclicityOracle:
     @property
     def solver_stats(self) -> Dict[str, int]:
         return self._session.solver.stats
+
+    def set_interrupt(self, callback) -> None:
+        """Install (or clear) a cooperative budget on the oracle's solver
+        (see :meth:`IncrementalSession.set_interrupt`)."""
+        self._session.set_interrupt(callback)
 
     def has_edge(self, source: V, target: V) -> bool:
         return (source, target) in self._edge_selector

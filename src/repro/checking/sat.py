@@ -56,6 +56,28 @@ _UNASSIGNED, _TRUE, _FALSE = 0, 1, 2
 #: (``lbd_10`` counts every learned clause with LBD >= 10).
 LBD_HISTOGRAM_CAP = 10
 
+#: How many conflicts pass between cooperative interrupt checks.  The
+#: callback runs off the hot path (one int test per conflict, the callback
+#: itself only every Nth conflict), so a solve honours a budget within a
+#: few hundred conflicts of it expiring.
+INTERRUPT_CHECK_INTERVAL = 64
+
+
+class SolverTimeout(Exception):
+    """A cooperative solver interrupt fired mid-search.
+
+    Raised out of :meth:`IncrementalSatSolver.solve` when the interrupt
+    callback installed via :meth:`IncrementalSatSolver.set_interrupt`
+    reports an expired budget.  The solver unwinds to decision level 0
+    first, so the instance -- formula, learned clauses, statistics --
+    remains fully usable for later queries; only the interrupted query is
+    lost (no model, no core).
+    """
+
+    def __init__(self, reason: str = "solver budget exhausted") -> None:
+        super().__init__(reason)
+        self.reason = reason
+
 
 @dataclass
 class SatResult:
@@ -272,6 +294,44 @@ class IncrementalSatSolver:
         # and the stat snapshot the sample's deltas are computed against.
         self._trace_phase_mark = 0
         self._trace_phase_snapshot: Dict[str, int] = {}
+        # Cooperative interrupt: a callback polled every
+        # INTERRUPT_CHECK_INTERVAL conflicts (and periodically between
+        # decisions); a truthy return aborts the solve via SolverTimeout.
+        self._interrupt = None
+        self._interrupt_mark = 0
+
+    # -- cooperative interruption ---------------------------------------------------
+    def set_interrupt(self, callback) -> None:
+        """Install (or clear) the cooperative solve budget.
+
+        ``callback`` takes no arguments and returns a falsy value while
+        the solve may continue, or a reason string once the budget is
+        exhausted -- e.g. ``lambda: time.monotonic() > deadline and
+        "group deadline"``.  It is polled every
+        :data:`INTERRUPT_CHECK_INTERVAL` conflicts and every 1024
+        decisions; when it fires, the running (and any later) ``solve``
+        raises :class:`SolverTimeout` after restoring decision level 0, so
+        incremental state and the UNSAT-core machinery stay intact for
+        whoever clears the interrupt and queries again.  Pass ``None`` to
+        remove the budget.
+        """
+        self._interrupt = callback
+        self._interrupt_mark = 0
+
+    def _check_interrupt(self, trace, stats_before: Dict[str, int]) -> None:
+        reason = self._interrupt()
+        if reason:
+            # Unwind to level 0: the trail keeps only facts, so future
+            # queries (after the budget is lifted) start from a clean,
+            # consistent state and prefix reuse simply restarts.
+            self._cancel_until(0)
+            self._last_assumptions = []
+            self._last_core = None
+            if trace is not None:
+                # Close the solve span (``sat`` null: no verdict) so the
+                # stream stays balanced for validate_trace.
+                self._emit_trace_solve_end(trace, stats_before, None)
+            raise SolverTimeout(str(reason))
 
     # -- variables ----------------------------------------------------------------
     @property
@@ -1024,6 +1084,9 @@ class IncrementalSatSolver:
         """
         trace = self._trace
         stats_before = dict(self._stats) if trace is not None else {}
+        if self._interrupt is not None:
+            # An already-expired budget fails fast, before the span opens.
+            self._check_interrupt(None, stats_before)
         self._stats["solves"] += 1
         self._last_core = None
         assumption_list = list(assumptions)
@@ -1070,6 +1133,12 @@ class IncrementalSatSolver:
             if conflict >= 0:
                 self._stats["conflicts"] += 1
                 conflicts_since_restart += 1
+                if (self._interrupt is not None
+                        and self._stats["conflicts"]
+                        >= self._interrupt_mark):
+                    self._interrupt_mark = (self._stats["conflicts"]
+                                            + INTERRUPT_CHECK_INTERVAL)
+                    self._check_interrupt(trace, stats_before)
                 if (trace is not None
                         and self._stats["conflicts"] >= self._trace_phase_mark):
                     self._emit_trace_phase(trace)
@@ -1151,6 +1220,11 @@ class IncrementalSatSolver:
                 return SatResult(satisfiable=True, model=model,
                                  stats=self.stats)
             self._stats["decisions"] += 1
+            if (self._interrupt is not None
+                    and self._stats["decisions"] % 1024 == 0):
+                # Conflict-free searches (pure propagation walks) must
+                # honour the budget too, just on a coarser cadence.
+                self._check_interrupt(trace, stats_before)
             trail_lim = self._trail_lim
             trail_lim.append(len(self._trail))
             polarity = self._decision_polarity(variable)

@@ -172,6 +172,28 @@ def build_parser() -> argparse.ArgumentParser:
                             "scheduled group-affine across them and the "
                             "verdicts are identical to --jobs 1 "
                             "(0 = one per core; default 1)")
+    batch.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-group solve budget; a group exceeding it "
+                            "yields deterministic 'timeout' verdicts for "
+                            "its unfinished scenarios instead of hanging "
+                            "the sweep")
+    batch.add_argument("--deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="whole-run wall-clock budget; groups not "
+                            "finished when it expires yield 'timeout' "
+                            "verdicts")
+    batch.add_argument("--max-retries", type=int, default=2, metavar="N",
+                       help="worker-crash retries before the run degrades "
+                            "to in-process serial execution (default: 2)")
+    batch.add_argument("--checkpoint", type=str, default=None,
+                       metavar="PATH",
+                       help="append-only JSONL journal of completed "
+                            "groups; survives SIGKILL and feeds --resume")
+    batch.add_argument("--resume", action="store_true",
+                       help="replay completed groups from the --checkpoint "
+                            "journal instead of re-solving them (verdicts "
+                            "identical to a fresh run)")
     batch.add_argument("--json", type=str, default=None, metavar="PATH",
                        help="write the machine-readable report "
                             "(scenarios, verdicts, solver stats) to PATH")
@@ -624,22 +646,35 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                                              vc_counts=args.vcs,
                                              buffer_capacity=buffers)
     shard = _parse_shard(args.shard)
-    if args.trace is not None:
-        if args.jobs != 1:
-            raise SystemExit("--trace requires a serial run: use --jobs 1")
-        from repro.core.trace import TraceWriter
+    if args.resume and not args.checkpoint:
+        raise SystemExit("--resume requires --checkpoint PATH")
+    if args.max_retries < 0:
+        raise SystemExit("--max-retries must be >= 0")
+    robustness = dict(group_timeout=args.timeout, run_deadline=args.deadline,
+                      max_retries=args.max_retries,
+                      checkpoint=args.checkpoint, resume=args.resume)
+    try:
+        if args.trace is not None:
+            if args.jobs != 1:
+                raise SystemExit(
+                    "--trace requires a serial run: use --jobs 1")
+            from repro.core.trace import TraceWriter
 
-        with TraceWriter(args.trace, label="repro batch") as trace:
+            with TraceWriter(args.trace, label="repro batch") as trace:
+                report = run_portfolio(scenarios,
+                                       cross_check=args.cross_check,
+                                       jobs=1, shard=shard,
+                                       shard_balance=args.shard_balance,
+                                       trace=trace, **robustness)
+            print(f"trace written to {args.trace} "
+                  f"(analyse with 'repro trace summary {args.trace}')")
+        else:
             report = run_portfolio(scenarios, cross_check=args.cross_check,
-                                   jobs=1, shard=shard,
+                                   jobs=args.jobs, shard=shard,
                                    shard_balance=args.shard_balance,
-                                   trace=trace)
-        print(f"trace written to {args.trace} "
-              f"(analyse with 'repro trace summary {args.trace}')")
-    else:
-        report = run_portfolio(scenarios, cross_check=args.cross_check,
-                               jobs=args.jobs, shard=shard,
-                               shard_balance=args.shard_balance)
+                                   **robustness)
+    except KeyboardInterrupt:
+        return _batch_interrupted(args.checkpoint)
     print(report.formatted())
     print(report.summary())
     if shard is not None:
@@ -655,10 +690,58 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     cache = report.cache_stats
     print(f"  construction cache: {cache.get('hits', 0)} hits, "
           f"{cache.get('misses', 0)} misses")
+    recovery = report.recovery
+    if recovery.get("crash_retries"):
+        print(f"  recovered from {recovery['crash_retries']} worker "
+              f"crash(es)"
+              + (" -- degraded to serial execution"
+                 if recovery.get("degraded_serial") else ""))
+    if recovery.get("replayed_groups"):
+        replayed = recovery["replayed_groups"]
+        print(f"  resumed {len(replayed)} group(s) from checkpoint: "
+              f"{', '.join(replayed)}")
     if args.json:
         report.write_json(args.json)
         print(f"JSON report written to {args.json}")
-    return 0
+    return 1 if report.failure_count else 0
+
+
+def _batch_interrupted(checkpoint: "str | None") -> int:
+    """SIGINT epilogue for ``repro batch``: salvage the journal, exit 130.
+
+    ``run_portfolio`` closes (and fsyncs) the journal in its ``finally``
+    block before the KeyboardInterrupt propagates here, so every group
+    that completed before the interrupt is on disk and replayable.
+    """
+    print("\ninterrupted", flush=True)
+    if checkpoint:
+        from repro.core.checkpoint import CheckpointJournal
+        from repro.core.portfolio import PortfolioReport, ScenarioVerdict
+
+        try:
+            records = CheckpointJournal(checkpoint).load_records()
+        except OSError as error:
+            print(f"checkpoint journal unreadable: {error}")
+            return 130
+        latest = {}
+        for record in records:
+            latest[record.get("group")] = record
+        verdicts = []
+        for record in latest.values():
+            for entry in record.get("verdicts", []):
+                verdicts.append(ScenarioVerdict.from_json_dict(
+                    entry, index=int(entry["index"])))
+        if verdicts:
+            verdicts.sort(key=lambda verdict: verdict.index)
+            partial = PortfolioReport(verdicts=verdicts, elapsed_seconds=0.0)
+            print(f"partial results ({len(latest)} completed group(s) "
+                  f"journalled in {checkpoint}):")
+            print(partial.formatted())
+        else:
+            print(f"no completed groups journalled in {checkpoint} yet")
+        print(f"resume with: repro batch ... "
+              f"--checkpoint {checkpoint} --resume")
+    return 130
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:

@@ -122,24 +122,34 @@ SOLVER_MICROBENCHMARKS: Dict[str, Tuple[Callable[[], object],
 }
 
 
-def run_solver_microbench(repeat: int = 3) -> Dict[str, Dict[str, float]]:
+def run_solver_microbench(repeat: int = 3) -> Dict[str, Dict[str, object]]:
     """Time every microbench workload, best of ``repeat`` cold runs.
 
     The construction cache is reset and the input rebuilt before every
     run, so the numbers measure the engine on a cold start, not the
     warmth a previous repetition left behind.
+
+    One crashing workload does not lose the report: its entry degrades to
+    ``{"status": "error", "error": ...}`` and the remaining benchmarks
+    still run -- the same graceful-degradation contract as the portfolio
+    driver's scenario verdicts.
     """
     from repro.core.cache import reset_instance_cache
 
-    results: Dict[str, Dict[str, float]] = {}
+    results: Dict[str, Dict[str, object]] = {}
     for name, (setup, run) in SOLVER_MICROBENCHMARKS.items():
         best = float("inf")
-        for _ in range(max(1, repeat)):
-            reset_instance_cache()
-            prepared = setup()
-            started = time.perf_counter()
-            run(prepared)
-            best = min(best, time.perf_counter() - started)
+        try:
+            for _ in range(max(1, repeat)):
+                reset_instance_cache()
+                prepared = setup()
+                started = time.perf_counter()
+                run(prepared)
+                best = min(best, time.perf_counter() - started)
+        except Exception as exc:
+            results[name] = {"status": "error",
+                             "error": f"{type(exc).__name__}: {exc}"}
+            continue
         results[name] = {"wall_time_s": round(best, 6)}
     return results
 
@@ -222,18 +232,26 @@ def run_portfolio_bench(profile: str = "smoke",
         reset_instance_cache()
         scenarios = _bench_scenarios(profile)
         started = time.perf_counter()
-        if trace_dir is not None and jobs == 1:
-            from repro.core.trace import TraceWriter
+        try:
+            if trace_dir is not None and jobs == 1:
+                from repro.core.trace import TraceWriter
 
-            trace_path = os.path.join(
-                trace_dir, f"portfolio-{profile}-jobs1.jsonl")
-            with TraceWriter(trace_path,
-                             label=f"bench {profile} jobs=1") as trace:
+                trace_path = os.path.join(
+                    trace_dir, f"portfolio-{profile}-jobs1.jsonl")
+                with TraceWriter(trace_path,
+                                 label=f"bench {profile} jobs=1") as trace:
+                    report = run_portfolio(scenarios,
+                                           cross_check=cross_check,
+                                           jobs=jobs, trace=trace)
+            else:
                 report = run_portfolio(scenarios, cross_check=cross_check,
-                                       jobs=jobs, trace=trace)
-        else:
-            report = run_portfolio(scenarios, cross_check=cross_check,
-                                   jobs=jobs)
+                                       jobs=jobs)
+        except Exception as exc:
+            # One crashed lane degrades to a structured error entry; the
+            # other job counts still produce their measurements.
+            runs.append({"jobs": jobs, "status": "error",
+                         "error": f"{type(exc).__name__}: {exc}"})
+            continue
         wall = time.perf_counter() - started
         projection = report.comparable_dict()
         if reference_projection is None:
@@ -258,9 +276,11 @@ def run_portfolio_bench(profile: str = "smoke",
                  "solver": entry["solver"]}
                 for entry in payload["scenarios"]],
         })
-    serial = next((run for run in runs if run["jobs"] == 1), None)
+    serial = next((run for run in runs
+                   if run["jobs"] == 1 and "wall_time_s" in run), None)
     fastest_parallel = min(
-        (run for run in runs if run["jobs"] != 1),
+        (run for run in runs
+         if run["jobs"] != 1 and "wall_time_s" in run),
         key=lambda run: run["wall_time_s"], default=None)
     speedup = None
     if serial is not None and fastest_parallel is not None:
@@ -313,7 +333,7 @@ def run_benchmark(profile: str = "smoke",
         base_total = measured_total = 0.0
         for name, entry in report["solver_microbench"].items():
             base = reference_micro.get(name, {}).get("wall_time_s")
-            if base:
+            if base and "wall_time_s" in entry:
                 base_total += base
                 measured_total += entry["wall_time_s"]
                 speedups[name] = round(base / max(entry["wall_time_s"],
@@ -331,9 +351,10 @@ def run_benchmark(profile: str = "smoke",
                 (run.get("wall_time_s")
                  for run in reference_portfolio.get("runs", [])
                  if run.get("jobs") == 1), None)
-        runs = report["portfolio"]["runs"]
-        if base_serial and runs:
-            best = min(run["wall_time_s"] for run in runs)
+        timed_runs = [run for run in report["portfolio"]["runs"]
+                      if "wall_time_s" in run]
+        if base_serial and timed_runs:
+            best = min(run["wall_time_s"] for run in timed_runs)
             speedups["portfolio-vs-reference"] = round(
                 base_serial / max(best, 1e-9), 3)
         report["speedup_vs_reference"] = speedups
@@ -371,6 +392,11 @@ def validate_bench_report(report: Dict[str, object]) -> List[str]:
         errors.append("solver_microbench must be a non-empty mapping")
     else:
         for name, entry in micro.items():
+            if isinstance(entry, dict) and entry.get("status") == "error":
+                require(isinstance(entry.get("error"), str),
+                        f"errored microbench {name!r} must carry an "
+                        f"error string")
+                continue
             require(isinstance(entry, dict)
                     and isinstance(entry.get("wall_time_s"), (int, float))
                     and entry.get("wall_time_s") >= 0,
@@ -385,6 +411,12 @@ def validate_bench_report(report: Dict[str, object]) -> List[str]:
             errors.append("portfolio.runs must be a non-empty list")
         else:
             for run in runs:
+                if isinstance(run, dict) and run.get("status") == "error":
+                    require("jobs" in run
+                            and isinstance(run.get("error"), str),
+                            "errored portfolio run must carry jobs and an "
+                            "error string")
+                    continue
                 for key in ("jobs", "wall_time_s", "scenarios",
                             "deadlock_free", "cache_hits", "cache_misses",
                             "session_stats", "per_scenario"):
@@ -505,6 +537,9 @@ def format_bench_summary(report: Dict[str, object]) -> str:
              f"(python {report['platform']['python']}, "
              f"{report['platform']['cpu_count']} cores)"]
     for name, entry in report["solver_microbench"].items():
+        if entry.get("status") == "error":
+            lines.append(f"  solver {name}: ERROR ({entry['error']})")
+            continue
         line = f"  solver {name}: {entry['wall_time_s'] * 1000:.1f} ms"
         speedup = report.get("speedup_vs_reference", {}).get(name)
         if speedup:
@@ -512,6 +547,10 @@ def format_bench_summary(report: Dict[str, object]) -> str:
         lines.append(line)
     portfolio = report["portfolio"]
     for run in portfolio["runs"]:
+        if run.get("status") == "error":
+            lines.append(f"  portfolio[{portfolio['profile']}] "
+                         f"jobs={run['jobs']}: ERROR ({run['error']})")
+            continue
         lines.append(f"  portfolio[{portfolio['profile']}] "
                      f"jobs={run['jobs']}: {run['wall_time_s']:.3f}s "
                      f"({run['scenarios']} scenarios, "

@@ -1,0 +1,176 @@
+"""Crash-safe checkpoint journal for portfolio batch runs.
+
+A long sweep that dies at 90% (power loss, OOM, a SIGKILLed CI runner)
+should not re-solve the 90% that already finished.  The journal is an
+append-only JSONL file: every *fully solved* scenario group is written as
+one self-contained record -- its verdicts, the group's session solver
+stats, and its cache counters -- then flushed and ``fsync``\\ ed before the
+engine moves on.  A crash can at worst lose the group in flight; every
+record already on disk is complete and replayable.
+
+Records are keyed on three things that must all match before a replay is
+trusted:
+
+* the **engine fingerprint** (``repro.__engine_fingerprint__`` -- a hash
+  over the package sources), so verdicts computed by an older engine are
+  recomputed instead of replayed;
+* the **run key** (seed, analyse_failures, cross_check, shard), so a
+  journal from a differently parameterised sweep is never mixed in;
+* the **scenario fingerprints** of the group (canonical spec hashes with
+  their submission indices), so edits to the scenario matrix invalidate
+  exactly the groups they touch.
+
+Loading is tolerant of a torn tail: a crash mid-``write`` leaves a
+truncated final line, which is skipped rather than poisoning the journal.
+Only all-``ok`` groups are journaled -- timeout/error verdicts describe a
+*run*, not the scenarios, and must be recomputed on resume.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Journal record schema version.
+CHECKPOINT_SCHEMA = 1
+
+
+def engine_fingerprint() -> str:
+    """The current engine source fingerprint (see ``repro.__init__``)."""
+    import repro
+
+    return repro.__engine_fingerprint__
+
+
+def scenario_fingerprint(scenario) -> str:
+    """A content hash identifying one scenario independent of spelling.
+
+    :class:`~repro.core.spec.ScenarioSpec` inputs hash their normalized
+    canonical form; pre-built instances (which have no spec) fall back to
+    their name, which is the only identity they carry.
+    """
+    canonical = getattr(scenario, "canonical_hash", None)
+    if callable(canonical):
+        return canonical()
+    return "instance:" + getattr(scenario, "name", repr(scenario))
+
+
+def make_run_key(seed: int, analyse_failures: bool, cross_check: bool,
+                 shard: Optional[Tuple[int, int]]) -> Dict[str, Any]:
+    """The run parameters a journal record must match to be replayable."""
+    return {
+        "seed": seed,
+        "analyse_failures": bool(analyse_failures),
+        "cross_check": bool(cross_check),
+        "shard": list(shard) if shard is not None else None,
+    }
+
+
+class CheckpointJournal:
+    """Append-only JSONL journal of completed scenario groups."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle = None
+
+    # -- writing ---------------------------------------------------------
+
+    def open_for_append(self) -> None:
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+
+    def record_group(self, fingerprint: str, kind: str,
+                     run_key: Dict[str, Any], group: str,
+                     specs: List[Tuple[int, str]],
+                     verdicts: List[Tuple[int, Dict[str, Any]]],
+                     session_stats: Dict[str, int],
+                     cache: Dict[str, int]) -> None:
+        """Durably append one completed group.
+
+        ``specs`` are ``(index, scenario_fingerprint)`` pairs in
+        submission order; ``verdicts`` are ``(index, verdict_json)``
+        pairs.  The record is flushed and fsynced before returning, so a
+        crash immediately after still finds it on resume.
+        """
+        self.open_for_append()
+        record = {
+            "schema": CHECKPOINT_SCHEMA,
+            "kind": kind,
+            "fingerprint": fingerprint,
+            "run_key": run_key,
+            "group": group,
+            "specs": [[index, spec_hash] for index, spec_hash in specs],
+            "verdicts": [dict(verdict, index=index)
+                         for index, verdict in verdicts],
+            "session_stats": dict(session_stats),
+            "cache": dict(cache),
+        }
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- reading ---------------------------------------------------------
+
+    def load_records(self) -> List[Dict[str, Any]]:
+        """All well-formed records, skipping a torn trailing line."""
+        records: List[Dict[str, Any]] = []
+        if not os.path.exists(self.path):
+            return records
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    # A crash mid-append leaves at most one torn line;
+                    # everything before it is intact.
+                    continue
+                if isinstance(record, dict) and \
+                        record.get("schema") == CHECKPOINT_SCHEMA:
+                    records.append(record)
+        return records
+
+    def replayable_groups(self, fingerprint: str, kind: str,
+                          run_key: Dict[str, Any],
+                          group_specs: Dict[str, List[Tuple[int, str]]],
+                          ) -> Dict[str, Dict[str, Any]]:
+        """Records safe to replay for this exact run.
+
+        ``group_specs`` maps each group key of the *current* run to its
+        ``(index, scenario_fingerprint)`` pairs.  A record replays only
+        if its fingerprint, run key, and the full spec list of its group
+        all match -- otherwise the group is silently recomputed (a stale
+        fingerprint is not an error, just no longer trustworthy).  Later
+        records win when a group was journaled twice.
+        """
+        replayable: Dict[str, Dict[str, Any]] = {}
+        for record in self.load_records():
+            group = record.get("group")
+            if record.get("kind") != kind:
+                continue
+            if record.get("fingerprint") != fingerprint:
+                continue
+            if record.get("run_key") != run_key:
+                continue
+            expected = group_specs.get(group)
+            if expected is None:
+                continue
+            if record.get("specs") != [[index, spec_hash]
+                                       for index, spec_hash in expected]:
+                continue
+            replayable[group] = record
+        return replayable

@@ -224,6 +224,17 @@ class DeadlockQuerySession:
     def solver_stats(self) -> Dict[str, int]:
         return self._oracle.solver_stats
 
+    def set_interrupt(self, callback) -> None:
+        """Install (or clear with ``None``) a cooperative solve budget.
+
+        The portfolio driver uses this to enforce per-group deadlines on
+        the serial path: ``callback`` returning a truthy reason makes the
+        next (or the running) query raise
+        :class:`~repro.checking.sat.SolverTimeout`, with the session left
+        reusable.
+        """
+        self._oracle.set_interrupt(callback)
+
     # -- growing the universe -------------------------------------------------
     def add_edge(self, source: Port, target: Port) -> None:
         """Add a dependency edge to the universe (idempotent).

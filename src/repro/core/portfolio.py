@@ -32,12 +32,35 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.checking.graphs import DirectedGraph
+from repro.checking.sat import SolverTimeout
 from repro.core.cache import instance_cache
+from repro.core.checkpoint import (
+    CheckpointJournal,
+    engine_fingerprint,
+    make_run_key,
+    scenario_fingerprint,
+)
 from repro.core.deadlock import DeadlockQuerySession
 from repro.core.dependency import routing_dependency_graph
+from repro.core.faultplan import execute_directive, resolve_fault_plan
 from repro.core.instance import NoCInstance
 from repro.core.spec import ScenarioSpec, expand_matrix
 from repro.network.port import Port
+
+#: Verdict statuses a scenario can end a run with: ``"ok"`` (the solver
+#: decided it), ``"timeout"`` (a group/run deadline or solver budget cut
+#: it off) or ``"error"`` (its group's worker crashed or raised and every
+#: retry was exhausted).
+VERDICT_STATUSES = ("ok", "timeout", "error")
+
+#: Default bound on pool rebuilds after worker crashes before the run
+#: degrades to in-process serial execution.
+DEFAULT_MAX_RETRIES = 2
+
+#: Base (seconds) of the deterministic exponential backoff between pool
+#: rebuilds: ``base * 2**(retry-1)``, capped at :data:`RETRY_BACKOFF_CAP`.
+DEFAULT_RETRY_BACKOFF = 0.1
+RETRY_BACKOFF_CAP = 2.0
 
 
 @dataclass
@@ -164,13 +187,20 @@ def weighted_shard_assignment(group_costs: Dict[str, float],
 
 @dataclass
 class ScenarioVerdict:
-    """The batch driver's answer for one scenario."""
+    """The batch driver's answer for one scenario.
+
+    ``status`` tells whether the verdict is a real decision (``"ok"``) or
+    a structured failure record: ``"timeout"`` when a deadline cut the
+    scenario off, ``"error"`` when its group failed for good.  For
+    non-``ok`` verdicts ``deadlock_free`` is ``None`` and ``error``
+    carries the deterministic reason string.
+    """
 
     scenario: str
     topology: str
     routing: str
     switching: str
-    deadlock_free: bool
+    deadlock_free: Optional[bool]
     #: Dependency edges of this scenario's routing function.
     edges: int
     #: Edges this scenario newly contributed to the shared encoding (0 for
@@ -200,9 +230,22 @@ class ScenarioVerdict:
     #: Submission index of the scenario in the *full* scenario list (also
     #: meaningful in a sharded run, where it orders the merged verdicts).
     index: int = -1
+    #: ``"ok"``, ``"timeout"`` or ``"error"`` (see class docstring).
+    status: str = "ok"
+    #: Deterministic failure reason for non-``ok`` verdicts.
+    error: Optional[str] = None
+
+    @staticmethod
+    def _format_edge(entry) -> str:
+        # Replayed verdicts (checkpoint journals) carry cores as the
+        # already-formatted strings of their JSON image.
+        if isinstance(entry, str):
+            return entry
+        source, target = entry
+        return f"{source} -> {target}"
 
     def to_json_dict(self) -> Dict[str, object]:
-        """A JSON-serialisable summary of this verdict (schema 3 shape)."""
+        """A JSON-serialisable summary of this verdict (schema 4 shape)."""
         return {
             "scenario": self.scenario,
             "topology": self.topology,
@@ -210,16 +253,53 @@ class ScenarioVerdict:
             "switching": self.switching,
             "condition": self.condition,
             "num_vcs": self.num_vcs,
+            "status": self.status,
+            "error": self.error,
             "deadlock_free": self.deadlock_free,
             "edges": self.edges,
             "new_edges": self.new_edges,
             "wall_time_s": round(self.elapsed_seconds, 6),
             "solver": dict(self.solver),
-            "cycle_core": [f"{s} -> {t}" for s, t in self.cycle_core],
-            "escape_edges": [f"{s} -> {t}" for s, t in self.escape_edges],
+            "cycle_core": [self._format_edge(entry)
+                           for entry in self.cycle_core],
+            "escape_edges": [self._format_edge(entry)
+                             for entry in self.escape_edges],
             "spec": dict(self.spec) if self.spec is not None else None,
             "shard": list(self.shard) if self.shard is not None else None,
         }
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict[str, object],
+                       index: Optional[int] = None) -> "ScenarioVerdict":
+        """Rebuild a verdict from its :meth:`to_json_dict` image.
+
+        The inverse used by checkpoint resume: cores/escape edges stay in
+        their formatted string form (:meth:`to_json_dict` passes them
+        through unchanged), so a replayed verdict re-serialises
+        byte-identically to the original.
+        """
+        shard = payload.get("shard")
+        return cls(
+            scenario=payload["scenario"],
+            topology=payload["topology"],
+            routing=payload["routing"],
+            switching=payload["switching"],
+            deadlock_free=payload["deadlock_free"],
+            edges=int(payload["edges"]),
+            new_edges=int(payload["new_edges"]),
+            elapsed_seconds=float(payload.get("wall_time_s", 0.0)),
+            cycle_core=list(payload.get("cycle_core") or []),
+            escape_edges=list(payload.get("escape_edges") or []),
+            condition=str(payload.get("condition", "theorem1")),
+            num_vcs=int(payload.get("num_vcs", 1)),
+            solver=dict(payload.get("solver") or {}),
+            spec=payload.get("spec"),
+            shard=tuple(shard) if shard is not None else None,
+            index=(int(payload.get("index", -1))
+                   if index is None else index),
+            status=str(payload.get("status", "ok")),
+            error=payload.get("error"),
+        )
 
 
 @dataclass
@@ -237,23 +317,51 @@ class PortfolioReport:
     cache_stats: Dict[str, int] = field(default_factory=dict)
     #: ``(index, count)`` of a sharded run (``None``: the whole matrix).
     shard: Optional[Tuple[int, int]] = None
+    #: How the run survived: retry/degradation/replay bookkeeping
+    #: (``crash_retries``, ``degraded_serial``, ``group_attempts``,
+    #: ``replayed_groups``).  Environment history, not workload content --
+    #: stripped by :meth:`comparable_dict` like the cache counters.
+    recovery: Dict[str, object] = field(default_factory=dict)
 
     @property
     def deadlock_free_count(self) -> int:
-        return sum(1 for verdict in self.verdicts if verdict.deadlock_free)
+        return sum(1 for verdict in self.verdicts
+                   if verdict.status == "ok" and verdict.deadlock_free)
+
+    @property
+    def deadlock_prone_count(self) -> int:
+        return sum(1 for verdict in self.verdicts
+                   if verdict.status == "ok" and not verdict.deadlock_free)
+
+    def status_counts(self) -> Dict[str, int]:
+        """Verdict count per status (every status key always present)."""
+        counts = {status: 0 for status in VERDICT_STATUSES}
+        for verdict in self.verdicts:
+            counts[verdict.status] = counts.get(verdict.status, 0) + 1
+        return counts
+
+    @property
+    def failure_count(self) -> int:
+        """Verdicts that are not real decisions (timeout or error)."""
+        return sum(1 for verdict in self.verdicts
+                   if verdict.status != "ok")
 
     def to_json_dict(self) -> Dict[str, object]:
         """Machine-readable export: scenarios, verdicts, solver statistics.
 
         The payload is what bench trajectories track across PRs, so its
-        shape is versioned via ``schema``.  Schema 3 embeds the
-        originating spec dict and the shard assignment per scenario, plus
-        the run-level ``shard``; schema 2 added per-scenario
+        shape is versioned via ``schema``.  Schema 4 adds per-scenario
+        ``status``/``error`` (graceful degradation: a failed group yields
+        structured verdicts, not a lost report), the ``timeouts``/
+        ``errors`` summary counters and the run-level ``recovery``
+        record; schema 3 embedded the originating spec dict and the shard
+        assignment per scenario; schema 2 added per-scenario
         ``wall_time_s`` and ``solver`` stats deltas, run-level ``jobs``
         and cache counters.
         """
+        statuses = self.status_counts()
         return {
-            "schema": 3,
+            "schema": 4,
             "kind": "repro-portfolio-report",
             "jobs": self.jobs,
             "shard": list(self.shard) if self.shard is not None else None,
@@ -262,8 +370,9 @@ class PortfolioReport:
             "summary": {
                 "scenarios": len(self.verdicts),
                 "deadlock_free": self.deadlock_free_count,
-                "deadlock_prone": (len(self.verdicts)
-                                   - self.deadlock_free_count),
+                "deadlock_prone": self.deadlock_prone_count,
+                "timeouts": statuses["timeout"],
+                "errors": statuses["error"],
                 "elapsed_seconds": round(self.elapsed_seconds, 6),
                 "jobs": self.jobs,
                 "cache_hits": int(self.cache_stats.get("hits", 0)),
@@ -272,6 +381,7 @@ class PortfolioReport:
             "session_stats": {group: dict(stats)
                               for group, stats in self.session_stats.items()},
             "cache": dict(self.cache_stats),
+            "recovery": dict(self.recovery),
         }
 
     def comparable_dict(self) -> Dict[str, object]:
@@ -290,6 +400,7 @@ class PortfolioReport:
         del payload["jobs"]
         del payload["cache"]
         del payload["shard"]
+        del payload["recovery"]
         for scenario in payload["scenarios"]:
             del scenario["wall_time_s"]
             del scenario["spec"]
@@ -310,16 +421,17 @@ class PortfolioReport:
             handle.write("\n")
 
     def formatted(self) -> str:
-        from repro.reporting.tables import format_table
+        from repro.reporting.tables import format_table, verdict_cell
 
         rows = []
         for verdict in self.verdicts:
-            fixes = ", ".join(f"{s}->{t}" for s, t in verdict.escape_edges[:2])
+            fixes = ", ".join(verdict._format_edge(entry).replace(" ", "")
+                              for entry in verdict.escape_edges[:2])
             if len(verdict.escape_edges) > 2:
                 fixes += ", ..."
             rows.append([
                 verdict.scenario, verdict.routing, verdict.switching,
-                "free" if verdict.deadlock_free else "DEADLOCK-PRONE",
+                verdict_cell(verdict.status, verdict.deadlock_free),
                 verdict.edges, verdict.new_edges,
                 f"{verdict.elapsed_seconds * 1000:.1f}",
                 fixes or "-",
@@ -329,12 +441,17 @@ class PortfolioReport:
              "new edges", "ms", "escape fixes"], rows)
 
     def summary(self) -> str:
-        prone = len(self.verdicts) - self.deadlock_free_count
+        statuses = self.status_counts()
         shard = (f" [shard {self.shard[0]}/{self.shard[1]}]"
                  if self.shard is not None else "")
+        failures = ""
+        if statuses["timeout"] or statuses["error"]:
+            failures = (f", {statuses['timeout']} timed out, "
+                        f"{statuses['error']} errored")
         return (f"portfolio{shard}: {len(self.verdicts)} scenarios, "
-                f"{self.deadlock_free_count} deadlock-free, {prone} "
-                f"deadlock-prone, {self.elapsed_seconds:.3f}s total")
+                f"{self.deadlock_free_count} deadlock-free, "
+                f"{self.deadlock_prone_count} deadlock-prone{failures}, "
+                f"{self.elapsed_seconds:.3f}s total")
 
 
 def merge_shard_reports(reports: Sequence[PortfolioReport]
@@ -366,7 +483,12 @@ def merge_shard_reports(reports: Sequence[PortfolioReport]
                       key=lambda verdict: verdict.index)
     indices = [verdict.index for verdict in verdicts]
     if len(set(indices)) != len(indices):
-        raise ValueError("shard reports overlap: duplicate scenario indices")
+        from collections import Counter
+
+        duplicates = sorted(index for index, count
+                            in Counter(indices).items() if count > 1)
+        raise ValueError(f"shard reports overlap: duplicate scenario "
+                         f"indices {duplicates}")
     session_stats: Dict[str, Dict[str, int]] = {}
     cache_stats = {"hits": 0, "misses": 0}
     for report in reports:
@@ -377,13 +499,73 @@ def merge_shard_reports(reports: Sequence[PortfolioReport]
         session_stats.update(report.session_stats)
         cache_stats["hits"] += int(report.cache_stats.get("hits", 0))
         cache_stats["misses"] += int(report.cache_stats.get("misses", 0))
+    recovery: Dict[str, object] = {}
+    if any(report.recovery for report in reports):
+        group_attempts: Dict[str, int] = {}
+        replayed: List[str] = []
+        for report in reports:
+            group_attempts.update(report.recovery.get("group_attempts", {}))
+            replayed.extend(report.recovery.get("replayed_groups", []))
+        recovery = {
+            "crash_retries": sum(int(report.recovery.get("crash_retries", 0))
+                                 for report in reports),
+            "degraded_serial": any(report.recovery.get("degraded_serial")
+                                   for report in reports),
+            "group_attempts": group_attempts,
+            "replayed_groups": sorted(replayed),
+        }
     return PortfolioReport(
         verdicts=verdicts,
         elapsed_seconds=sum(report.elapsed_seconds for report in reports),
         session_stats=session_stats,
         jobs=max((report.jobs for report in reports), default=1),
         cache_stats=cache_stats,
-        shard=None)
+        shard=None,
+        recovery=recovery)
+
+
+def _failure_verdict(index: int, scenario: Scenario, group_key: str,
+                     shard: Optional[Tuple[int, int]], status: str,
+                     error: str, instance: Optional[NoCInstance] = None,
+                     solver: Optional[Dict[str, int]] = None,
+                     elapsed: float = 0.0) -> ScenarioVerdict:
+    """A structured non-``ok`` verdict for a scenario its group failed on.
+
+    Identity fields come from the resolved instance when the failure
+    struck mid-group, else from the declarative spec tokens -- never from
+    wall-clock or process state, so failure verdicts are exactly as
+    deterministic as decisions.
+    """
+    spec = scenario.spec
+    if instance is not None:
+        topology = str(instance.topology)
+        routing = instance.routing.name()
+        switching = instance.switching.name()
+    elif spec is not None:
+        topology = spec.group_key()
+        routing = spec.routing or "-"
+        switching = spec.switching or "-"
+    else:
+        topology = group_key
+        routing = switching = "-"
+    return ScenarioVerdict(
+        scenario=scenario.name,
+        topology=topology,
+        routing=routing,
+        switching=switching,
+        deadlock_free=None,
+        edges=0,
+        new_edges=0,
+        elapsed_seconds=elapsed,
+        condition="none",
+        num_vcs=spec.num_vcs if spec is not None else 1,
+        solver=dict(solver or {}),
+        spec=spec.to_dict() if spec is not None else None,
+        shard=shard,
+        index=index,
+        status=status,
+        error=error,
+    )
 
 
 def _run_group(payload: Tuple,
@@ -392,23 +574,40 @@ def _run_group(payload: Tuple,
     """Run one scenario group through one shared incremental session.
 
     ``payload`` is a single picklable tuple ``(group_key, indexed_scenarios,
-    seed, analyse_failures, cross_check, shard)`` so the function can be
-    shipped as-is to a :class:`~concurrent.futures.ProcessPoolExecutor`
-    worker.  Spec-backed scenarios arrive as cheap declarative specs and
-    are resolved *here*, through the worker's own
-    :class:`~repro.core.cache.InstanceCache`; the session's vertex universe
-    is the union of the group's topologies, enumerated in submission order.
-    Scenarios of one group are always processed in their original
-    submission order by exactly this code path, whether the portfolio runs
-    serially or across workers -- which is what makes parallel runs
-    bit-for-bit reproductions of serial ones (see
+    seed, analyse_failures, cross_check, shard[, budget_s, fault_directive,
+    parent_pid])`` so the function can be shipped as-is to a
+    :class:`~concurrent.futures.ProcessPoolExecutor` worker.  Spec-backed
+    scenarios arrive as cheap declarative specs and are resolved *here*,
+    through the worker's own :class:`~repro.core.cache.InstanceCache`; the
+    session's vertex universe is the union of the group's topologies,
+    enumerated in submission order.  Scenarios of one group are always
+    processed in their original submission order by exactly this code path,
+    whether the portfolio runs serially or across workers -- which is what
+    makes parallel runs bit-for-bit reproductions of serial ones (see
     :meth:`PortfolioReport.comparable_dict`).
+
+    The three optional trailing payload fields carry the fault-tolerance
+    contract: ``budget_s`` arms a cooperative group deadline (checked
+    between instance builds, at scenario starts, and -- via
+    :meth:`~repro.core.deadlock.DeadlockQuerySession.set_interrupt` --
+    every few dozen conflicts *inside* a running solve); ``fault_directive``
+    is a test-only injected failure (see :mod:`repro.core.faultplan`);
+    ``parent_pid`` lets the worker tell whether it is sacrificial (kill and
+    hang directives never fire in the orchestrating process).
+
+    A group never aborts the run: a :class:`SolverTimeout` (budget or
+    injected) or any other exception downgrades the unfinished scenarios
+    to structured ``timeout``/``error`` verdicts -- completed scenarios
+    keep their decisions, the in-flight scenario keeps its partial solver
+    delta, and the function *returns* normally.
 
     ``trace`` (a :class:`~repro.core.trace.TraceWriter`, serial runs only
     -- writers cannot cross the process-pool boundary) opens a
     ``scenario_begin``/``scenario_end`` span per scenario, nesting the
     session's solver/oracle events, and closes the group with a
     ``session_summary`` carrying the shared session's aggregate counters.
+    A cut-off group additionally emits ``group_timeout``/``group_error``
+    with the deterministic reason.
 
     Returns the group key, the ``(original_index, verdict)`` pairs, the
     group session's solver statistics, and the construction-cache counter
@@ -417,131 +616,211 @@ def _run_group(payload: Tuple,
     from repro.routing.escape import EscapeChannelRouting
 
     group_key, indexed_scenarios, seed, analyse_failures, \
-        cross_check, shard = payload
+        cross_check, shard = payload[:6]
+    budget_s = payload[6] if len(payload) > 6 else None
+    directive = payload[7] if len(payload) > 7 else None
+    parent_pid = payload[8] if len(payload) > 8 else os.getpid()
+    in_worker = os.getpid() != parent_pid
+
     cache = instance_cache()
     cache_hits_before = cache.hits
     cache_misses_before = cache.misses
 
-    resolved = []
+    deadline = (time.monotonic() + budget_s
+                if budget_s is not None else None)
+
+    def interrupt() -> Optional[str]:
+        if deadline is not None and time.monotonic() >= deadline:
+            return f"group timeout after {budget_s:g}s"
+        return None
+
+    def checkpoint_interrupt() -> None:
+        reason = interrupt()
+        if reason:
+            raise SolverTimeout(reason)
+
+    session: Optional[DeadlockQuerySession] = None
+    resolved: List[Tuple[int, Scenario, NoCInstance]] = []
+    instances: Dict[int, NoCInstance] = {}
     cache_deltas: Dict[int, Dict[str, int]] = {}
-    for index, scenario in indexed_scenarios:
-        hits_before, misses_before = cache.hits, cache.misses
-        instance = scenario.resolve()
-        cache_deltas[index] = {"hits": cache.hits - hits_before,
-                               "misses": cache.misses - misses_before}
-        resolved.append((index, scenario, instance))
-    vertices: Dict[Port, None] = {}
-    for _, _, instance in resolved:
-        for port in instance.topology.ports:
-            vertices.setdefault(port)
-
-    base: DirectedGraph[Port] = DirectedGraph()
-    for port in vertices:
-        base.add_vertex(port)
-    session = DeadlockQuerySession(base, name=group_key, seed=seed,
-                                   trace=trace)
-    known_edges: set = set()
     results: List[Tuple[int, ScenarioVerdict]] = []
+    #: The scenario whose span is open when a failure strikes:
+    #: ``(index, scenario, instance, solver_before, started)``.
+    current: Optional[Tuple] = None
+    failure: Optional[Tuple[str, str]] = None
 
-    for index, scenario, instance in resolved:
-        if trace is not None:
-            trace.emit("scenario_begin", scenario=scenario.name,
-                       group=group_key, index=index,
-                       shard=list(shard) if shard is not None else None)
-        scenario_start = time.perf_counter()
-        solver_before = session.solver_stats
-        graph = routing_dependency_graph(instance.routing)
-        edges = graph.edges()
-        new_edges = 0
-        for source, target in edges:
-            if (source, target) not in known_edges:
-                session.add_edge(source, target)
-                known_edges.add((source, target))
-                new_edges += 1
+    try:
+        execute_directive(directive, in_worker)
+        for index, scenario in indexed_scenarios:
+            checkpoint_interrupt()
+            hits_before, misses_before = cache.hits, cache.misses
+            instance = scenario.resolve()
+            cache_deltas[index] = {"hits": cache.hits - hits_before,
+                                   "misses": cache.misses - misses_before}
+            resolved.append((index, scenario, instance))
+            instances[index] = instance
+        vertices: Dict[Port, None] = {}
+        for _, _, instance in resolved:
+            for port in instance.topology.ports:
+                vertices.setdefault(port)
 
-        relation = (instance.routing
-                    if isinstance(instance.routing, EscapeChannelRouting)
-                    else None)
-        coverage = None
-        if relation is None:
-            condition = "theorem1"
-            num_vcs = 1
-            query_edges = edges
-            deadlock_free = session.is_deadlock_free_edges(edges)
-        else:
-            # The VC-granular Duato condition: explicit (V-1) coverage plus
-            # the escape-class restriction of (V-2) on the shared session.
-            from repro.core.dependency import class_edges
-            from repro.core.obligations import check_v1_escape_coverage
+        base: DirectedGraph[Port] = DirectedGraph()
+        for port in vertices:
+            base.add_vertex(port)
+        session = DeadlockQuerySession(base, name=group_key, seed=seed,
+                                       trace=trace)
+        if budget_s is not None:
+            session.set_interrupt(interrupt)
+        known_edges: set = set()
 
-            condition = "vc-escape"
-            num_vcs = relation.num_vcs
-            query_edges = class_edges(graph, relation.escape_vcs)
-            coverage = check_v1_escape_coverage(relation)
-            deadlock_free = (coverage.holds
-                             and session.is_deadlock_free_edges(query_edges))
+        for index, scenario, instance in resolved:
+            checkpoint_interrupt()
+            if trace is not None:
+                trace.emit("scenario_begin", scenario=scenario.name,
+                           group=group_key, index=index,
+                           shard=list(shard) if shard is not None else None)
+            scenario_start = time.perf_counter()
+            solver_before = session.solver_stats
+            current = (index, scenario, instance, solver_before,
+                       scenario_start)
+            graph = routing_dependency_graph(instance.routing)
+            edges = graph.edges()
+            new_edges = 0
+            for source, target in edges:
+                if (source, target) not in known_edges:
+                    session.add_edge(source, target)
+                    known_edges.add((source, target))
+                    new_edges += 1
 
-        cycle_core: List[Tuple[Port, Port]] = []
-        escape: List[Tuple[Port, Port]] = []
-        if not deadlock_free and analyse_failures:
-            cycle_core = session.cycle_core_for(query_edges) or []
-            escape = [edge for edge in cycle_core
-                      if session.is_deadlock_free_edges(
-                          e for e in query_edges if e != edge)]
-
-        if cross_check:
+            relation = (instance.routing
+                        if isinstance(instance.routing, EscapeChannelRouting)
+                        else None)
+            coverage = None
             if relation is None:
-                from repro.checking.graphs import find_cycle_dfs
-
-                reference = find_cycle_dfs(graph).acyclic
+                condition = "theorem1"
+                num_vcs = 1
+                query_edges = edges
+                deadlock_free = session.is_deadlock_free_edges(edges)
             else:
-                from repro.core.theorems import check_deadlock_freedom_vc
+                # The VC-granular Duato condition: explicit (V-1) coverage
+                # plus the escape-class restriction of (V-2) on the shared
+                # session.
+                from repro.core.dependency import class_edges
+                from repro.core.obligations import check_v1_escape_coverage
 
-                reference = check_deadlock_freedom_vc(
-                    relation, graph=graph, coverage=coverage).holds
-            if reference != deadlock_free:
-                raise AssertionError(
-                    f"portfolio verdict disagrees with the explicit check "
-                    f"for {scenario.name}: sat={deadlock_free} "
-                    f"explicit={reference}")
+                condition = "vc-escape"
+                num_vcs = relation.num_vcs
+                query_edges = class_edges(graph, relation.escape_vcs)
+                coverage = check_v1_escape_coverage(relation)
+                deadlock_free = (coverage.holds
+                                 and session.is_deadlock_free_edges(
+                                     query_edges))
 
-        solver_after = session.solver_stats
-        solver_delta = {key: solver_after[key] - solver_before.get(key, 0)
-                        for key in solver_after}
-        elapsed = time.perf_counter() - scenario_start
+            cycle_core: List[Tuple[Port, Port]] = []
+            escape: List[Tuple[Port, Port]] = []
+            if not deadlock_free and analyse_failures:
+                cycle_core = session.cycle_core_for(query_edges) or []
+                escape = [edge for edge in cycle_core
+                          if session.is_deadlock_free_edges(
+                              e for e in query_edges if e != edge)]
+
+            if cross_check:
+                if relation is None:
+                    from repro.checking.graphs import find_cycle_dfs
+
+                    reference = find_cycle_dfs(graph).acyclic
+                else:
+                    from repro.core.theorems import check_deadlock_freedom_vc
+
+                    reference = check_deadlock_freedom_vc(
+                        relation, graph=graph, coverage=coverage).holds
+                if reference != deadlock_free:
+                    raise AssertionError(
+                        f"portfolio verdict disagrees with the explicit "
+                        f"check for {scenario.name}: sat={deadlock_free} "
+                        f"explicit={reference}")
+
+            solver_after = session.solver_stats
+            solver_delta = {key: solver_after[key] - solver_before.get(key, 0)
+                            for key in solver_after}
+            elapsed = time.perf_counter() - scenario_start
+            if trace is not None:
+                trace.emit("scenario_end", scenario=scenario.name,
+                           group=group_key, deadlock_free=deadlock_free,
+                           condition=condition, edges=len(edges),
+                           new_edges=new_edges, solver=solver_delta,
+                           cache=cache_deltas[index],
+                           wall_time_s=round(elapsed, 6), status="ok")
+            results.append((index, ScenarioVerdict(
+                scenario=scenario.name,
+                topology=str(instance.topology),
+                routing=instance.routing.name(),
+                switching=instance.switching.name(),
+                deadlock_free=deadlock_free,
+                edges=len(edges),
+                new_edges=new_edges,
+                elapsed_seconds=elapsed,
+                cycle_core=cycle_core,
+                escape_edges=escape,
+                condition=condition,
+                num_vcs=num_vcs,
+                solver=solver_delta,
+                spec=(scenario.spec.to_dict()
+                      if scenario.spec is not None else None),
+                shard=shard,
+                index=index,
+            )))
+            current = None
+    except SolverTimeout as exc:
+        failure = ("timeout", getattr(exc, "reason", None) or str(exc))
+    except Exception as exc:  # KeyboardInterrupt deliberately excluded
+        failure = ("error", f"{type(exc).__name__}: {exc}")
+
+    if session is not None:
+        # The interrupt callback must not outlive this group: the session
+        # is per-group, but being explicit keeps the contract obvious.
+        session.set_interrupt(None)
+
+    if failure is not None:
+        status, reason = failure
+        if current is not None:
+            # Close the in-flight scenario's span, attributing the solver
+            # work it burned before the cut-off -- the per-group
+            # reconciliation (scenario deltas sum to session aggregates)
+            # must keep holding on truncated traces.
+            index, scenario, instance, solver_before, started = current
+            partial: Dict[str, int] = {}
+            if session is not None:
+                solver_after = session.solver_stats
+                partial = {key: solver_after[key] - solver_before.get(key, 0)
+                           for key in solver_after}
+            elapsed = time.perf_counter() - started
+            if trace is not None:
+                trace.emit("scenario_end", scenario=scenario.name,
+                           group=group_key, deadlock_free=None,
+                           condition="none", edges=0, new_edges=0,
+                           solver=partial, cache=cache_deltas.get(index, {}),
+                           wall_time_s=round(elapsed, 6), status=status)
+            results.append((index, _failure_verdict(
+                index, scenario, group_key, shard, status, reason,
+                instance=instance, solver=partial, elapsed=elapsed)))
+        done = {index for index, _ in results}
+        for index, scenario in indexed_scenarios:
+            if index not in done:
+                results.append((index, _failure_verdict(
+                    index, scenario, group_key, shard, status, reason,
+                    instance=instances.get(index))))
+        results.sort(key=lambda pair: pair[0])
         if trace is not None:
-            trace.emit("scenario_end", scenario=scenario.name,
-                       group=group_key, deadlock_free=deadlock_free,
-                       condition=condition, edges=len(edges),
-                       new_edges=new_edges, solver=solver_delta,
-                       cache=cache_deltas[index],
-                       wall_time_s=round(elapsed, 6))
-        results.append((index, ScenarioVerdict(
-            scenario=scenario.name,
-            topology=str(instance.topology),
-            routing=instance.routing.name(),
-            switching=instance.switching.name(),
-            deadlock_free=deadlock_free,
-            edges=len(edges),
-            new_edges=new_edges,
-            elapsed_seconds=elapsed,
-            cycle_core=cycle_core,
-            escape_edges=escape,
-            condition=condition,
-            num_vcs=num_vcs,
-            solver=solver_delta,
-            spec=(scenario.spec.to_dict()
-                  if scenario.spec is not None else None),
-            shard=shard,
-            index=index,
-        )))
+            trace.emit("group_timeout" if status == "timeout"
+                       else "group_error", group=group_key, reason=reason)
 
-    if trace is not None:
-        trace.emit("session_summary", group=group_key,
-                   stats=session.solver_stats)
+    session_stats = session.solver_stats if session is not None else {}
+    if trace is not None and session is not None:
+        trace.emit("session_summary", group=group_key, stats=session_stats)
     cache_delta = {"hits": cache.hits - cache_hits_before,
                    "misses": cache.misses - cache_misses_before}
-    return group_key, results, session.solver_stats, cache_delta
+    return group_key, results, session_stats, cache_delta
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -551,6 +830,30 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
+def _terminate_pool(pool) -> None:
+    """Hard-stop a pool whose workers may be wedged or dead.
+
+    ``shutdown()`` alone would join a hung worker forever (and so would
+    the interpreter's atexit handler); terminating the worker processes
+    first guarantees the join returns.  Everything is guarded: the worst
+    case of a CPython that renamed the private process table is a leaked
+    worker, not a crashed run.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:
+            pass
+    try:
+        pool.shutdown(wait=True, cancel_futures=True)
+    except Exception:
+        try:
+            pool.shutdown(wait=False)
+        except Exception:
+            pass
+
+
 def run_portfolio(scenarios: Sequence[Scenario],
                   seed: int = 2010,
                   analyse_failures: bool = True,
@@ -558,7 +861,14 @@ def run_portfolio(scenarios: Sequence[Scenario],
                   jobs: int = 1,
                   shard: Optional[Tuple[int, int]] = None,
                   shard_balance: str = "hash",
-                  trace=None) -> PortfolioReport:
+                  trace=None,
+                  group_timeout: Optional[float] = None,
+                  run_deadline: Optional[float] = None,
+                  max_retries: int = DEFAULT_MAX_RETRIES,
+                  retry_backoff: float = DEFAULT_RETRY_BACKOFF,
+                  checkpoint: Optional[str] = None,
+                  resume: bool = False,
+                  _fault_plan=None) -> PortfolioReport:
     """Run every scenario through shared incremental deadlock sessions.
 
     ``analyse_failures`` additionally extracts the cycle core and the
@@ -605,6 +915,34 @@ def run_portfolio(scenarios: Sequence[Scenario],
     oracle and solver events.  Tracing is **serial only**: a writer cannot
     cross the process-pool boundary, so ``trace`` with ``jobs != 1`` is an
     error rather than a silently partial stream.
+
+    **Fault tolerance.**  ``group_timeout`` bounds every scenario group's
+    wall time (seconds): the group's session cooperatively aborts its
+    running solve (:class:`~repro.checking.sat.SolverTimeout`) and the
+    group's unfinished scenarios become ``status="timeout"`` verdicts; a
+    truly wedged worker is additionally reaped by the parent's watch
+    loop.  ``run_deadline`` bounds the whole run the same way.  A crashed
+    worker (:class:`~concurrent.futures.process.BrokenProcessPool`) is
+    survived by rebuilding the pool and retrying only the unfinished
+    groups, with deterministic exponential backoff (``retry_backoff *
+    2**(n-1)``, capped); after ``max_retries`` rebuilds the run degrades
+    to in-process serial execution.  No failure aborts the run: every
+    scenario always gets a verdict, and ``report.recovery`` records what
+    it took.
+
+    **Checkpoint/resume.**  ``checkpoint`` journals every fully-decided
+    group (verdicts + session stats) to an append-only, fsynced JSONL
+    file as soon as it completes; ``resume=True`` replays the journal's
+    valid records -- matching engine fingerprint, run parameters and
+    scenario spec hashes -- instead of re-solving them, so a killed sweep
+    continues where it crashed and merges to the byte-identical report
+    (:meth:`PortfolioReport.comparable_dict`).  Stale records (edited
+    engine or scenarios) are recomputed, never trusted.
+
+    ``_fault_plan`` (tests/CI only; also settable via the
+    ``REPRO_FAULT_PLAN`` environment variable) deterministically injects
+    worker kills, hangs, errors or timeouts per group -- see
+    :mod:`repro.core.faultplan`.
     """
     start = time.perf_counter()
     ordered = list(scenarios)
@@ -612,6 +950,11 @@ def run_portfolio(scenarios: Sequence[Scenario],
     if trace is not None and jobs > 1:
         raise ValueError(
             "tracing requires a serial run: pass jobs=1 with trace=")
+    if resume and checkpoint is None:
+        raise ValueError("resume=True requires checkpoint=PATH")
+    if max_retries < 0:
+        raise ValueError("max_retries must be >= 0")
+    fault_plan = resolve_fault_plan(_fault_plan)
     if shard_balance not in SHARD_BALANCE_POLICIES:
         raise ValueError(f"shard_balance must be one of "
                          f"{SHARD_BALANCE_POLICIES}, got {shard_balance!r}")
@@ -653,43 +996,262 @@ def run_portfolio(scenarios: Sequence[Scenario],
     positions = {index: position
                  for position, index in enumerate(kept_indices)}
 
-    payloads = [(key, indexed, seed, analyse_failures, cross_check, shard)
-                for key, indexed in groups.items()]
+    order = list(groups.keys())
+    base_payloads = {key: (key, groups[key], seed, analyse_failures,
+                           cross_check, shard) for key in order}
 
     if trace is not None:
         trace.emit("portfolio_begin", scenarios=len(kept_indices),
                    shard=list(shard) if shard is not None else None)
 
-    # ``jobs`` in the report records what actually happened: 1 when the
-    # run stayed in-process (requested serial, or nothing to parallelise),
-    # the worker count of the pool otherwise.
-    if jobs <= 1 or len(groups) <= 1:
-        jobs = 1
-        group_results = [_run_group(payload, trace=trace)
-                         for payload in payloads]
-    else:
-        from concurrent.futures import ProcessPoolExecutor
+    # -- checkpoint journal and resume replay --------------------------------
+    journal: Optional[CheckpointJournal] = None
+    fingerprint = run_key = group_specs = None
+    replayed_groups: List[str] = []
+    completed: Dict[str, Tuple] = {}
+    if checkpoint is not None:
+        journal = CheckpointJournal(checkpoint)
+        fingerprint = engine_fingerprint()
+        run_key = make_run_key(seed, analyse_failures, cross_check, shard)
+        group_specs = {
+            key: [(index, scenario_fingerprint(scenario.spec
+                                               if scenario.spec is not None
+                                               else scenario))
+                  for index, scenario in groups[key]]
+            for key in order}
+        if resume:
+            replayable = journal.replayable_groups(
+                fingerprint, "repro-portfolio-report", run_key, group_specs)
+            for key in order:
+                record = replayable.get(key)
+                if record is None:
+                    continue
+                pairs = [(int(entry["index"]),
+                          ScenarioVerdict.from_json_dict(
+                              entry, index=int(entry["index"])))
+                         for entry in record["verdicts"]]
+                completed[key] = (key, pairs,
+                                  dict(record["session_stats"]),
+                                  dict(record["cache"]))
+                replayed_groups.append(key)
+                if trace is not None:
+                    trace.emit("checkpoint", action="replay", group=key)
 
-        jobs = min(jobs, len(groups))
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = [pool.submit(_run_group, payload)
-                       for payload in payloads]
-            group_results = [future.result() for future in futures]
+    def journal_group(result: Tuple) -> None:
+        """Durably record a group iff every verdict is a real decision."""
+        key, pairs, stats, cache_delta = result
+        if journal is None:
+            return
+        if any(verdict.status != "ok" for _, verdict in pairs):
+            return
+        journal.record_group(
+            fingerprint, "repro-portfolio-report", run_key, key,
+            group_specs[key],
+            [(index, verdict.to_json_dict()) for index, verdict in pairs],
+            stats, cache_delta)
+        if trace is not None:
+            trace.emit("checkpoint", action="record", group=key)
+
+    # -- execution with deadlines, crash recovery, degradation ---------------
+    deadline = (time.monotonic() + run_deadline
+                if run_deadline is not None else None)
+    attempts: Dict[str, int] = {}
+    crash_retries = 0
+    degraded = False
+    parent_pid = os.getpid()
+    pending: "Dict[str, None]" = {key: None for key in order
+                                  if key not in completed}
+
+    def group_budget() -> Optional[float]:
+        budget = group_timeout
+        if deadline is not None:
+            remaining = max(0.0, deadline - time.monotonic())
+            budget = remaining if budget is None else min(budget, remaining)
+        return budget
+
+    def fault_directive(key: str) -> Optional[Tuple[str, float]]:
+        if not fault_plan:
+            return None
+        directive = fault_plan.directive_for(key, attempts[key])
+        if directive is None:
+            return None
+        return (directive.action, directive.param)
+
+    def parent_failure(key: str, status: str, reason: str) -> Tuple:
+        """A whole-group failure decided by the orchestrator (no worker
+        result to harvest: the worker hung, or never started)."""
+        pairs = [(index, _failure_verdict(index, scenario, key, shard,
+                                          status, reason))
+                 for index, scenario in groups[key]]
+        if trace is not None:
+            trace.emit("group_timeout" if status == "timeout"
+                       else "group_error", group=key, reason=reason)
+        return (key, pairs, {}, {"hits": 0, "misses": 0})
+
+    def run_in_process(keys: List[str]) -> None:
+        for key in keys:
+            if deadline is not None and time.monotonic() >= deadline:
+                completed[key] = parent_failure(key, "timeout",
+                                                "run deadline exceeded")
+                pending.pop(key, None)
+                continue
+            attempts[key] = attempts.get(key, 0) + 1
+            payload = base_payloads[key] + (group_budget(),
+                                            fault_directive(key), parent_pid)
+            result = _run_group(payload, trace=trace)
+            completed[key] = result
+            journal_group(result)
+            pending.pop(key, None)
+
+    use_pool = jobs > 1 and len(pending) > 1
+    report_jobs = min(jobs, len(pending)) if use_pool else 1
+
+    try:
+        if not use_pool:
+            run_in_process(list(pending))
+        else:
+            from concurrent.futures import (
+                FIRST_COMPLETED,
+                ProcessPoolExecutor,
+                wait as futures_wait,
+            )
+            from concurrent.futures.process import BrokenProcessPool
+
+            # The parent-side watch loop reaps workers the cooperative
+            # in-worker deadline cannot reach (truly wedged processes),
+            # with a grace margin so a worker about to return its own
+            # richer timeout verdict usually wins the race.
+            external_timeout = (group_timeout * 1.25 + 0.2
+                                if group_timeout is not None else None)
+            while pending:
+                if deadline is not None and time.monotonic() >= deadline:
+                    for key in list(pending):
+                        completed[key] = parent_failure(
+                            key, "timeout", "run deadline exceeded")
+                    pending.clear()
+                    break
+                if degraded:
+                    run_in_process(list(pending))
+                    break
+                workers = min(jobs, len(pending))
+                pool = ProcessPoolExecutor(max_workers=workers)
+                pool_broken = False
+                kill_pool = False
+                try:
+                    queue = list(pending)
+                    active: Dict[object, Tuple[str, float]] = {}
+
+                    def submit_ready() -> None:
+                        # At most ``workers`` groups in flight: a group's
+                        # timeout clock must not start ticking while it
+                        # sits in an executor queue behind other groups.
+                        while queue and len(active) < workers:
+                            key = queue.pop(0)
+                            attempts[key] = attempts.get(key, 0) + 1
+                            payload = base_payloads[key] + (
+                                group_budget(), fault_directive(key),
+                                parent_pid)
+                            future = pool.submit(_run_group, payload)
+                            active[future] = (key, time.monotonic())
+
+                    submit_ready()
+                    while active:
+                        tick = (0.05 if (external_timeout is not None
+                                         or deadline is not None) else None)
+                        done, _ = futures_wait(set(active), timeout=tick,
+                                               return_when=FIRST_COMPLETED)
+                        for future in done:
+                            key, _started = active.pop(future)
+                            try:
+                                result = future.result()
+                            except BrokenProcessPool:
+                                pool_broken = True
+                                continue
+                            except Exception as exc:
+                                completed[key] = parent_failure(
+                                    key, "error",
+                                    f"{type(exc).__name__}: {exc}")
+                                pending.pop(key, None)
+                                continue
+                            completed[key] = result
+                            journal_group(result)
+                            pending.pop(key, None)
+                        if pool_broken:
+                            kill_pool = True
+                            break
+                        now = time.monotonic()
+                        if deadline is not None and now >= deadline:
+                            kill_pool = True
+                            break
+                        if external_timeout is not None:
+                            expired = [
+                                (future, key)
+                                for future, (key, started) in active.items()
+                                if now - started >= external_timeout]
+                            if expired:
+                                for future, key in expired:
+                                    active.pop(future)
+                                    completed[key] = parent_failure(
+                                        key, "timeout",
+                                        f"group timeout after "
+                                        f"{group_timeout:g}s")
+                                    pending.pop(key, None)
+                                # A wedged worker cannot be cancelled --
+                                # the pool dies with it; innocent active
+                                # groups stay pending and are resubmitted
+                                # (progress is guaranteed: ``pending``
+                                # shrank by the expired groups).
+                                kill_pool = True
+                                break
+                        submit_ready()
+                except BrokenProcessPool:
+                    # submit() on an already-broken pool raises too; the
+                    # group stays pending and the rebuild path retries it.
+                    pool_broken = True
+                    kill_pool = True
+                except KeyboardInterrupt:
+                    # Ctrl-C must not join a possibly-hung worker: kill the
+                    # pool and let the interrupt propagate (the outer
+                    # ``finally`` flushes the checkpoint journal).
+                    kill_pool = True
+                    raise
+                finally:
+                    if kill_pool or pool_broken:
+                        _terminate_pool(pool)
+                    else:
+                        pool.shutdown(wait=True)
+                if pool_broken:
+                    crash_retries += 1
+                    if crash_retries > max_retries:
+                        degraded = True
+                    elif retry_backoff > 0:
+                        # Deterministic exponential backoff -- no jitter,
+                        # so retried runs stay reproducible.
+                        time.sleep(min(
+                            retry_backoff * 2 ** (crash_retries - 1),
+                            RETRY_BACKOFF_CAP))
+    finally:
+        if journal is not None:
+            journal.close()
+
+    group_results = [completed[key] for key in order]
 
     verdicts: List[Optional[ScenarioVerdict]] = [None] * len(kept_indices)
     session_stats: Dict[str, Dict[str, int]] = {}
     cache_stats = {"hits": 0, "misses": 0}
     for group_key, indexed_verdicts, stats, cache_delta in group_results:
-        session_stats[group_key] = stats
-        cache_stats["hits"] += cache_delta["hits"]
-        cache_stats["misses"] += cache_delta["misses"]
+        if stats:
+            session_stats[group_key] = stats
+        cache_stats["hits"] += cache_delta.get("hits", 0)
+        cache_stats["misses"] += cache_delta.get("misses", 0)
         for index, verdict in indexed_verdicts:
             verdicts[positions[index]] = verdict
 
     assert all(verdict is not None for verdict in verdicts)
     if trace is not None:
         free = sum(1 for verdict in verdicts
-                   if verdict is not None and verdict.deadlock_free)
+                   if verdict is not None and verdict.status == "ok"
+                   and verdict.deadlock_free)
         trace.emit("portfolio_end", scenarios=len(verdicts),
                    deadlock_free=free,
                    deadlock_prone=len(verdicts) - free)
@@ -698,9 +1260,16 @@ def run_portfolio(scenarios: Sequence[Scenario],
         verdicts=verdicts,  # type: ignore[arg-type]
         elapsed_seconds=time.perf_counter() - start,
         session_stats=session_stats,
-        jobs=jobs,
+        jobs=report_jobs,
         cache_stats=cache_stats,
-        shard=shard)
+        shard=shard,
+        recovery={
+            "crash_retries": crash_retries,
+            "degraded_serial": degraded,
+            "group_attempts": {key: attempts[key] for key in order
+                               if key in attempts},
+            "replayed_groups": sorted(replayed_groups),
+        })
 
 
 def standard_matrix(mesh_sizes: Iterable[int] = (3, 4),

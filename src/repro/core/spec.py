@@ -198,6 +198,24 @@ class ScenarioSpec:
         data["dims"] = tuple(data["dims"])
         return cls(**data)
 
+    def canonical_hash(self) -> str:
+        """The canonical content hash of this spec (a hex SHA-256).
+
+        Computed over the *normalized* spec's sorted-key JSON image, so
+        two spellings of the same scenario (defaults written out or left
+        implicit) hash identically.  Together with
+        ``repro.__engine_fingerprint__`` this is the key of the
+        checkpoint journal (:mod:`repro.core.checkpoint`) and the future
+        content-addressed verdict store: same hash + same engine =
+        the verdict may be reused verbatim.
+        """
+        import hashlib
+        import json
+
+        payload = json.dumps(self.normalized().to_dict(), sort_keys=True,
+                             separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
     # -- identity -----------------------------------------------------------------
     def dims_text(self) -> str:
         return "x".join(str(d) for d in self.dims)

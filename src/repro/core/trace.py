@@ -54,7 +54,21 @@ Event taxonomy (``ev`` field):
                    these counters)
 ``portfolio_begin``/``portfolio_end``  run-level span: scenario counts,
                    ``shard``, verdict summary
+``group_timeout``  a scenario group hit its deadline: ``group``, ``reason``
+                   (its unfinished scenarios became ``timeout`` verdicts)
+``group_error``    a scenario group failed for good: ``group``, ``reason``
+``group_retry``    a crashed group was resubmitted: ``group``, ``attempt``,
+                   ``reason`` (parallel runs only; reserved -- traced runs
+                   are serial)
+``checkpoint``     journal activity: ``action`` (``record``/``replay``),
+                   ``group``
 =================  ==========================================================
+
+A ``scenario_end`` closing a cut-off scenario carries the optional
+``status`` field (``"timeout"``/``"error"``) with ``deadlock_free: null``
+and its *partial* solver delta -- so the per-group reconciliation of
+:func:`repro.core.trace_analysis.analyze_summary` keeps holding on
+truncated runs.
 """
 
 from __future__ import annotations
@@ -100,6 +114,10 @@ EVENT_FIELDS: Dict[str, tuple] = {
     "session_summary": ("group", "stats"),
     "portfolio_begin": ("scenarios", "shard"),
     "portfolio_end": ("scenarios", "deadlock_free", "deadlock_prone"),
+    "group_timeout": ("group", "reason"),
+    "group_error": ("group", "reason"),
+    "group_retry": ("group", "attempt", "reason"),
+    "checkpoint": ("action", "group"),
 }
 
 #: Default solver phase-sampling cadence (conflicts between

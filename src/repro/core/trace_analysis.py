@@ -63,6 +63,7 @@ def analyze_summary(events: Sequence[Dict[str, object]]) -> Dict[str, object]:
                 "scenario": event.get("scenario"),
                 "group": group,
                 "deadlock_free": event.get("deadlock_free"),
+                "status": event.get("status", "ok"),
                 "work": _work_of(solver),
                 "solver": solver,
                 "wall_time_s": event.get("wall_time_s"),
@@ -113,7 +114,7 @@ def analyze_summary(events: Sequence[Dict[str, object]]) -> Dict[str, object]:
 
 
 def format_summary(summary: Dict[str, object]) -> str:
-    from repro.reporting.tables import format_table
+    from repro.reporting.tables import format_table, verdict_cell
 
     lines: List[str] = []
     label = summary.get("label") or "(unlabelled)"
@@ -146,7 +147,7 @@ def format_summary(summary: Dict[str, object]) -> str:
              "reconciled"], rows, title="session groups"))
     scenario_rows = [[s["scenario"], s["group"], s["work"],
                       f"{s['share'] * 100:.1f}",
-                      "free" if s["deadlock_free"] else "PRONE"]
+                      verdict_cell(s.get("status"), s["deadlock_free"])]
                      for s in summary["scenarios"]]
     if scenario_rows:
         lines.append(format_table(
@@ -276,7 +277,7 @@ def analyze_hot(events: Sequence[Dict[str, object]],
 
 
 def format_hot(hot: Dict[str, object]) -> str:
-    from repro.reporting.tables import format_table
+    from repro.reporting.tables import format_table, verdict_cell
 
     if not hot["rows"]:
         return "no scenario spans in this trace"
@@ -284,7 +285,7 @@ def format_hot(hot: Dict[str, object]) -> str:
              s["solver"].get("propagations", 0),
              s["solver"].get("conflicts", 0),
              f"{s['share'] * 100:.1f}",
-             "free" if s["deadlock_free"] else "PRONE"]
+             verdict_cell(s.get("status"), s["deadlock_free"])]
             for s in hot["rows"]]
     return format_table(
         ["scenario", "group", "work", "propagations", "conflicts",

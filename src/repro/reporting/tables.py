@@ -47,3 +47,17 @@ def dicts_to_rows(records: Sequence[Mapping[str, object]],
                   keys: Sequence[str]) -> List[List[object]]:
     """Project a list of dicts onto a fixed key order."""
     return [[record.get(key, "") for key in keys] for record in records]
+
+
+def verdict_cell(status: object, deadlock_free: object) -> str:
+    """The one-cell rendering of a scenario outcome.
+
+    Shared by every table that prints scenario verdicts (portfolio
+    reports, trace summaries) so a ``timeout``/``error`` scenario is
+    never mistaken for a decided one: only ``status == "ok"`` rows show
+    ``free``/``DEADLOCK-PRONE``; failures show their status, upper-cased
+    to match the severity styling of ``DEADLOCK-PRONE``.
+    """
+    if status in (None, "ok"):
+        return "free" if deadlock_free else "DEADLOCK-PRONE"
+    return str(status).upper()

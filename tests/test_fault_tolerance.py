@@ -1,0 +1,601 @@
+"""Fault-tolerance matrix for the portfolio engine.
+
+Every failure mode the engine claims to survive is injected
+deterministically here (:mod:`repro.core.faultplan`) and the recovered
+run is held to the engine's core invariant: the comparable verdict
+projection is identical to a fault-free run.  The matrix covers worker
+kills (pool rebuild + retry), repeated kills (serial degradation),
+planned errors and timeouts (structured verdicts), hung workers (parent
+watch-loop reaping), run deadlines, cooperative solver interruption
+mid-search, checkpoint/resume -- including resume after a SIGKILLed
+sweep on the 24-scenario acceptance matrix -- and the ``repro batch``
+SIGINT epilogue.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.checking.sat import IncrementalSatSolver, SolverTimeout
+from repro.core.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    CheckpointJournal,
+    engine_fingerprint,
+    make_run_key,
+    scenario_fingerprint,
+)
+from repro.core.faultplan import (
+    DEFAULT_HANG_SECONDS,
+    FAULT_PLAN_ENV,
+    FaultDirective,
+    FaultPlan,
+    execute_directive,
+    resolve_fault_plan,
+)
+from repro.core.portfolio import (
+    PortfolioReport,
+    ScenarioVerdict,
+    merge_shard_reports,
+    run_portfolio,
+    scenarios_from_specs,
+)
+from repro.core.spec import expand_matrix
+
+# Two session groups, three scenarios: small enough that every test in
+# the matrix re-solves it in well under a second, structured enough
+# (multi-scenario group + single-scenario group) to exercise group-level
+# recovery, journaling and replay.
+SMALL_MATRIX = "mesh:3x3, routing=[xy,yx]; ring:4, routing=clockwise"
+
+# The PR-4 acceptance matrix (24 scenarios, 6 session groups) -- the
+# SIGKILL/resume test runs the real workload, not a toy.
+ACCEPTANCE_MATRIX = (
+    "mesh:3x3, routing=[xy,yx,west-first,north-last,negative-first,"
+    "adaptive,zigzag], switching=wormhole; "
+    "mesh:3x3, routing=xy, switching=vct; "
+    "mesh:4x4, routing=[xy,yx], switching=wormhole; "
+    "ring:4, routing=chain; ring:4, routing=clockwise, buffers=1; "
+    "vc-mesh:3x3, vcs=1..4; vc-torus:4x4, vcs=1..4; vc-ring:4, vcs=1..4"
+)
+
+
+def small_scenarios():
+    return scenarios_from_specs(expand_matrix(SMALL_MATRIX))
+
+
+# ---------------------------------------------------------------------------
+# Fault-plan parsing and execution
+# ---------------------------------------------------------------------------
+
+class TestFaultPlan:
+    def test_parse_round_trips(self):
+        text = "mesh-3x3=kill; ring-4=hang:2.5@*; vc-ring-4=raise@3"
+        plan = FaultPlan.parse(text)
+        assert FaultPlan.parse(plan.to_text()) == plan
+
+    def test_directive_attempt_windows(self):
+        plan = FaultPlan.parse("a=kill@2; b=timeout@*; c=raise")
+        assert plan.directive_for("a", 1).action == "kill"
+        assert plan.directive_for("a", 2).action == "kill"
+        assert plan.directive_for("a", 3) is None
+        assert plan.directive_for("b", 99).action == "timeout"
+        assert plan.directive_for("c", 1).action == "raise"
+        assert plan.directive_for("c", 2) is None
+        assert plan.directive_for("unlisted", 1) is None
+
+    def test_hang_param_and_defaults(self):
+        plan = FaultPlan.parse("a=hang:0.25")
+        directive = plan.directive_for("a", 1)
+        assert directive.param == 0.25
+        assert FaultPlan.parse("a=hang").directive_for("a", 1).param == 0.0
+        assert DEFAULT_HANG_SECONDS > 0
+
+    @pytest.mark.parametrize("bad", [
+        "mesh-3x3",               # no '='
+        "mesh-3x3=explode",       # unknown action
+        "=kill",                  # empty group
+        "a=kill@0",               # attempts < 1
+        "a=kill@x",               # non-integer attempts
+        "a=hang:fast",            # non-numeric param
+        "a=kill; a=raise",        # duplicate group
+    ])
+    def test_parse_is_strict(self, bad):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(bad)
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.delenv(FAULT_PLAN_ENV, raising=False)
+        assert FaultPlan.from_env() is None
+        monkeypatch.setenv(FAULT_PLAN_ENV, "g=timeout")
+        assert FaultPlan.from_env() == FaultPlan.parse("g=timeout")
+
+    def test_resolve_variants(self, monkeypatch):
+        monkeypatch.delenv(FAULT_PLAN_ENV, raising=False)
+        assert resolve_fault_plan(None) is None
+        plan = FaultPlan.parse("g=kill")
+        assert resolve_fault_plan(plan) is plan
+        assert resolve_fault_plan("g=kill") == plan
+        monkeypatch.setenv(FAULT_PLAN_ENV, "g=raise")
+        assert resolve_fault_plan(None) == FaultPlan.parse("g=raise")
+
+    def test_execute_raise_and_timeout_fire_anywhere(self):
+        with pytest.raises(RuntimeError):
+            execute_directive(("raise", 0.0), in_worker=False)
+        with pytest.raises(SolverTimeout):
+            execute_directive(("timeout", 0.0), in_worker=True)
+
+    def test_execute_kill_and_hang_are_parent_noops(self):
+        # A kill/hang directive must never take down (or wedge) the
+        # orchestrating process -- that is what makes kill@* prove the
+        # serial degradation path.
+        execute_directive(("kill", 0.0), in_worker=False)
+        execute_directive(("hang", 30.0), in_worker=False)
+        execute_directive(None, in_worker=True)
+
+
+# ---------------------------------------------------------------------------
+# Cooperative solver interruption
+# ---------------------------------------------------------------------------
+
+def _hard_random_3sat(solver):
+    import random
+
+    rng = random.Random(7)
+    for _ in range(480):
+        variables = rng.sample(range(1, 121), 3)
+        clause = [var if rng.random() < 0.5 else -var
+                  for var in variables]
+        while solver.num_vars < 120:
+            solver.new_var()
+        solver.add_clause(clause)
+
+
+class TestSolverInterrupt:
+    def test_interrupt_fires_mid_search_on_conflict_heavy_instance(self):
+        solver = IncrementalSatSolver()
+        _hard_random_3sat(solver)
+        calls = {"n": 0}
+
+        def budget():
+            calls["n"] += 1
+            return "test budget" if calls["n"] >= 2 else None
+
+        solver.set_interrupt(budget)
+        with pytest.raises(SolverTimeout) as excinfo:
+            solver.solve()
+        assert excinfo.value.reason == "test budget"
+        assert calls["n"] >= 2  # polled during the search, not just at start
+
+    def test_solver_stays_usable_after_interrupt(self):
+        solver = IncrementalSatSolver()
+        _hard_random_3sat(solver)
+        solver.set_interrupt(lambda: "immediately")
+        with pytest.raises(SolverTimeout):
+            solver.solve()
+        solver.set_interrupt(None)
+        result = solver.solve()  # incremental state survived the abort
+        assert result.satisfiable in (True, False)
+
+    def test_interrupt_checked_at_solve_start(self):
+        solver = IncrementalSatSolver()
+        solver.add_clause([1])
+        solver.set_interrupt(lambda: "at start")
+        with pytest.raises(SolverTimeout):
+            solver.solve()
+
+
+# ---------------------------------------------------------------------------
+# Injected engine faults through run_portfolio
+# ---------------------------------------------------------------------------
+
+class TestInjectedFaults:
+    @pytest.fixture(scope="class")
+    def clean(self):
+        return run_portfolio(small_scenarios()).comparable_dict()
+
+    def test_raise_yields_error_verdicts_and_the_run_continues(self):
+        report = run_portfolio(small_scenarios(), _fault_plan="mesh-3x3=raise")
+        by_status = report.status_counts()
+        assert by_status["error"] == 2
+        assert by_status["ok"] == 1
+        for verdict in report.verdicts:
+            if verdict.status == "error":
+                assert verdict.deadlock_free is None
+                assert "planned worker failure" in verdict.error
+        assert report.failure_count == 2
+        again = run_portfolio(small_scenarios(), _fault_plan="mesh-3x3=raise")
+        assert report.comparable_dict() == again.comparable_dict()
+
+    def test_planned_timeout_yields_timeout_verdicts(self):
+        report = run_portfolio(small_scenarios(), _fault_plan="ring-4=timeout")
+        statuses = {v.scenario: v.status for v in report.verdicts}
+        assert statuses["ring-4/clockwise"] == "timeout"
+        assert statuses["mesh-3x3/Rxy/Swh"] == "ok"
+        payload = report.to_json_dict()
+        assert payload["summary"]["timeouts"] == 1
+        assert payload["summary"]["errors"] == 0
+
+    def test_killed_worker_is_retried_to_an_identical_report(self, clean):
+        report = run_portfolio(small_scenarios(), jobs=2,
+                               _fault_plan="mesh-3x3=kill@1")
+        assert report.recovery["crash_retries"] >= 1
+        assert not report.recovery["degraded_serial"]
+        assert report.comparable_dict() == clean
+
+    def test_persistent_kills_degrade_to_serial_identically(self, clean):
+        report = run_portfolio(small_scenarios(), jobs=2, max_retries=1,
+                               retry_backoff=0.01,
+                               _fault_plan="mesh-3x3=kill@*")
+        assert report.recovery["degraded_serial"]
+        assert report.recovery["crash_retries"] >= 2
+        assert report.comparable_dict() == clean
+
+    def test_hung_worker_is_reaped_by_the_watch_loop(self):
+        started = time.monotonic()
+        report = run_portfolio(small_scenarios(), jobs=2, group_timeout=0.4,
+                               _fault_plan="ring-4=hang:60@*")
+        elapsed = time.monotonic() - started
+        assert elapsed < 30, "the hung worker wedged the run"
+        statuses = {v.scenario: v.status for v in report.verdicts}
+        assert statuses["ring-4/clockwise"] == "timeout"
+        assert statuses["mesh-3x3/Rxy/Swh"] == "ok"
+        assert statuses["mesh-3x3/Ryx/Swh"] == "ok"
+
+    def test_run_deadline_zero_times_out_everything(self):
+        report = run_portfolio(small_scenarios(), run_deadline=0)
+        assert all(v.status == "timeout" for v in report.verdicts)
+        assert all("run deadline exceeded" in v.error
+                   for v in report.verdicts)
+        assert len(report.verdicts) == 3  # every scenario got a verdict
+
+    def test_failure_verdicts_keep_scenario_identity_and_order(self):
+        report = run_portfolio(small_scenarios(), _fault_plan="ring-4=raise")
+        assert [v.index for v in report.verdicts] == [0, 1, 2]
+        failed = [v for v in report.verdicts if v.status == "error"]
+        assert [v.scenario for v in failed] == ["ring-4/clockwise"]
+
+    def test_fault_plan_env_reaches_the_engine(self, monkeypatch):
+        monkeypatch.setenv(FAULT_PLAN_ENV, "mesh-3x3=raise")
+        report = run_portfolio(small_scenarios())
+        assert report.status_counts()["error"] == 2
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint journal
+# ---------------------------------------------------------------------------
+
+class TestCheckpointJournal:
+    RUN_KEY = make_run_key(2010, True, False, None)
+
+    def _record(self, journal, group="g", fingerprint="f",
+                specs=((0, "h0"),)):
+        journal.record_group(
+            fingerprint, "repro-portfolio-report", self.RUN_KEY, group,
+            list(specs), [(0, {"scenario": "s", "deadlock_free": True})],
+            {"solves": 1}, {"hits": 0, "misses": 1})
+
+    def test_record_and_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with CheckpointJournal(path) as journal:
+            self._record(journal)
+        records = CheckpointJournal(path).load_records()
+        assert len(records) == 1
+        assert records[0]["schema"] == CHECKPOINT_SCHEMA
+        assert records[0]["group"] == "g"
+        assert records[0]["verdicts"][0]["index"] == 0
+
+    def test_torn_tail_is_skipped(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with CheckpointJournal(path) as journal:
+            self._record(journal)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"schema": 1, "kind": "repro-port')  # torn write
+        records = CheckpointJournal(path).load_records()
+        assert len(records) == 1
+
+    def test_replayable_requires_exact_match(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with CheckpointJournal(path) as journal:
+            self._record(journal)
+        journal = CheckpointJournal(path)
+        specs = {"g": [(0, "h0")]}
+        good = journal.replayable_groups(
+            "f", "repro-portfolio-report", self.RUN_KEY, specs)
+        assert set(good) == {"g"}
+        assert not journal.replayable_groups(        # engine changed
+            "other", "repro-portfolio-report", self.RUN_KEY, specs)
+        assert not journal.replayable_groups(        # run parameters changed
+            "f", "repro-portfolio-report",
+            make_run_key(11, True, False, None), specs)
+        assert not journal.replayable_groups(        # scenario edited
+            "f", "repro-portfolio-report", self.RUN_KEY, {"g": [(0, "hX")]})
+        assert not journal.replayable_groups(        # group no longer present
+            "f", "repro-portfolio-report", self.RUN_KEY, {"h": [(0, "h0")]})
+
+    def test_later_records_win(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with CheckpointJournal(path) as journal:
+            self._record(journal)
+            journal.record_group(
+                "f", "repro-portfolio-report", self.RUN_KEY, "g",
+                [(0, "h0")],
+                [(0, {"scenario": "s2", "deadlock_free": False})],
+                {"solves": 2}, {"hits": 1, "misses": 0})
+        replay = CheckpointJournal(path).replayable_groups(
+            "f", "repro-portfolio-report", self.RUN_KEY, {"g": [(0, "h0")]})
+        assert replay["g"]["verdicts"][0]["scenario"] == "s2"
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        journal = CheckpointJournal(str(tmp_path / "absent.jsonl"))
+        assert journal.load_records() == []
+
+    def test_scenario_fingerprint_distinguishes_specs(self):
+        specs = expand_matrix(SMALL_MATRIX)
+        hashes = {scenario_fingerprint(spec) for spec in specs}
+        assert len(hashes) == len(specs)
+        assert scenario_fingerprint(specs[0]) == scenario_fingerprint(
+            expand_matrix(SMALL_MATRIX)[0])
+
+    def test_engine_fingerprint_shape(self):
+        fingerprint = engine_fingerprint()
+        assert fingerprint.startswith("repro-")
+        assert len(fingerprint.rsplit("-", 1)[1]) == 16
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint/resume through run_portfolio
+# ---------------------------------------------------------------------------
+
+class TestCheckpointResume:
+    def test_resume_replays_without_resolving(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "journal.jsonl")
+        first = run_portfolio(small_scenarios(), checkpoint=path)
+
+        import repro.core.portfolio as portfolio_module
+        calls = {"n": 0}
+        original = portfolio_module._run_group
+
+        def counting(payload, trace=None):
+            calls["n"] += 1
+            return original(payload, trace=trace)
+
+        monkeypatch.setattr(portfolio_module, "_run_group", counting)
+        resumed = run_portfolio(small_scenarios(), checkpoint=path,
+                                resume=True)
+        assert calls["n"] == 0, "resume re-solved journaled groups"
+        assert resumed.recovery["replayed_groups"] == ["mesh-3x3", "ring-4"]
+        assert resumed.comparable_dict() == first.comparable_dict()
+
+    def test_partial_journal_resolves_only_the_missing_group(
+            self, tmp_path, monkeypatch):
+        path = str(tmp_path / "journal.jsonl")
+        run_portfolio(small_scenarios(), checkpoint=path)
+        records = CheckpointJournal(path).load_records()
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in records:
+                if record["group"] != "ring-4":
+                    handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+        import repro.core.portfolio as portfolio_module
+        solved = []
+        original = portfolio_module._run_group
+
+        def recording(payload, trace=None):
+            solved.append(payload[0])
+            return original(payload, trace=trace)
+
+        monkeypatch.setattr(portfolio_module, "_run_group", recording)
+        resumed = run_portfolio(small_scenarios(), checkpoint=path,
+                                resume=True)
+        assert solved == ["ring-4"]
+        assert resumed.recovery["replayed_groups"] == ["mesh-3x3"]
+
+    def test_failed_groups_are_not_journaled(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        run_portfolio(small_scenarios(), checkpoint=path,
+                      _fault_plan="ring-4=timeout")
+        groups = {record["group"]
+                  for record in CheckpointJournal(path).load_records()}
+        assert groups == {"mesh-3x3"}  # the timed-out group must re-solve
+
+    def test_resume_requires_checkpoint(self):
+        with pytest.raises(ValueError):
+            run_portfolio(small_scenarios(), resume=True)
+
+    def test_resume_after_sigkill_is_byte_identical(self, tmp_path):
+        """SIGKILL a sweep of the 24-scenario acceptance matrix mid-run;
+        resuming from its journal must reproduce the clean run's
+        comparable projection byte for byte."""
+        path = str(tmp_path / "journal.jsonl")
+        env = dict(os.environ,
+                   PYTHONPATH="src",
+                   REPRO_FAULT_PLAN="vc-ring-4=hang:120@*")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "batch",
+             "--matrix", ACCEPTANCE_MATRIX, "--jobs", "2",
+             "--checkpoint", path],
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+            start_new_session=True)
+        try:
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if (os.path.exists(path)
+                        and len(CheckpointJournal(path).load_records()) >= 2):
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("no journal records appeared before SIGKILL")
+        finally:
+            os.killpg(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=30)
+
+        journaled = {record["group"]
+                     for record in CheckpointJournal(path).load_records()}
+        assert journaled, "the killed sweep left no replayable groups"
+
+        scenarios = scenarios_from_specs(expand_matrix(ACCEPTANCE_MATRIX))
+        clean = run_portfolio(scenarios)
+        resumed = run_portfolio(scenarios, checkpoint=path, resume=True)
+        assert set(resumed.recovery["replayed_groups"]) == journaled
+        clean_bytes = json.dumps(clean.comparable_dict(), sort_keys=True)
+        resumed_bytes = json.dumps(resumed.comparable_dict(), sort_keys=True)
+        assert clean_bytes == resumed_bytes
+
+    def test_stale_engine_fingerprint_forces_recompute(
+            self, tmp_path, monkeypatch):
+        path = str(tmp_path / "journal.jsonl")
+        run_portfolio(small_scenarios(), checkpoint=path)
+        records = CheckpointJournal(path).load_records()
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in records:
+                record["fingerprint"] = "repro-0.0.0-deadbeefdeadbeef"
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        resumed = run_portfolio(small_scenarios(), checkpoint=path,
+                                resume=True)
+        assert resumed.recovery["replayed_groups"] == []
+        assert resumed.status_counts()["ok"] == 3
+
+
+# ---------------------------------------------------------------------------
+# Reporting and merging of failure verdicts
+# ---------------------------------------------------------------------------
+
+class TestFailureReporting:
+    def test_merge_overlap_error_names_the_duplicate_indices(self):
+        report = run_portfolio(small_scenarios())
+        with pytest.raises(ValueError) as excinfo:
+            merge_shard_reports([report, report])
+        message = str(excinfo.value)
+        assert "duplicate scenario indices" in message
+        assert "0" in message and "2" in message
+
+    def test_merge_unions_recovery(self):
+        scenarios = small_scenarios()
+        shards = [run_portfolio(scenarios, shard=(index, 2))
+                  for index in range(2)]
+        merged = merge_shard_reports(shards)
+        assert merged.comparable_dict() \
+            == run_portfolio(scenarios).comparable_dict()
+        assert merged.recovery["crash_retries"] == 0
+
+    def test_verdict_json_round_trip_preserves_failures(self):
+        report = run_portfolio(small_scenarios(), _fault_plan="ring-4=raise")
+        for verdict in report.verdicts:
+            entry = verdict.to_json_dict()
+            back = ScenarioVerdict.from_json_dict(entry,
+                                                  index=verdict.index)
+            assert back.to_json_dict() == entry
+            assert back.status == verdict.status
+
+    def test_formatted_table_marks_failures(self):
+        report = run_portfolio(small_scenarios(),
+                               _fault_plan="ring-4=timeout")
+        table = report.formatted()
+        assert "TIMEOUT" in table
+        assert "DEADLOCK-PRONE" not in table  # undecided is not prone
+        assert "timed out" in report.summary()
+
+    def test_traced_fault_run_validates_and_records_group_events(
+            self, tmp_path):
+        from repro.core.trace import TraceWriter, load_trace, validate_trace
+
+        path = str(tmp_path / "trace.jsonl")
+        with TraceWriter(path, label="fault trace") as trace:
+            run_portfolio(small_scenarios(), trace=trace,
+                          _fault_plan="ring-4=timeout")
+        events = load_trace(path)
+        assert validate_trace(events) == []
+        timeouts = [event for event in events
+                    if event["ev"] == "group_timeout"]
+        assert [event["group"] for event in timeouts] == ["ring-4"]
+        assert "injected fault" in timeouts[0]["reason"]
+        # The planned timeout fires at group start, before any ring
+        # scenario span opens -- only the mesh scenarios reach
+        # scenario_end, and they end cleanly.
+        ends = {event["scenario"]: event.get("status", "ok")
+                for event in events if event["ev"] == "scenario_end"}
+        assert ends == {"mesh-3x3/Rxy/Swh": "ok", "mesh-3x3/Ryx/Swh": "ok"}
+
+    def test_traced_checkpoint_run_records_journal_events(self, tmp_path):
+        from repro.core.trace import TraceWriter, load_trace, validate_trace
+
+        journal = str(tmp_path / "journal.jsonl")
+        trace_path = str(tmp_path / "trace.jsonl")
+        with TraceWriter(trace_path, label="checkpoint trace") as trace:
+            run_portfolio(small_scenarios(), trace=trace, checkpoint=journal)
+        with TraceWriter(trace_path + ".2", label="resume trace") as trace:
+            run_portfolio(small_scenarios(), trace=trace, checkpoint=journal,
+                          resume=True)
+        recorded = [event for event in load_trace(trace_path)
+                    if event["ev"] == "checkpoint"]
+        assert {event["action"] for event in recorded} == {"record"}
+        replays = [event for event in load_trace(trace_path + ".2")
+                   if event["ev"] == "checkpoint"]
+        assert {event["action"] for event in replays} == {"replay"}
+        assert validate_trace(load_trace(trace_path)) == []
+
+
+# ---------------------------------------------------------------------------
+# CLI exit codes and the SIGINT epilogue
+# ---------------------------------------------------------------------------
+
+class TestBatchCli:
+    REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+    def _batch(self, *extra, env_extra=None, timeout=120):
+        env = dict(os.environ, PYTHONPATH="src")
+        env.pop(FAULT_PLAN_ENV, None)
+        env.update(env_extra or {})
+        return subprocess.run(
+            [sys.executable, "-m", "repro", "batch",
+             "--matrix", SMALL_MATRIX] + list(extra),
+            cwd=self.REPO_ROOT, env=env, capture_output=True, text=True,
+            timeout=timeout)
+
+    def test_exit_zero_on_clean_run(self):
+        result = self._batch()
+        assert result.returncode == 0, result.stderr
+
+    def test_exit_nonzero_on_planned_timeout(self, tmp_path):
+        out = str(tmp_path / "report.json")
+        result = self._batch(
+            "--json", out,
+            env_extra={FAULT_PLAN_ENV: "ring-4=timeout"})
+        assert result.returncode == 1, result.stdout
+        payload = json.load(open(out))
+        assert payload["summary"]["timeouts"] == 1
+
+    def test_resume_flag_requires_checkpoint(self):
+        result = self._batch("--resume")
+        assert result.returncode != 0
+        assert "--checkpoint" in result.stderr
+
+    def test_sigint_prints_partial_table_and_exits_130(self, tmp_path):
+        journal = str(tmp_path / "journal.jsonl")
+        env = dict(os.environ, PYTHONPATH="src")
+        env[FAULT_PLAN_ENV] = "ring-4=hang:120@*"
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "batch",
+             "--matrix", SMALL_MATRIX, "--jobs", "2",
+             "--checkpoint", journal],
+            cwd=self.REPO_ROOT, env=env, stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT, text=True)
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            if (os.path.exists(journal)
+                    and CheckpointJournal(journal).load_records()):
+                break
+            time.sleep(0.05)
+        time.sleep(0.2)
+        proc.send_signal(signal.SIGINT)
+        out, _ = proc.communicate(timeout=60)
+        assert proc.returncode == 130, out
+        assert "partial results" in out
+        assert "mesh-3x3" in out
+        assert "--resume" in out

@@ -215,26 +215,29 @@ class TestParallelPortfolio:
 
 
 class TestReportSchema:
-    """Pin the schema-3 export shape; bump the schema when changing it."""
+    """Pin the schema-4 export shape; bump the schema when changing it."""
 
     def test_schema_version_and_keys(self):
         report = run_portfolio(standard_portfolio(mesh_sizes=(3,),
                                                   ring_sizes=(4,)))
         payload = report.to_json_dict()
-        assert payload["schema"] == 3
+        assert payload["schema"] == 4
         assert payload["kind"] == "repro-portfolio-report"
         assert set(payload) == {"schema", "kind", "jobs", "shard",
                                 "scenarios", "summary", "session_stats",
-                                "cache"}
+                                "cache", "recovery"}
         assert set(payload["summary"]) == {
             "scenarios", "deadlock_free", "deadlock_prone",
+            "timeouts", "errors",
             "elapsed_seconds", "jobs", "cache_hits", "cache_misses"}
         for scenario in payload["scenarios"]:
             assert set(scenario) == {
                 "scenario", "topology", "routing", "switching", "condition",
-                "num_vcs", "deadlock_free", "edges", "new_edges",
-                "wall_time_s", "solver", "cycle_core", "escape_edges",
-                "spec", "shard"}
+                "num_vcs", "status", "error", "deadlock_free", "edges",
+                "new_edges", "wall_time_s", "solver", "cycle_core",
+                "escape_edges", "spec", "shard"}
+            assert scenario["status"] == "ok"
+            assert scenario["error"] is None
             assert scenario["wall_time_s"] >= 0
             assert isinstance(scenario["solver"], dict)
             # Schema 3: the standard portfolio is spec-built, so every
@@ -246,7 +249,7 @@ class TestReportSchema:
         assert payload["shard"] is None
         assert payload["cache"].keys() == {"hits", "misses"}
 
-    def test_schema_3_embeds_the_originating_spec(self):
+    def test_schema_4_embeds_the_originating_spec(self):
         from repro.core.spec import ScenarioSpec
 
         report = run_portfolio(standard_portfolio(mesh_sizes=(3,),
@@ -264,6 +267,7 @@ class TestReportSchema:
         assert "jobs" not in projection
         assert "cache" not in projection
         assert "shard" not in projection
+        assert "recovery" not in projection  # environment history
         assert "elapsed_seconds" not in projection["summary"]
         for scenario in projection["scenarios"]:
             assert "wall_time_s" not in scenario
@@ -279,7 +283,7 @@ class TestReportSchema:
         path = tmp_path / "portfolio.json"
         report.write_json(str(path))
         payload = json.loads(path.read_text())
-        assert payload["schema"] == 3
+        assert payload["schema"] == 4
         assert payload["summary"]["scenarios"] == len(payload["scenarios"])
 
 
