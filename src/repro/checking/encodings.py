@@ -103,7 +103,11 @@ def encode_numbering_constraint(encoder: TseitinEncoder,
     append = cnf.clauses.append
     var = cnf.var
     new_var = cnf.new_var
-    # Base: strict comparison at bit 0 alone.
+    # Base: strict comparison at bit 0 alone.  Bit variables are resolved
+    # (and on first touch *created*) interleaved with the ladder helpers --
+    # the variable numbering is part of the deterministic-search contract,
+    # so cached-bit callers may only take the ``_bits`` fast path once
+    # both endpoints' bit variables already exist.
     a = var(bit_name(target_index, 0))
     b = var(bit_name(source_index, 0))
     result = new_var()
@@ -113,6 +117,43 @@ def encode_numbering_constraint(encoder: TseitinEncoder,
     for bit in range(1, width):
         a = var(bit_name(target_index, bit))
         b = var(bit_name(source_index, bit))
+        lt = new_var()
+        append((-lt, -a, b))
+        append((-lt, -a, result))
+        append((-lt, b, result))
+        result = lt
+    return result
+
+
+def encode_numbering_constraint_bits(cnf: CNF,
+                                     target_bits: Sequence[int],
+                                     source_bits: Sequence[int]) -> int:
+    """:func:`encode_numbering_constraint` over pre-resolved bit variables.
+
+    The name->variable resolution (an f-string plus a dict probe per bit
+    per edge) is the constant factor the construction loops pay |E| times
+    over the same |V| counters; callers that encode many edges cache the
+    per-vertex bit-variable lists once and emit every comparator ladder
+    through this variant.
+
+    Only call this once every passed bit variable **already exists** in
+    the CNF: creating bit variables vertex-at-a-time instead of
+    interleaved with the ladder helpers renumbers the formula, and the
+    solver's index-based tie-breaks turn that into a different (measured:
+    sometimes far worse) search.
+    """
+    append = cnf.clauses.append
+    new_var = cnf.new_var
+    # Base: strict comparison at bit 0 alone.
+    a = target_bits[0]
+    b = source_bits[0]
+    result = new_var()
+    append((-result, -a))
+    append((-result, b))
+    # Ladder up through the remaining bits, least significant first.
+    for bit in range(1, len(target_bits)):
+        a = target_bits[bit]
+        b = source_bits[bit]
         lt = new_var()
         append((-lt, -a, b))
         append((-lt, -a, result))
@@ -135,6 +176,11 @@ def encode_acyclicity(graph: DirectedGraph[V]) -> Tuple[CNF, Dict[V, int]]:
 
     encoder = TseitinEncoder()
     cnf = encoder.cnf
+    # Per-vertex counter bits, cached after a vertex's first incident edge
+    # creates them.  The first edge of a vertex goes through the
+    # interleaved path so variable numbering (and therefore the solver's
+    # search) is independent of the caching.
+    bit_vars: Dict[int, List[int]] = {}
     # Asserting the conjunction of the edge constraints is the same as
     # asserting each constraint literal as a unit -- no And gadget needed.
     empty = True
@@ -144,8 +190,20 @@ def encode_acyclicity(graph: DirectedGraph[V]) -> Tuple[CNF, Dict[V, int]]:
             # A self-loop is a cycle; emit an unsatisfiable constraint.
             cnf.add_unit(-encoder.true_literal())
             continue
-        cnf.add_unit(encode_numbering_constraint(
-            encoder, vertex_index[target], vertex_index[source], width))
+        target_index = vertex_index[target]
+        source_index = vertex_index[source]
+        target_bits = bit_vars.get(target_index)
+        source_bits = bit_vars.get(source_index)
+        if target_bits is None or source_bits is None:
+            cnf.add_unit(encode_numbering_constraint(
+                encoder, target_index, source_index, width))
+            for index in (target_index, source_index):
+                if index not in bit_vars:
+                    bit_vars[index] = [cnf.var(bit_name(index, bit))
+                                       for bit in range(width)]
+        else:
+            cnf.add_unit(encode_numbering_constraint_bits(
+                cnf, target_bits, source_bits))
     if empty:
         cnf.add_unit(encoder.true_literal())
     return cnf, vertex_index

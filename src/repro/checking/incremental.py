@@ -61,14 +61,19 @@ class IncrementalSession:
         session.solve([-fast])                         # ... and with it off
     """
 
-    def __init__(self, seed: int = 2010, trace=None) -> None:
+    def __init__(self, seed: int = 2010, trace=None,
+                 solver_options: Optional[Dict[str, object]] = None) -> None:
         self.cnf = CNF()
         self.encoder = TseitinEncoder(self.cnf)
         #: Optional :class:`repro.core.trace.TraceWriter`, shared with the
         #: solver so session-level spans and solver events interleave in
         #: one stream.
         self.trace = trace
-        self.solver = IncrementalSatSolver(seed=seed, trace=trace)
+        #: ``solver_options`` overrides individual heuristic knobs
+        #: (``restart_policy``/``chrono``/``vivify``/``inprocess``); unset
+        #: knobs resolve via ``REPRO_SOLVER_OPTS`` and the defaults.
+        self.solver = IncrementalSatSolver(seed=seed, trace=trace,
+                                           **(solver_options or {}))
         self._loaded_clauses = 0
         self._selectors: Dict[str, Literal] = {}
 
@@ -94,11 +99,20 @@ class IncrementalSession:
         self.cnf.add_clause(literals)
         self._sync()
 
-    def selector(self, name: str) -> Literal:
-        """The (positive literal of the) named selector variable."""
+    def selector(self, name: str, sync: bool = True) -> Literal:
+        """The (positive literal of the) named selector variable.
+
+        Selector variables are *frozen* in the solver: the inprocessing
+        pass never eliminates them, so assumption queries and UNSAT cores
+        over selectors survive simplification.  ``sync=False`` defers the
+        solver sync to the caller (bulk encoding paths).
+        """
         if name not in self._selectors:
-            self._selectors[name] = self.cnf.var(f"sel::{name}")
-        self._sync()
+            literal = self.cnf.var(f"sel::{name}")
+            self._selectors[name] = literal
+            self.solver.freeze_var(literal)
+        if sync:
+            self._sync()
         return self._selectors[name]
 
     def guard(self, name: str, expression: BoolExpr) -> Literal:
@@ -165,8 +179,10 @@ class AcyclicityOracle:
     """
 
     def __init__(self, graph: DirectedGraph[V], seed: int = 2010,
-                 trace=None) -> None:
-        self._session = IncrementalSession(seed=seed, trace=trace)
+                 trace=None,
+                 solver_options: Optional[Dict[str, object]] = None) -> None:
+        self._session = IncrementalSession(seed=seed, trace=trace,
+                                           solver_options=solver_options)
         self._vertices = sorted(graph.vertices, key=repr)
         self._vertex_index = {vertex: index
                               for index, vertex in enumerate(self._vertices)}
@@ -175,45 +191,89 @@ class AcyclicityOracle:
         self._edge_selector: Dict[Tuple[V, V], Literal] = {}
         self._edges: List[Tuple[V, V]] = []
         self._selector_edge: Dict[Literal, Tuple[V, V]] = {}
+        # Per-vertex counter-bit variables, resolved lazily on the first
+        # incident edge and reused for every later one (the name->variable
+        # probes are a measurable share of bulk construction).
+        self._bit_literals: Dict[int, List[Literal]] = {}
         # Edges encoded since the last emitted ``edge_batch`` event; the
         # batch is flushed lazily before the next traced query so bulk
         # universe growth costs one event, not one event per edge.
         self._pending_edges = 0
-        for source, target in graph.edges():
-            self.add_edge(source, target)
+        self.add_edges(graph.edges())
         self.stats_queries = 0
 
     # -- construction --------------------------------------------------------------
     def add_edge(self, source: V, target: V) -> None:
         """Add an edge to the universe (idempotent)."""
+        if self._encode_edge(source, target):
+            self._session._sync()
+
+    def add_edges(self, edges: Iterable[Tuple[V, V]]) -> None:
+        """Bulk :meth:`add_edge`: encode every new edge, sync once.
+
+        Construction-heavy workloads (a fresh oracle over hundreds of
+        edges) spend measurable time in the per-edge CNF->solver sync;
+        deferring it to one batch sync keeps the clause stream identical
+        while paying the bookkeeping once.
+        """
+        added = False
+        for source, target in edges:
+            added = self._encode_edge(source, target) or added
+        if added:
+            self._session._sync()
+
+    def _encode_edge(self, source: V, target: V) -> bool:
+        """Encode one edge into the CNF (no solver sync); True if new."""
         # Imported here: this module is re-exported through repro.checking,
         # so a module-level import would be circular through __init__.
-        from repro.checking.encodings import encode_numbering_constraint
+        from repro.checking.encodings import (
+            bit_name, encode_numbering_constraint,
+            encode_numbering_constraint_bits)
 
         edge = (source, target)
         if edge in self._edge_selector:
-            return
+            return False
         if source not in self._vertex_index or target not in self._vertex_index:
             raise ValueError(
                 f"edge {source!r} -> {target!r} leaves the oracle's vertex set")
         name = f"edge {len(self._edges)}"
-        selector = self._session.selector(name)
+        selector = self._session.selector(name, sync=False)
         if source == target:
             # A self-loop is a cycle on its own: selecting it is unsatisfiable.
-            self._session.add_clause((-selector,))
+            self._session.cnf.add_clause((-selector,))
         else:
             # Direct clause generation (no expression tree): emits the
             # same stream the Tseitin walk would, straight into the CNF;
-            # the following add_clause syncs the whole batch into the
-            # solver arena in order.
-            literal = encode_numbering_constraint(
-                self._session.encoder, self._vertex_index[target],
-                self._vertex_index[source], self._width)
-            self._session.add_clause((-selector, literal))
+            # the batch sync loads it into the solver arena in order.
+            # A vertex's first incident edge takes the interleaved path
+            # (bit variables created alongside the ladder helpers) so the
+            # variable numbering -- and with it the solver's deterministic
+            # search -- is byte-identical to the uncached encoding; later
+            # edges reuse the cached bit lists.
+            cnf = self._session.cnf
+            bits = self._bit_literals
+            width = self._width
+            target_index = self._vertex_index[target]
+            source_index = self._vertex_index[source]
+            target_bits = bits.get(target_index)
+            source_bits = bits.get(source_index)
+            if target_bits is None or source_bits is None:
+                literal = encode_numbering_constraint(
+                    self._session.encoder, target_index, source_index,
+                    width)
+                for index in (target_index, source_index):
+                    if index not in bits:
+                        bits[index] = [cnf.var(bit_name(index, bit))
+                                       for bit in range(width)]
+            else:
+                literal = encode_numbering_constraint_bits(
+                    cnf, target_bits, source_bits)
+            cnf.add_clause((-selector, literal))
         self._edge_selector[edge] = selector
         self._selector_edge[selector] = edge
         self._edges.append(edge)
         self._pending_edges += 1
+        return True
 
     def _flush_edge_batch(self) -> None:
         """Emit the pending ``edge_batch`` span (traced sessions only)."""

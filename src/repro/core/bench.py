@@ -463,17 +463,29 @@ def compare_bench_reports(old: Dict[str, object],
     compared, and the ``portfolio-serial`` row only when both reports ran
     the **same profile** -- wall times of different scenario matrices are
     not comparable and would fake a speedup (or regression).
+
+    A benchmark that **errored** on either side (schema-4 ``status:
+    "error"`` entries, or any entry without a ``wall_time_s``) is neither
+    silently dropped nor mis-paired: it contributes a warning row whose
+    ``speedup`` is ``None`` (its wall times are ``None`` where
+    unavailable), is excluded from the aggregate and can never count as a
+    regression.
     """
-    rows: List[Tuple[str, float, float, float]] = []
+    rows: List[Tuple[str, object, object, object]] = []
     old_micro = old.get("solver_microbench", {}) or {}
     new_micro = new.get("solver_microbench", {}) or {}
     base_total = measured_total = 0.0
     for name in old_micro:
         if name not in new_micro:
             continue
-        old_wall = old_micro[name].get("wall_time_s")
-        new_wall = new_micro[name].get("wall_time_s")
-        if not old_wall or new_wall is None:
+        old_entry = old_micro[name] or {}
+        new_entry = new_micro[name] or {}
+        old_wall = old_entry.get("wall_time_s")
+        new_wall = new_entry.get("wall_time_s")
+        if (old_entry.get("status") == "error"
+                or new_entry.get("status") == "error"
+                or not old_wall or new_wall is None):
+            rows.append((name, old_wall, new_wall, None))
             continue
         base_total += old_wall
         measured_total += new_wall
@@ -492,7 +504,7 @@ def compare_bench_reports(old: Dict[str, object],
         rows.append(("portfolio-serial", old_serial, new_serial,
                      round(old_serial / max(new_serial, 1e-9), 3)))
     regressions = [name for name, _, _, speedup in rows
-                   if speedup < threshold]
+                   if speedup is not None and speedup < threshold]
     return rows, regressions
 
 
@@ -501,11 +513,25 @@ def format_bench_comparison(rows, regressions,
     """Human-readable speedup table for :func:`compare_bench_reports`."""
     from repro.reporting.tables import format_table
 
-    body = [[name, f"{old_wall * 1000:.1f}", f"{new_wall * 1000:.1f}",
-             f"{speedup:.2f}x" + ("  REGRESSION" if name in regressions
-                                  else "")]
-            for name, old_wall, new_wall, speedup in rows]
+    def _ms(value) -> str:
+        return f"{value * 1000:.1f}" if isinstance(value,
+                                                   (int, float)) else "-"
+
+    body = []
+    skipped = 0
+    for name, old_wall, new_wall, speedup in rows:
+        if speedup is None:
+            skipped += 1
+            body.append([name, _ms(old_wall), _ms(new_wall),
+                         "skipped (errored)"])
+        else:
+            body.append([name, _ms(old_wall), _ms(new_wall),
+                         f"{speedup:.2f}x"
+                         + ("  REGRESSION" if name in regressions else "")])
     table = format_table(["benchmark", "old ms", "new ms", "speedup"], body)
+    if skipped:
+        table += (f"\nwarning: {skipped} benchmark(s) skipped -- errored "
+                  f"or unmeasured on one side")
     if regressions:
         table += (f"\n{len(regressions)} regression(s) beyond the "
                   f"{threshold:.2f}x threshold: {', '.join(regressions)}")

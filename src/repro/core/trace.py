@@ -36,9 +36,17 @@ Event taxonomy (``ev`` field):
                    ``conflicts``, per-window ``delta``, ``trail`` depth,
                    ``lbd`` histogram snapshot
 ``restart``        discrete restart: cumulative ``conflicts``,
-                   ``interval`` since the previous restart, Luby ``limit``
+                   ``interval`` since the previous restart, the ``limit``
+                   the interval exceeded (Luby budget or EMA floor); the
+                   optional ``policy`` (``luby``/``ema``) and, for EMA
+                   restarts, the ``fast``/``slow`` LBD averages
 ``reduce_db``      learned-clause deletion: ``deleted``/``retained``
                    counts, ``lbd_cutoff`` (smallest deleted LBD)
+``vivify``         one vivification pass: ``checked`` candidates,
+                   ``shortened`` clauses, ``removed`` literals
+``inprocess``      one inprocessing pass: ``subsumed``/``strengthened``
+                   clause counts, ``eliminated`` variables, live
+                   ``clauses`` after the rebuild
 ``arena_gc``       arena compaction: ``reclaimed`` ints, ``live`` ints
 ``edge_batch``     oracle universe growth since the last query: ``edges``
                    added, new ``total``
@@ -105,6 +113,8 @@ EVENT_FIELDS: Dict[str, tuple] = {
     "solver_phase": ("conflicts", "delta", "trail", "lbd"),
     "restart": ("conflicts", "interval", "limit"),
     "reduce_db": ("deleted", "retained", "lbd_cutoff"),
+    "vivify": ("checked", "shortened", "removed"),
+    "inprocess": ("subsumed", "strengthened", "eliminated", "clauses"),
     "arena_gc": ("reclaimed", "live"),
     "edge_batch": ("edges", "total"),
     "oracle_query": ("query", "edges", "sat"),

@@ -140,6 +140,38 @@ class TestCompare:
             {"solver_microbench": {"y": {"wall_time_s": 1.0}}})
         assert rows == [] and regressions == []
 
+    def test_errored_entries_become_warning_rows(self):
+        """A schema-4 ``status: error`` entry on either side yields a
+        warning row (speedup ``None``), never a crash, a silent drop or a
+        phantom regression; healthy benchmarks still compare."""
+        old = self._report({"a": 1.0, "b": 2.0}, 10.0)
+        new = self._report({"a": 0.5, "b": 1.0}, 5.0)
+        new["solver_microbench"]["b"] = {
+            "status": "error", "error": "RuntimeError: boom"}
+        rows, regressions = compare_bench_reports(old, new, threshold=0.95)
+        by_name = {name: (old_s, new_s, speedup)
+                   for name, old_s, new_s, speedup in rows}
+        assert by_name["b"] == (2.0, None, None)
+        assert by_name["a"][2] == 2.0
+        # The errored benchmark is excluded from the aggregate...
+        assert by_name["solver-suite-aggregate"][2] == 2.0
+        # ...and never counts as a regression.
+        assert "b" not in regressions and regressions == []
+        table = format_bench_comparison(rows, regressions)
+        assert "skipped (errored)" in table
+        assert "warning: 1 benchmark(s) skipped" in table
+
+    def test_errored_old_side_also_skipped(self):
+        old = self._report({"a": 1.0}, 10.0)
+        old["solver_microbench"]["a"] = {"status": "error",
+                                         "error": "ValueError: bad"}
+        new = self._report({"a": 0.5}, 5.0)
+        rows, regressions = compare_bench_reports(old, new)
+        by_name = {name: speedup for name, _, _, speedup in rows}
+        assert by_name["a"] is None
+        assert "solver-suite-aggregate" not in by_name  # nothing measured
+        assert regressions == []
+
     def test_cli_compare_exits_nonzero_on_regression(self, tmp_path):
         import json
 

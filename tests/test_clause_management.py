@@ -159,7 +159,10 @@ class TestArenaCompaction:
             variables = rng.sample(range(1, 121), 3)
             cnf.add_clause([var if rng.random() < 0.5 else -var
                             for var in variables])
-        solver = SatSolver(cnf)
+        # Knobs off: the default chronological backtracking finds a model
+        # in too few conflicts to reach reduce-db on this workload, and the
+        # test is specifically about deletions + GC during search.
+        solver = SatSolver(cnf, solver_options={"chrono": 0, "vivify": False})
         result = solver.solve()
         stats = solver.engine.stats
         assert stats["deleted"] > 0, "workload must trigger reduce_db"
@@ -239,6 +242,100 @@ class TestRandomizedBruteForceFuzz:
             assert solver.solve().satisfiable \
                 == brute_force_satisfiable(cnf), \
                 f"instance {instance} after addition"
+
+    #: Every heuristic knob on at once: EMA restarts, aggressive
+    #: chronological backtracking, vivification and inprocessing.
+    ALL_KNOBS = {"restart_policy": "ema", "chrono": 2,
+                 "vivify": True, "inprocess": True}
+
+    def test_all_knobs_agree_with_brute_force_and_knobs_off(self):
+        """The knobs-on engine (EMA restarts + chrono + vivification +
+        inprocessing) against brute force AND the knobs-off engine, over
+        incremental clause batches with assumption queries in between.
+
+        Instances are sized so the inprocessing trigger actually fires
+        (>= 64 problem clauses) and bounded variable elimination, model
+        reconstruction and the elimination-stack revive paths all get
+        exercised; the final stats assert that the techniques ran."""
+        knobs_off = {"restart_policy": "luby", "chrono": 0,
+                     "vivify": False, "inprocess": False}
+        rng = random.Random(88)
+        totals = {"inprocessings": 0, "eliminated_vars": 0, "subsumed": 0,
+                  "vivified_clauses": 0, "chrono_backtracks": 0}
+        for instance in range(60):
+            num_vars = rng.randint(8, 13)
+            on = IncrementalSatSolver(seed=instance, **self.ALL_KNOBS)
+            off = IncrementalSatSolver(seed=instance, **knobs_off)
+            cnf = CNF()
+            for batch in range(3):
+                batch_clauses = []
+                for _ in range(rng.randint(30, 45)):
+                    width = rng.randint(2, 3)
+                    clause = [rng.choice([1, -1]) * var for var in
+                              rng.sample(range(1, num_vars + 1), width)]
+                    batch_clauses.append(clause)
+                    cnf.add_clause(clause)
+                on.add_clauses(batch_clauses)
+                off.add_clauses(batch_clauses)
+                count = rng.randint(0, 3)
+                assumptions = [rng.choice([1, -1]) * var for var in
+                               rng.sample(range(1, num_vars + 1), count)]
+                reference = cnf.copy()
+                for literal in assumptions:
+                    reference.add_unit(literal)
+                expected = brute_force_satisfiable(reference)
+                result_on = on.solve(assumptions)
+                result_off = off.solve(assumptions)
+                context = f"instance {instance} batch {batch} {assumptions}"
+                assert result_on.satisfiable == expected, context
+                assert result_off.satisfiable == expected, context
+                if result_on.satisfiable:
+                    # The model must cover eliminated variables too
+                    # (reconstruction) and satisfy every original clause.
+                    model = result_on.model
+                    for literal in assumptions:
+                        assert model.get(abs(literal)) == (literal > 0), \
+                            context
+                    for clause in cnf.clauses:
+                        assert any(model.get(abs(lit)) == (lit > 0)
+                                   for lit in clause), (context, clause)
+                else:
+                    core = result_on.core or []
+                    assert set(core) <= set(assumptions), context
+                    reference = cnf.copy()
+                    for literal in core:
+                        reference.add_unit(literal)
+                    assert not brute_force_satisfiable(reference), \
+                        (context, core)
+            for key in totals:
+                totals[key] += on.stats[key]
+        # The inprocessing techniques must actually have run across the
+        # campaign (chrono/vivify need deeper searches; see below).
+        assert totals["inprocessings"] > 0, totals
+        assert totals["eliminated_vars"] > 0, totals
+        assert totals["subsumed"] > 0, totals
+        # Chrono backtracking and vivification trigger on searches with
+        # real backjump depth and reduce-db pressure; cross-check them on
+        # phase-transition 3-SAT instances (too big for brute force --
+        # compared against the knobs-off engine instead).
+        deep = {"chrono_backtracks": 0, "vivified_clauses": 0}
+        rng = random.Random(3)
+        for instance in range(6):
+            clauses = []
+            for _ in range(int(60 * 4.26)):
+                variables = rng.sample(range(1, 61), 3)
+                clauses.append([rng.choice([1, -1]) * var
+                                for var in variables])
+            on = IncrementalSatSolver(seed=instance, **self.ALL_KNOBS)
+            off = IncrementalSatSolver(seed=instance, **knobs_off)
+            on.add_clauses(clauses)
+            off.add_clauses(clauses)
+            assert on.solve().satisfiable == off.solve().satisfiable, \
+                f"hard instance {instance}"
+            for key in deep:
+                deep[key] += on.stats[key]
+        assert deep["chrono_backtracks"] > 0, deep
+        assert deep["vivified_clauses"] > 0, deep
 
 
 ACCEPTANCE_MATRIX = (
@@ -335,6 +432,35 @@ class TestEngineAcceptanceFixture:
     def test_merged_weighted_shards_equal_the_unsharded_run(self, reports):
         full, weighted = reports
         assert weighted.comparable_dict() == full.comparable_dict()
+
+    @pytest.mark.parametrize("opts", [
+        "restart_policy=luby,chrono=0,vivify=0,inprocess=0",
+        "restart_policy=ema,chrono=2,vivify=1,inprocess=1",
+    ], ids=["knobs-off", "all-knobs-on"])
+    def test_knob_settings_leave_acceptance_verdicts_identical(
+            self, reports, opts, monkeypatch):
+        """Verdict byte-identity across solver heuristics: the acceptance
+        matrix run with every technique off, and with every technique on
+        (EMA restarts, chrono, vivification, inprocessing), must equal the
+        default-knob run scenario for scenario -- heuristics may only move
+        work counters, never answers, escape sets or conditions."""
+        from repro.core.portfolio import run_portfolio, scenarios_from_specs
+        from repro.core.spec import expand_matrix
+
+        full, _ = reports
+        monkeypatch.setenv("REPRO_SOLVER_OPTS", opts)
+        report = run_portfolio(
+            scenarios_from_specs(expand_matrix(ACCEPTANCE_MATRIX)))
+        expected = full.comparable_dict()
+        actual = report.comparable_dict()
+        del expected["session_stats"]
+        del actual["session_stats"]
+        for entry in expected["scenarios"] + actual["scenarios"]:
+            # Work counters and cores legitimately vary across heuristics;
+            # verdicts, escape edges, conditions and edge counts may not.
+            entry.pop("solver", None)
+            entry.pop("cycle_core", None)
+        assert actual == expected
 
 
 class TestWeightedSharding:
