@@ -16,6 +16,9 @@ Usage (after ``pip install -e .``)::
     python -m repro bench --profile extended-8 --jobs 1 4 --json bench.json
     python -m repro batch --matrix "mesh:3x3, routing=[xy]" --trace run.jsonl
     python -m repro trace summary run.jsonl --json
+    python -m repro batch --matrix "mesh:4x4, routing=[xy,yx]" --store .repro-store
+    python -m repro store stats .repro-store --json -
+    python -m repro serve --store .repro-store --socket /tmp/repro.sock --work-dir serve-state
 
 Each sub-command drives one part of the library's public API; the examples in
 ``examples/`` show the same flows as scripts.  The ``batch`` command is the
@@ -194,6 +197,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="replay completed groups from the --checkpoint "
                             "journal instead of re-solving them (verdicts "
                             "identical to a fresh run)")
+    batch.add_argument("--store", type=str, default=None, metavar="DIR",
+                       help="persistent content-addressed verdict store: "
+                            "groups already proved there (same engine "
+                            "fingerprint, run parameters, spec hashes) are "
+                            "replayed with zero solver work; freshly solved "
+                            "groups are durably recorded for later runs")
+    batch.add_argument("--store-readonly", action="store_true",
+                       help="consult the --store but never write to it "
+                            "(e.g. a shared cache this runner must not "
+                            "mutate)")
     batch.add_argument("--json", type=str, default=None, metavar="PATH",
                        help="write the machine-readable report "
                             "(scenarios, verdicts, solver stats) to PATH")
@@ -259,6 +272,56 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also record a JSONL event trace per serial "
                             "portfolio lane into DIR (created if missing); "
                             "parallel lanes are never traced")
+    bench.add_argument("--store", type=str, default=None, metavar="DIR",
+                       help="attach a verdict store to the portfolio lanes; "
+                            "warm lanes then measure the cache-replay path "
+                            "instead of solver work, so leave this unset "
+                            "when producing reference BENCH reports")
+
+    store = commands.add_parser(
+        "store",
+        help="inspect a persistent verdict store directory "
+             "(see 'repro batch --store' / 'repro serve')")
+    store_commands = store.add_subparsers(dest="store_command",
+                                          required=True)
+    store_stats = store_commands.add_parser(
+        "stats", help="offline inventory: record/damage/quarantine counts "
+                      "per engine fingerprint (checksum-verifies every "
+                      "record; read-only)")
+    store_stats.add_argument("store_dir", metavar="DIR",
+                             help="the store directory to scan")
+    store_stats.add_argument("--json", type=str, default=None,
+                             metavar="PATH",
+                             help="write the stats JSON to PATH "
+                                  "('-' for stdout)")
+
+    serve = commands.add_parser(
+        "serve",
+        help="long-lived verification service: a job queue over a shared "
+             "verdict store, accepting batch requests from concurrent "
+             "submitters via a line-JSON Unix socket")
+    serve.add_argument("--store", type=str, required=True, metavar="DIR",
+                       help="the verdict store every job reads and warms")
+    serve.add_argument("--socket", type=str, required=True, metavar="PATH",
+                       help="Unix socket path to listen on")
+    serve.add_argument("--work-dir", type=str, required=True, metavar="DIR",
+                       help="serve journal + per-job checkpoints/reports; "
+                            "restart with the same directory to resume "
+                            "unfinished jobs")
+    serve.add_argument("--max-retries", type=int, default=2, metavar="N",
+                       help="crash retries per job before it is marked "
+                            "failed (default: 2)")
+    serve.add_argument("--deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="default per-job deadline (a request's own "
+                            "'deadline' field overrides); wedged workers "
+                            "are reaped past 1.25x this budget")
+    serve.add_argument("--drain-grace", type=float, default=5.0,
+                       metavar="SECONDS",
+                       help="on SIGTERM/shutdown: seconds the in-flight "
+                            "job may use to finish before it is "
+                            "interrupted and left checkpointed "
+                            "(default: 5)")
 
     trace = commands.add_parser(
         "trace",
@@ -650,9 +713,12 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         raise SystemExit("--resume requires --checkpoint PATH")
     if args.max_retries < 0:
         raise SystemExit("--max-retries must be >= 0")
+    if args.store_readonly and not args.store:
+        raise SystemExit("--store-readonly requires --store DIR")
     robustness = dict(group_timeout=args.timeout, run_deadline=args.deadline,
                       max_retries=args.max_retries,
-                      checkpoint=args.checkpoint, resume=args.resume)
+                      checkpoint=args.checkpoint, resume=args.resume,
+                      store=args.store, store_readonly=args.store_readonly)
     try:
         if args.trace is not None:
             if args.jobs != 1:
@@ -700,6 +766,24 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         replayed = recovery["replayed_groups"]
         print(f"  resumed {len(replayed)} group(s) from checkpoint: "
               f"{', '.join(replayed)}")
+    store_stats = report.store_stats
+    if store_stats:
+        line = (f"  verdict store [{store_stats.get('mode')}]: "
+                f"{store_stats.get('hits', 0)} hits, "
+                f"{store_stats.get('misses', 0)} misses, "
+                f"{store_stats.get('writes', 0)} writes")
+        if store_stats.get("quarantined"):
+            line += (f", {store_stats['quarantined']} corrupt record(s) "
+                     f"quarantined + recomputed")
+        if store_stats.get("evicted"):
+            line += f", {store_stats['evicted']} stale record(s) evicted"
+        print(line)
+        if store_stats.get("degraded_reason"):
+            print(f"    (degraded: {store_stats['degraded_reason']})")
+        replayed_store = store_stats.get("replayed_groups") or []
+        if replayed_store:
+            print(f"    replayed {len(replayed_store)} group(s) from the "
+                  f"store: {', '.join(replayed_store)}")
     if args.json:
         report.write_json(args.json)
         print(f"JSON report written to {args.json}")
@@ -802,7 +886,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             reference = json.load(handle)
     report = run_benchmark(profile=args.profile, jobs_list=args.jobs,
                            repeat=args.repeat, reference=reference,
-                           trace_dir=args.trace_dir)
+                           trace_dir=args.trace_dir,
+                           store_dir=args.store)
     path = args.json or bench_report_path()
     write_bench_report(report, path)
     print(format_bench_summary(report))
@@ -851,6 +936,42 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.core.store import scan_store
+
+    if not os.path.isdir(args.store_dir):
+        raise SystemExit(f"no such store directory: {args.store_dir}")
+    stats = scan_store(args.store_dir)
+    print(f"verdict store {args.store_dir}: schema {stats['schema']}, "
+          f"{stats['records']} record(s), {stats['damaged']} damaged, "
+          f"{stats['quarantined']} quarantined")
+    for fingerprint, count in sorted(stats["fingerprints"].items()):
+        print(f"  {fingerprint}: {count} record(s)")
+    if args.json:
+        payload = json.dumps(stats, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            print(f"stats JSON written to {args.json}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.core.serve import serve_main
+
+    if args.max_retries < 0:
+        raise SystemExit("--max-retries must be >= 0")
+    return serve_main(args.store, args.socket, args.work_dir,
+                      max_retries=args.max_retries,
+                      default_deadline=args.deadline,
+                      drain_grace=args.drain_grace)
+
+
 _COMMANDS = {
     "verify": _cmd_verify,
     "simulate": _cmd_simulate,
@@ -861,6 +982,8 @@ _COMMANDS = {
     "batch": _cmd_batch,
     "fuzz": _cmd_fuzz,
     "bench": _cmd_bench,
+    "store": _cmd_store,
+    "serve": _cmd_serve,
     "trace": _cmd_trace,
 }
 

@@ -202,7 +202,8 @@ def _bench_scenarios(profile: str):
 def run_portfolio_bench(profile: str = "smoke",
                         jobs_list: Sequence[int] = (1,),
                         cross_check: bool = False,
-                        trace_dir: Optional[str] = None
+                        trace_dir: Optional[str] = None,
+                        store_dir: Optional[str] = None
                         ) -> Dict[str, object]:
     """Run the profile's portfolio once per requested job count.
 
@@ -220,6 +221,14 @@ def run_portfolio_bench(profile: str = "smoke",
     never traced (writers cannot cross the pool boundary), and traced
     serial wall times include the tracing overhead by design -- the
     trace is telemetry about the run it measures.
+
+    ``store_dir`` attaches a persistent verdict store
+    (:mod:`repro.core.store`) to every lane.  The first lane populates it
+    and later lanes replay from it, so the recorded wall times measure
+    the *warm-cache* path -- useful for benchmarking the store itself,
+    wrong for solver trajectories (leave it unset for ``BENCH_*.json``
+    measurements, which must measure solving).  Each run entry then
+    carries the run's ``store`` counter block.
     """
     from repro.core.cache import reset_instance_cache
     from repro.core.portfolio import run_portfolio
@@ -242,10 +251,11 @@ def run_portfolio_bench(profile: str = "smoke",
                                  label=f"bench {profile} jobs=1") as trace:
                     report = run_portfolio(scenarios,
                                            cross_check=cross_check,
-                                           jobs=jobs, trace=trace)
+                                           jobs=jobs, trace=trace,
+                                           store=store_dir)
             else:
                 report = run_portfolio(scenarios, cross_check=cross_check,
-                                       jobs=jobs)
+                                       jobs=jobs, store=store_dir)
         except Exception as exc:
             # One crashed lane degrades to a structured error entry; the
             # other job counts still produce their measurements.
@@ -261,7 +271,7 @@ def run_portfolio_bench(profile: str = "smoke",
                 f"portfolio run with jobs={jobs} disagrees with the first "
                 f"run -- parallel determinism is broken")
         payload = report.to_json_dict()
-        runs.append({
+        entry: Dict[str, object] = {
             "jobs": report.jobs,
             "wall_time_s": round(wall, 6),
             "scenarios": len(report.verdicts),
@@ -270,12 +280,15 @@ def run_portfolio_bench(profile: str = "smoke",
             "cache_misses": payload["summary"]["cache_misses"],
             "session_stats": payload["session_stats"],
             "per_scenario": [
-                {"scenario": entry["scenario"],
-                 "wall_time_s": entry["wall_time_s"],
-                 "deadlock_free": entry["deadlock_free"],
-                 "solver": entry["solver"]}
-                for entry in payload["scenarios"]],
-        })
+                {"scenario": scenario["scenario"],
+                 "wall_time_s": scenario["wall_time_s"],
+                 "deadlock_free": scenario["deadlock_free"],
+                 "solver": scenario["solver"]}
+                for scenario in payload["scenarios"]],
+        }
+        if "store" in payload:
+            entry["store"] = payload["store"]
+        runs.append(entry)
     serial = next((run for run in runs
                    if run["jobs"] == 1 and "wall_time_s" in run), None)
     fastest_parallel = min(
@@ -300,7 +313,8 @@ def run_benchmark(profile: str = "smoke",
                   repeat: int = 3,
                   reference: Optional[Dict[str, object]] = None,
                   notes: Optional[str] = None,
-                  trace_dir: Optional[str] = None) -> Dict[str, object]:
+                  trace_dir: Optional[str] = None,
+                  store_dir: Optional[str] = None) -> Dict[str, object]:
     """Assemble one full bench report (microbench + portfolio trajectory).
 
     ``reference`` is an optional mapping with the same shape as the
@@ -322,7 +336,8 @@ def run_benchmark(profile: str = "smoke",
         "solver_microbench": run_solver_microbench(repeat=repeat),
         "portfolio": run_portfolio_bench(profile=profile,
                                          jobs_list=jobs_list,
-                                         trace_dir=trace_dir),
+                                         trace_dir=trace_dir,
+                                         store_dir=store_dir),
     }
     if notes:
         report["notes"] = notes

@@ -30,41 +30,20 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Tuple
+
+# The identity helpers are shared with the verdict store
+# (repro.core.store): both layers must agree on what "same engine" and
+# "same scenario" mean, so a fingerprint bump invalidates both at once.
+# Re-exported here for callers that grew up against this module.
+from repro.core.fingerprint import (  # noqa: F401
+    engine_fingerprint,
+    make_run_key,
+    scenario_fingerprint,
+)
 
 #: Journal record schema version.
 CHECKPOINT_SCHEMA = 1
-
-
-def engine_fingerprint() -> str:
-    """The current engine source fingerprint (see ``repro.__init__``)."""
-    import repro
-
-    return repro.__engine_fingerprint__
-
-
-def scenario_fingerprint(scenario) -> str:
-    """A content hash identifying one scenario independent of spelling.
-
-    :class:`~repro.core.spec.ScenarioSpec` inputs hash their normalized
-    canonical form; pre-built instances (which have no spec) fall back to
-    their name, which is the only identity they carry.
-    """
-    canonical = getattr(scenario, "canonical_hash", None)
-    if callable(canonical):
-        return canonical()
-    return "instance:" + getattr(scenario, "name", repr(scenario))
-
-
-def make_run_key(seed: int, analyse_failures: bool, cross_check: bool,
-                 shard: Optional[Tuple[int, int]]) -> Dict[str, Any]:
-    """The run parameters a journal record must match to be replayable."""
-    return {
-        "seed": seed,
-        "analyse_failures": bool(analyse_failures),
-        "cross_check": bool(cross_check),
-        "shard": list(shard) if shard is not None else None,
-    }
 
 
 class CheckpointJournal:

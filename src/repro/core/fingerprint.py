@@ -1,0 +1,59 @@
+"""Shared content fingerprints for checkpoints and the verdict store.
+
+Two durable layers key their records on the same identities:
+
+* the :mod:`checkpoint <repro.core.checkpoint>` journal, which replays
+  completed groups of a *single interrupted run*, and
+* the :mod:`verdict store <repro.core.store>`, which replays completed
+  groups *across runs and clients*.
+
+Both must agree on what "the same engine" and "the same scenario" mean,
+or a fingerprint bump would invalidate one cache but not the other and
+stale verdicts could leak through the surviving layer.  This module is
+the single definition both import.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+
+def engine_fingerprint() -> str:
+    """The current engine source fingerprint (see ``repro.__init__``).
+
+    A hash over every ``.py`` source in the package: any code change --
+    solver, routing, spec normalization -- yields a new fingerprint, so
+    verdicts computed by an older engine are recomputed, never replayed.
+    """
+    import repro
+
+    return repro.__engine_fingerprint__
+
+
+def scenario_fingerprint(scenario) -> str:
+    """A content hash identifying one scenario independent of spelling.
+
+    :class:`~repro.core.spec.ScenarioSpec` inputs hash their normalized
+    canonical form; pre-built instances (which have no spec) fall back to
+    their name, which is the only identity they carry.
+    """
+    canonical = getattr(scenario, "canonical_hash", None)
+    if callable(canonical):
+        return canonical()
+    return "instance:" + getattr(scenario, "name", repr(scenario))
+
+
+def make_run_key(seed: int, analyse_failures: bool, cross_check: bool,
+                 shard: Optional[Tuple[int, int]]) -> Dict[str, Any]:
+    """The run parameters a cached group must match to be replayable.
+
+    Solver stat deltas and verdict details are functions of the whole
+    run configuration, not just the spec, so both durable layers refuse
+    to mix records across differently parameterised sweeps.
+    """
+    return {
+        "seed": seed,
+        "analyse_failures": bool(analyse_failures),
+        "cross_check": bool(cross_check),
+        "shard": list(shard) if shard is not None else None,
+    }

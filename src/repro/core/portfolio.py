@@ -40,6 +40,7 @@ from repro.core.checkpoint import (
     make_run_key,
     scenario_fingerprint,
 )
+from repro.core.store import VerdictStore
 from repro.core.deadlock import DeadlockQuerySession
 from repro.core.dependency import routing_dependency_graph
 from repro.core.faultplan import execute_directive, resolve_fault_plan
@@ -322,6 +323,12 @@ class PortfolioReport:
     #: ``replayed_groups``).  Environment history, not workload content --
     #: stripped by :meth:`comparable_dict` like the cache counters.
     recovery: Dict[str, object] = field(default_factory=dict)
+    #: Verdict-store session counters (:meth:`VerdictStore.stats`) when a
+    #: store was attached; empty otherwise.  Environment history like
+    #: :attr:`recovery` -- present in :meth:`to_json_dict` only for runs
+    #: that used a store and always stripped by :meth:`comparable_dict`,
+    #: so cold and warm runs stay ``==``-comparable.
+    store_stats: Dict[str, object] = field(default_factory=dict)
 
     @property
     def deadlock_free_count(self) -> int:
@@ -354,13 +361,15 @@ class PortfolioReport:
         ``status``/``error`` (graceful degradation: a failed group yields
         structured verdicts, not a lost report), the ``timeouts``/
         ``errors`` summary counters and the run-level ``recovery``
-        record; schema 3 embedded the originating spec dict and the shard
+        record, plus -- only for runs that attached a verdict store -- a
+        ``store`` counter block (conditional, so store-less payloads keep
+        the historical schema-4 key set); schema 3 embedded the originating spec dict and the shard
         assignment per scenario; schema 2 added per-scenario
         ``wall_time_s`` and ``solver`` stats deltas, run-level ``jobs``
         and cache counters.
         """
         statuses = self.status_counts()
-        return {
+        payload: Dict[str, object] = {
             "schema": 4,
             "kind": "repro-portfolio-report",
             "jobs": self.jobs,
@@ -383,6 +392,11 @@ class PortfolioReport:
             "cache": dict(self.cache_stats),
             "recovery": dict(self.recovery),
         }
+        if self.store_stats:
+            # Conditional on purpose: store-less runs keep the exact
+            # schema-4 key set older consumers pin.
+            payload["store"] = dict(self.store_stats)
+        return payload
 
     def comparable_dict(self) -> Dict[str, object]:
         """The deterministic projection of :meth:`to_json_dict`.
@@ -401,6 +415,7 @@ class PortfolioReport:
         del payload["cache"]
         del payload["shard"]
         del payload["recovery"]
+        payload.pop("store", None)
         for scenario in payload["scenarios"]:
             del scenario["wall_time_s"]
             del scenario["spec"]
@@ -514,6 +529,20 @@ def merge_shard_reports(reports: Sequence[PortfolioReport]
             "group_attempts": group_attempts,
             "replayed_groups": sorted(replayed),
         }
+    store_stats: Dict[str, object] = {}
+    if any(report.store_stats for report in reports):
+        from repro.core.store import STORE_COUNTERS
+
+        modes = sorted({str(report.store_stats.get("mode"))
+                        for report in reports if report.store_stats})
+        store_stats = {"mode": modes[0] if len(modes) == 1 else "mixed"}
+        for counter in STORE_COUNTERS:
+            store_stats[counter] = sum(
+                int(report.store_stats.get(counter, 0))
+                for report in reports)
+        store_stats["replayed_groups"] = sorted(
+            group for report in reports
+            for group in report.store_stats.get("replayed_groups", []))
     return PortfolioReport(
         verdicts=verdicts,
         elapsed_seconds=sum(report.elapsed_seconds for report in reports),
@@ -521,7 +550,8 @@ def merge_shard_reports(reports: Sequence[PortfolioReport]
         jobs=max((report.jobs for report in reports), default=1),
         cache_stats=cache_stats,
         shard=None,
-        recovery=recovery)
+        recovery=recovery,
+        store_stats=store_stats)
 
 
 def _failure_verdict(index: int, scenario: Scenario, group_key: str,
@@ -823,6 +853,34 @@ def _run_group(payload: Tuple,
     return group_key, results, session_stats, cache_delta
 
 
+def _emit_replayed_group(trace, result: Tuple,
+                         shard: Optional[Tuple[int, int]]) -> None:
+    """Trace spans for a group replayed from the verdict store.
+
+    A warm-cache run does no solver work, but its trace must still
+    satisfy the reconciliation contract (per-scenario ``scenario_end``
+    solver deltas sum to the group's ``session_summary`` stats), so the
+    spans are re-emitted from the stored record with ``cached: true``.
+    The per-scenario ``cache`` deltas are process history, not workload
+    content (scrubbed by analysis anyway), and are empty on replay.
+    """
+    key, pairs, stats, _cache_delta = result
+    for index, verdict in pairs:
+        trace.emit("scenario_begin", scenario=verdict.scenario,
+                   group=key, index=index,
+                   shard=list(shard) if shard is not None else None,
+                   cached=True)
+        trace.emit("scenario_end", scenario=verdict.scenario,
+                   group=key, deadlock_free=verdict.deadlock_free,
+                   condition=verdict.condition, edges=verdict.edges,
+                   new_edges=verdict.new_edges,
+                   solver=dict(verdict.solver), cache={},
+                   wall_time_s=round(verdict.elapsed_seconds, 6),
+                   status=verdict.status, cached=True)
+    trace.emit("session_summary", group=key, stats=dict(stats),
+               cached=True)
+
+
 def resolve_jobs(jobs: Optional[int]) -> int:
     """Normalise a ``--jobs`` value: ``None``/``0`` mean "all cores"."""
     if jobs is None or jobs < 1:
@@ -868,6 +926,8 @@ def run_portfolio(scenarios: Sequence[Scenario],
                   retry_backoff: float = DEFAULT_RETRY_BACKOFF,
                   checkpoint: Optional[str] = None,
                   resume: bool = False,
+                  store=None,
+                  store_readonly: bool = False,
                   _fault_plan=None) -> PortfolioReport:
     """Run every scenario through shared incremental deadlock sessions.
 
@@ -939,6 +999,21 @@ def run_portfolio(scenarios: Sequence[Scenario],
     (:meth:`PortfolioReport.comparable_dict`).  Stale records (edited
     engine or scenarios) are recomputed, never trusted.
 
+    **Verdict store.**  ``store`` (a directory path or an opened
+    :class:`~repro.core.store.VerdictStore`) consults a *persistent,
+    cross-run* content-addressed cache before solving: a group whose
+    record matches the engine fingerprint, run key and spec hashes is
+    replayed from disk (zero solver work) and still yields a
+    :meth:`~PortfolioReport.comparable_dict`-identical report; every
+    freshly solved all-``ok`` group is durably recorded for the next run.
+    The store degrades rather than fails -- corrupt records are
+    quarantined and recomputed, an unwritable directory serves lookups
+    only (or pass ``store_readonly=True`` to demand that), an unusable
+    one turns the run cache-less -- and its session counters land in
+    ``report.store_stats``.  Composes with ``checkpoint``/``resume``
+    (journal replay wins, then the store fills in) and with ``jobs``
+    (lookups and records happen in the orchestrator, not the workers).
+
     ``_fault_plan`` (tests/CI only; also settable via the
     ``REPRO_FAULT_PLAN`` environment variable) deterministically injects
     worker kills, hangs, errors or timeouts per group -- see
@@ -1004,13 +1079,24 @@ def run_portfolio(scenarios: Sequence[Scenario],
         trace.emit("portfolio_begin", scenarios=len(kept_indices),
                    shard=list(shard) if shard is not None else None)
 
-    # -- checkpoint journal and resume replay --------------------------------
+    # -- durable layers: checkpoint journal + verdict store ------------------
     journal: Optional[CheckpointJournal] = None
+    verdict_store: Optional[VerdictStore] = None
     fingerprint = run_key = group_specs = None
     replayed_groups: List[str] = []
+    store_replayed: List[str] = []
     completed: Dict[str, Tuple] = {}
-    if checkpoint is not None:
-        journal = CheckpointJournal(checkpoint)
+    if isinstance(store, VerdictStore):
+        verdict_store = store
+        if verdict_store.mode == "off" and \
+                verdict_store.degraded_reason is None:
+            verdict_store.open()
+    elif store is not None:
+        verdict_store = VerdictStore(os.fspath(store),
+                                     readonly=store_readonly).open()
+    if verdict_store is not None and trace is not None:
+        verdict_store.attach_trace(trace)
+    if checkpoint is not None or verdict_store is not None:
         fingerprint = engine_fingerprint()
         run_key = make_run_key(seed, analyse_failures, cross_check, shard)
         group_specs = {
@@ -1019,6 +1105,15 @@ def run_portfolio(scenarios: Sequence[Scenario],
                                                else scenario))
                   for index, scenario in groups[key]]
             for key in order}
+
+    def replay_pairs(record: Dict) -> List[Tuple[int, ScenarioVerdict]]:
+        return [(int(entry["index"]),
+                 ScenarioVerdict.from_json_dict(
+                     entry, index=int(entry["index"])))
+                for entry in record["verdicts"]]
+
+    if checkpoint is not None:
+        journal = CheckpointJournal(checkpoint)
         if resume:
             replayable = journal.replayable_groups(
                 fingerprint, "repro-portfolio-report", run_key, group_specs)
@@ -1026,31 +1121,73 @@ def run_portfolio(scenarios: Sequence[Scenario],
                 record = replayable.get(key)
                 if record is None:
                     continue
-                pairs = [(int(entry["index"]),
-                          ScenarioVerdict.from_json_dict(
-                              entry, index=int(entry["index"])))
-                         for entry in record["verdicts"]]
-                completed[key] = (key, pairs,
+                completed[key] = (key, replay_pairs(record),
                                   dict(record["session_stats"]),
                                   dict(record["cache"]))
                 replayed_groups.append(key)
                 if trace is not None:
                     trace.emit("checkpoint", action="replay", group=key)
 
-    def journal_group(result: Tuple) -> None:
-        """Durably record a group iff every verdict is a real decision."""
+    def store_group(result: Tuple) -> None:
+        """Persist an all-``ok`` group into the cross-run verdict store."""
         key, pairs, stats, cache_delta = result
-        if journal is None:
+        if verdict_store is None:
             return
         if any(verdict.status != "ok" for _, verdict in pairs):
             return
-        journal.record_group(
+        verdict_store.record(
             fingerprint, "repro-portfolio-report", run_key, key,
             group_specs[key],
             [(index, verdict.to_json_dict()) for index, verdict in pairs],
             stats, cache_delta)
-        if trace is not None:
-            trace.emit("checkpoint", action="record", group=key)
+
+    if verdict_store is not None:
+        # The journal (this exact run's own history) wins; the store fills
+        # in everything other runs already proved.  A journal-replayed
+        # group is pushed forward into the store so an interrupted cold
+        # sweep still warms the cache it was asked to populate.
+        for key in order:
+            if key in completed:
+                store_group(completed[key])
+                continue
+            record = verdict_store.lookup(
+                fingerprint, "repro-portfolio-report", run_key, key,
+                group_specs[key])
+            if record is None:
+                continue
+            result = (key, replay_pairs(record),
+                      dict(record["session_stats"]),
+                      dict(record["cache"]))
+            completed[key] = result
+            store_replayed.append(key)
+            if trace is not None:
+                _emit_replayed_group(trace, result, shard)
+
+    def journal_only(result: Tuple) -> None:
+        key, pairs, stats, cache_delta = result
+        if journal is not None and \
+                all(verdict.status == "ok" for _, verdict in pairs):
+            journal.record_group(
+                fingerprint, "repro-portfolio-report", run_key, key,
+                group_specs[key],
+                [(index, verdict.to_json_dict())
+                 for index, verdict in pairs],
+                stats, cache_delta)
+            if trace is not None:
+                trace.emit("checkpoint", action="record", group=key)
+
+    def journal_group(result: Tuple) -> None:
+        """Durably record a freshly solved group in both layers (iff every
+        verdict is a real decision -- failures describe a run, not the
+        scenarios)."""
+        journal_only(result)
+        store_group(result)
+
+    if journal is not None:
+        # Store-replayed groups enter the journal too, so a later resume
+        # of this run replays them without consulting the store again.
+        for key in store_replayed:
+            journal_only(completed[key])
 
     # -- execution with deadlines, crash recovery, degradation ---------------
     deadline = (time.monotonic() + run_deadline
@@ -1256,6 +1393,10 @@ def run_portfolio(scenarios: Sequence[Scenario],
                    deadlock_free=free,
                    deadlock_prone=len(verdicts) - free)
         trace.flush()
+    store_stats: Dict[str, object] = {}
+    if verdict_store is not None:
+        store_stats = verdict_store.stats()
+        store_stats["replayed_groups"] = sorted(store_replayed)
     return PortfolioReport(
         verdicts=verdicts,  # type: ignore[arg-type]
         elapsed_seconds=time.perf_counter() - start,
@@ -1269,7 +1410,8 @@ def run_portfolio(scenarios: Sequence[Scenario],
             "group_attempts": {key: attempts[key] for key in order
                                if key in attempts},
             "replayed_groups": sorted(replayed_groups),
-        })
+        },
+        store_stats=store_stats)
 
 
 def standard_matrix(mesh_sizes: Iterable[int] = (3, 4),

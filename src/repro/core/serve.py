@@ -1,0 +1,599 @@
+"""``repro serve``: a resilient verification service over the verdict store.
+
+The portfolio driver is batch-shaped: one process, one sweep, exit.  This
+module turns it into a long-lived front end many clients can hammer: a
+job queue accepting schema-4 batch requests over a **line-JSON Unix
+socket** (one JSON object per line, one reply line per request -- no
+HTTP), executing each job as a ``repro batch`` subprocess wired to the
+shared :mod:`verdict store <repro.core.store>` and a per-job checkpoint
+journal.
+
+The robustness contract reuses the PR-8 fault-tolerance primitives end to
+end:
+
+* **Per-job deadlines.**  A request's ``deadline`` is passed to the child
+  as ``--deadline`` (the cooperative ``SolverTimeout`` path inside
+  ``run_portfolio``); the server's watch loop additionally reaps a truly
+  wedged child at ``deadline * 1.25 + grace`` -- the same two-layer
+  scheme, and the same grace margin, as the portfolio's own pool watch.
+* **Crash retry with backoff.**  A job is *done* iff its report JSON
+  exists and parses -- exit codes are ambiguous (``repro batch`` exits 1
+  on timeout/error verdicts too).  A crashed child is retried with the
+  engine's deterministic exponential backoff (``retry_backoff *
+  2**(n-1)``, capped) up to ``max_retries`` times; thanks to
+  ``--checkpoint --resume``, a retry re-solves only what the crash lost.
+* **SIGTERM graceful drain.**  On SIGTERM (or a ``shutdown`` request)
+  the server stops accepting jobs, gives the in-flight child a grace
+  window to finish, then interrupts it (SIGINT -- the batch SIGINT path
+  leaves a complete, fsynced checkpoint journal).  The store needs no
+  extra flush: every record write is already atomic-and-fsynced by the
+  child.  The server journals its own state and exits 0.
+* **Journal resume.**  ``serve-journal.jsonl`` (append-only, same
+  torn-tail-tolerant JSONL discipline as the checkpoint journal) records
+  every submit and completion; a restarted server re-queues the jobs
+  that never finished, and their ``--resume`` checkpoints carry the work
+  already done.
+
+Protocol operations (request ``op`` field):
+
+``ping``      liveness probe -> ``{"ok": true, "pong": ...}``
+``submit``    enqueue ``{"op": "submit", "request": {"matrix": [...],
+              "cross_check"?, "jobs"?, "timeout"?, "deadline"?}}``
+              -> ``{"ok": true, "job": "job-000001"}``
+``status``    queue depth, per-job states, aggregated store hit/miss
+              counters and the store's quarantine count
+``result``    the finished job's full report JSON (error if not done)
+``wait``      block (bounded by ``timeout``) until a job leaves the queue
+``shutdown``  begin the graceful drain; the reply is sent before exit
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.core.store import scan_store
+
+#: Serve journal record schema.
+SERVE_SCHEMA = 1
+
+#: Watch-loop multiplier/grace for reaping a wedged child past its
+#: cooperative deadline -- mirrors the portfolio pool watch (1.25x + 0.2).
+REAP_FACTOR = 1.25
+REAP_GRACE = 0.2
+
+#: Cap on the deterministic crash-retry backoff, matching the engine's.
+RETRY_BACKOFF_CAP = 2.0
+
+#: Job request fields accepted from submitters (everything else is
+#: rejected, so a typo'd field never silently degrades a job).
+REQUEST_FIELDS = frozenset(
+    {"matrix", "cross_check", "jobs", "timeout", "deadline"})
+
+
+def validate_request(request: Any) -> Optional[str]:
+    """The reason a submit request is invalid, or ``None`` if it is fine."""
+    if not isinstance(request, dict):
+        return "request must be an object"
+    unknown = sorted(set(request) - REQUEST_FIELDS)
+    if unknown:
+        return f"unknown request field(s): {', '.join(unknown)}"
+    matrix = request.get("matrix")
+    if (not isinstance(matrix, list) or not matrix
+            or not all(isinstance(term, str) and term.strip()
+                       for term in matrix)):
+        return "request.matrix must be a non-empty list of matrix terms"
+    for field, kind in (("cross_check", bool), ("jobs", int)):
+        if field in request and not isinstance(request[field], kind):
+            return f"request.{field} must be a {kind.__name__}"
+    for field in ("timeout", "deadline"):
+        if field in request and request[field] is not None \
+                and not isinstance(request[field], (int, float)):
+            return f"request.{field} must be a number"
+    return None
+
+
+class ServeJob:
+    """One queued batch request and its lifecycle bookkeeping."""
+
+    def __init__(self, job_id: str, request: Dict[str, Any],
+                 job_dir: str) -> None:
+        self.id = job_id
+        self.request = request
+        self.dir = job_dir
+        self.status = "queued"  # queued|running|done|failed|interrupted
+        self.attempts = 0
+        self.error: Optional[str] = None
+
+    @property
+    def report_path(self) -> str:
+        return os.path.join(self.dir, "report.json")
+
+    @property
+    def checkpoint_path(self) -> str:
+        return os.path.join(self.dir, "checkpoint.jsonl")
+
+    @property
+    def log_path(self) -> str:
+        return os.path.join(self.dir, "job.log")
+
+    def public_state(self) -> Dict[str, Any]:
+        state = {"id": self.id, "status": self.status,
+                 "attempts": self.attempts}
+        if self.error:
+            state["error"] = self.error
+        return state
+
+
+class ReproServer:
+    """The job-queue server.  Construct, then :meth:`run` (blocking).
+
+    ``store_dir`` is the shared verdict store every job reads and warms;
+    ``socket_path`` the Unix socket to listen on; ``work_dir`` holds the
+    serve journal and the per-job directories (checkpoints, reports,
+    logs) -- restart with the same ``work_dir`` to resume.
+    """
+
+    def __init__(self, store_dir: str, socket_path: str, work_dir: str,
+                 max_retries: int = 2, retry_backoff: float = 0.1,
+                 default_deadline: Optional[float] = None,
+                 drain_grace: float = 5.0,
+                 poll_interval: float = 0.05) -> None:
+        self.store_dir = store_dir
+        self.socket_path = socket_path
+        self.work_dir = work_dir
+        self.max_retries = max(0, int(max_retries))
+        self.retry_backoff = retry_backoff
+        self.default_deadline = default_deadline
+        self.drain_grace = drain_grace
+        self.poll_interval = poll_interval
+        self.jobs: Dict[str, ServeJob] = {}
+        self._queue: List[str] = []
+        self._running: Optional[str] = None
+        self._next_id = 1
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._listener: Optional[socket.socket] = None
+        self._journal_handle = None
+        self._child: Optional[subprocess.Popen] = None
+        os.makedirs(os.path.join(work_dir, "jobs"), exist_ok=True)
+
+    # -- journal ---------------------------------------------------------
+
+    @property
+    def journal_path(self) -> str:
+        return os.path.join(self.work_dir, "serve-journal.jsonl")
+
+    def _journal(self, record: Dict[str, Any]) -> None:
+        if self._journal_handle is None:
+            self._journal_handle = open(self.journal_path, "a",
+                                        encoding="utf-8")
+        record = dict(record, schema=SERVE_SCHEMA)
+        self._journal_handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._journal_handle.flush()
+        os.fsync(self._journal_handle.fileno())
+
+    def _load_journal(self) -> List[Dict[str, Any]]:
+        records: List[Dict[str, Any]] = []
+        if not os.path.exists(self.journal_path):
+            return records
+        with open(self.journal_path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue  # torn tail from a crash mid-append
+                if isinstance(record, dict) and \
+                        record.get("schema") == SERVE_SCHEMA:
+                    records.append(record)
+        return records
+
+    def recover(self) -> List[str]:
+        """Rebuild job state from the journal; returns re-queued job ids.
+
+        Jobs with a ``submit`` record but no terminal ``done`` record are
+        re-queued: their per-job checkpoint journals survive the previous
+        server, so ``--resume`` re-solves only what was actually lost.
+        """
+        terminal: Dict[str, Dict[str, Any]] = {}
+        submits: List[Dict[str, Any]] = []
+        for record in self._load_journal():
+            if record.get("event") == "submit":
+                submits.append(record)
+            elif record.get("event") == "done":
+                terminal[record.get("job")] = record
+        requeued: List[str] = []
+        with self._lock:
+            for record in submits:
+                job_id = record["job"]
+                job = ServeJob(job_id, record["request"],
+                               os.path.join(self.work_dir, "jobs", job_id))
+                number = int(job_id.rsplit("-", 1)[-1])
+                self._next_id = max(self._next_id, number + 1)
+                self.jobs[job_id] = job
+                outcome = terminal.get(job_id)
+                if outcome is not None:
+                    job.status = outcome.get("status", "done")
+                    job.attempts = int(outcome.get("attempts", 0))
+                    job.error = outcome.get("error")
+                else:
+                    os.makedirs(job.dir, exist_ok=True)
+                    self._queue.append(job_id)
+                    requeued.append(job_id)
+            self._cond.notify_all()
+        return requeued
+
+    # -- submission ------------------------------------------------------
+
+    def submit(self, request: Dict[str, Any]) -> ServeJob:
+        reason = validate_request(request)
+        if reason:
+            raise ValueError(reason)
+        with self._lock:
+            if self._stop.is_set():
+                raise RuntimeError("server is draining; not accepting jobs")
+            job_id = f"job-{self._next_id:06d}"
+            self._next_id += 1
+            job = ServeJob(job_id, request,
+                           os.path.join(self.work_dir, "jobs", job_id))
+            os.makedirs(job.dir, exist_ok=True)
+            self.jobs[job_id] = job
+            self._queue.append(job_id)
+            self._journal({"event": "submit", "job": job_id,
+                           "request": request})
+            self._cond.notify_all()
+        return job
+
+    # -- status ----------------------------------------------------------
+
+    def status(self) -> Dict[str, Any]:
+        with self._lock:
+            jobs = {job_id: job.public_state()
+                    for job_id, job in self.jobs.items()}
+            queue_depth = len(self._queue)
+            running = self._running
+            draining = self._stop.is_set()
+        store_counters = {"hits": 0, "misses": 0, "writes": 0}
+        for job in list(self.jobs.values()):
+            if job.status != "done":
+                continue
+            try:
+                with open(job.report_path, "r", encoding="utf-8") as handle:
+                    block = json.load(handle).get("store") or {}
+                for key in store_counters:
+                    store_counters[key] += int(block.get(key, 0))
+            except (OSError, ValueError):
+                pass
+        scan = scan_store(self.store_dir)
+        return {
+            "queue_depth": queue_depth,
+            "running": running,
+            "draining": draining,
+            "jobs": jobs,
+            "store": {
+                "records": scan["records"],
+                "quarantined": scan["quarantined"],
+                "damaged": scan["damaged"],
+                **store_counters,
+            },
+        }
+
+    def wait_for(self, job_id: str,
+                 timeout: Optional[float] = None) -> Optional[str]:
+        """Block until ``job_id`` reaches a terminal state (or timeout).
+
+        Returns the terminal status, or ``None`` on timeout/unknown job.
+        """
+        deadline = (time.monotonic() + timeout
+                    if timeout is not None else None)
+        with self._cond:
+            while True:
+                job = self.jobs.get(job_id)
+                if job is None:
+                    return None
+                if job.status in ("done", "failed", "interrupted"):
+                    return job.status
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                self._cond.wait(min(0.2, remaining)
+                                if remaining is not None else 0.2)
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise KeyError(f"unknown job {job_id!r}")
+        if job.status != "done":
+            raise RuntimeError(f"job {job_id} is {job.status}, not done")
+        with open(job.report_path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    # -- execution -------------------------------------------------------
+
+    def job_command(self, job: ServeJob) -> List[str]:
+        """The child command for one attempt (overridable for tests)."""
+        request = job.request
+        command = [sys.executable, "-m", "repro", "batch",
+                   "--matrix", *[str(term) for term in request["matrix"]],
+                   "--store", self.store_dir,
+                   "--checkpoint", job.checkpoint_path, "--resume",
+                   "--json", job.report_path]
+        if request.get("cross_check"):
+            command.append("--cross-check")
+        if request.get("jobs"):
+            command += ["--jobs", str(int(request["jobs"]))]
+        if request.get("timeout") is not None:
+            command += ["--timeout", str(float(request["timeout"]))]
+        deadline = self._job_deadline(job)
+        if deadline is not None:
+            command += ["--deadline", str(float(deadline))]
+        return command
+
+    def _job_deadline(self, job: ServeJob) -> Optional[float]:
+        deadline = job.request.get("deadline")
+        return deadline if deadline is not None else self.default_deadline
+
+    def _finish(self, job: ServeJob, status: str,
+                error: Optional[str] = None) -> None:
+        with self._lock:
+            job.status = status
+            job.error = error
+            self._running = None
+            self._journal({"event": "done", "job": job.id, "status": status,
+                           "attempts": job.attempts, "error": error})
+            self._cond.notify_all()
+
+    def _harvest(self, job: ServeJob) -> bool:
+        """True iff the attempt produced a parseable report (job done)."""
+        try:
+            with open(job.report_path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            return isinstance(payload, dict) and "schema" in payload
+        except (OSError, ValueError):
+            return False
+
+    def _reap(self, process: subprocess.Popen, sig: int,
+              grace: float) -> bool:
+        """Signal the child and wait up to ``grace``; True if it exited."""
+        try:
+            process.send_signal(sig)
+        except OSError:
+            return True
+        try:
+            process.wait(timeout=grace)
+            return True
+        except subprocess.TimeoutExpired:
+            return False
+
+    def _execute(self, job: ServeJob) -> None:
+        """Run one job to a terminal state (with crash retries)."""
+        while True:
+            job.attempts += 1
+            with self._lock:
+                job.status = "running"
+                self._running = job.id
+            deadline = self._job_deadline(job)
+            reap_at = (time.monotonic() + deadline * REAP_FACTOR + REAP_GRACE
+                       if deadline is not None else None)
+            interrupted = False
+            with open(job.log_path, "a", encoding="utf-8") as log:
+                log.write(f"--- attempt {job.attempts}\n")
+                log.flush()
+                process = subprocess.Popen(
+                    self.job_command(job), stdout=log,
+                    stderr=subprocess.STDOUT)
+                self._child = process
+                try:
+                    while process.poll() is None:
+                        if self._stop.is_set():
+                            # Graceful drain: a finishing child wins the
+                            # grace window; a long one is interrupted and
+                            # leaves its checkpoint for the next server.
+                            if not self._reap(process, signal.SIGINT,
+                                              self.drain_grace):
+                                if not self._reap(process, signal.SIGTERM,
+                                                  2.0):
+                                    self._reap(process, signal.SIGKILL, 2.0)
+                            interrupted = not self._harvest(job)
+                            break
+                        if reap_at is not None and \
+                                time.monotonic() >= reap_at:
+                            # The cooperative --deadline inside the child
+                            # should have produced timeout verdicts; a
+                            # child still alive past the reap margin is
+                            # wedged -- kill it and count a crash.
+                            if not self._reap(process, signal.SIGTERM, 2.0):
+                                self._reap(process, signal.SIGKILL, 2.0)
+                            break
+                        time.sleep(self.poll_interval)
+                    else:
+                        process.wait()
+                finally:
+                    self._child = None
+            if interrupted:
+                self._finish(job, "interrupted",
+                             "drained before completion; checkpoint kept")
+                return
+            if self._harvest(job):
+                self._finish(job, "done")
+                return
+            if job.attempts > self.max_retries:
+                self._finish(job, "failed",
+                             f"no parseable report after {job.attempts} "
+                             f"attempt(s); see {job.log_path}")
+                return
+            # Deterministic exponential backoff between attempts, same
+            # shape as the engine's pool-rebuild backoff.
+            if self.retry_backoff > 0:
+                time.sleep(min(self.retry_backoff * 2 ** (job.attempts - 1),
+                               RETRY_BACKOFF_CAP))
+
+    # -- socket front end ------------------------------------------------
+
+    def _handle_request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        op = payload.get("op")
+        try:
+            if op == "ping":
+                return {"ok": True, "pong": "repro-serve",
+                        "schema": SERVE_SCHEMA}
+            if op == "submit":
+                job = self.submit(payload.get("request"))
+                return {"ok": True, "job": job.id}
+            if op == "status":
+                return {"ok": True, **self.status()}
+            if op == "result":
+                return {"ok": True,
+                        "report": self.result(payload.get("job"))}
+            if op == "wait":
+                status = self.wait_for(payload.get("job"),
+                                       payload.get("timeout"))
+                if status is None:
+                    return {"ok": False, "error": "timeout or unknown job"}
+                return {"ok": True, "status": status}
+            if op == "shutdown":
+                self.request_stop()
+                return {"ok": True, "draining": True}
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        except (ValueError, KeyError, RuntimeError, OSError) as exc:
+            return {"ok": False, "error": str(exc)}
+
+    def _serve_connection(self, connection: socket.socket) -> None:
+        try:
+            with connection, connection.makefile("rw",
+                                                 encoding="utf-8") as stream:
+                for line in stream:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        payload = json.loads(line)
+                    except ValueError:
+                        response = {"ok": False, "error": "invalid JSON"}
+                    else:
+                        response = self._handle_request(payload)
+                    stream.write(json.dumps(response) + "\n")
+                    stream.flush()
+        except OSError:
+            pass  # client went away mid-reply; its problem, not ours
+
+    def _listen(self) -> None:
+        listener = self._listener
+        while not self._stop.is_set():
+            try:
+                connection, _ = listener.accept()
+            except OSError:
+                return  # listener closed during drain
+            thread = threading.Thread(
+                target=self._serve_connection, args=(connection,),
+                daemon=True)
+            thread.start()
+
+    def request_stop(self) -> None:
+        """Begin the graceful drain (signal-handler and protocol safe)."""
+        self._stop.set()
+        with self._lock:
+            self._cond.notify_all()
+
+    # -- main loop -------------------------------------------------------
+
+    def run(self) -> int:
+        """Serve until drained; returns the process exit status (0)."""
+        self.recover()
+        if os.path.exists(self.socket_path):
+            os.unlink(self.socket_path)  # stale socket from a dead server
+        self._listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._listener.bind(self.socket_path)
+        self._listener.listen(16)
+        accept_thread = threading.Thread(target=self._listen, daemon=True)
+        accept_thread.start()
+        try:
+            while True:
+                with self._cond:
+                    while not self._queue and not self._stop.is_set():
+                        self._cond.wait(0.2)
+                    if self._stop.is_set() and not self._queue:
+                        break
+                    job = self.jobs[self._queue.pop(0)]
+                if self._stop.is_set():
+                    # Draining: jobs still queued stay journaled as
+                    # submitted-not-done and re-queue on restart.
+                    with self._lock:
+                        job.status = "queued"
+                        self._queue.insert(0, job.id)
+                    break
+                self._execute(job)
+        finally:
+            self._stop.set()
+            try:
+                self._listener.close()
+            finally:
+                if os.path.exists(self.socket_path):
+                    try:
+                        os.unlink(self.socket_path)
+                    except OSError:
+                        pass
+                if self._journal_handle is not None:
+                    self._journal_handle.close()
+                    self._journal_handle = None
+        return 0
+
+
+def serve_request(socket_path: str, payload: Dict[str, Any],
+                  timeout: float = 30.0) -> Dict[str, Any]:
+    """One request/reply round trip with a running server (client side)."""
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as client:
+        client.settimeout(timeout)
+        client.connect(socket_path)
+        client.sendall((json.dumps(payload) + "\n").encode("utf-8"))
+        chunks: List[bytes] = []
+        while True:
+            chunk = client.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            if chunk.endswith(b"\n"):
+                break
+    raw = b"".join(chunks).decode("utf-8").strip()
+    if not raw:
+        raise ConnectionError("server closed the connection without a reply")
+    return json.loads(raw.splitlines()[0])
+
+
+def serve_main(store_dir: str, socket_path: str, work_dir: str,
+               max_retries: int = 2, retry_backoff: float = 0.1,
+               default_deadline: Optional[float] = None,
+               drain_grace: float = 5.0) -> int:
+    """CLI entry: run a server with SIGTERM/SIGINT mapped to the drain."""
+    server = ReproServer(store_dir, socket_path, work_dir,
+                         max_retries=max_retries,
+                         retry_backoff=retry_backoff,
+                         default_deadline=default_deadline,
+                         drain_grace=drain_grace)
+
+    def _drain(_signum, _frame):
+        server.request_stop()
+
+    previous_term = signal.signal(signal.SIGTERM, _drain)
+    previous_int = signal.signal(signal.SIGINT, _drain)
+    try:
+        print(f"repro serve: store {store_dir}, socket {socket_path}, "
+              f"work dir {work_dir}", flush=True)
+        code = server.run()
+        print("repro serve: drained, exiting", flush=True)
+        return code
+    finally:
+        signal.signal(signal.SIGTERM, previous_term)
+        signal.signal(signal.SIGINT, previous_int)

@@ -70,7 +70,17 @@ Event taxonomy (``ev`` field):
                    are serial)
 ``checkpoint``     journal activity: ``action`` (``record``/``replay``),
                    ``group``
+``store_lookup``   verdict-store probe for one group: ``group``, the content
+                   ``key``, ``hit``
+``store_write``    verdict-store persist attempt: ``group``, ``written``
+                   (``false``: skipped -- read-only/degraded store or a
+                   writer-lock timeout)
 =================  ==========================================================
+
+A store-replayed group still opens its ``scenario_begin``/``scenario_end``
+spans and closes with ``session_summary`` -- the solver deltas and stats
+come from the stored record and the events carry ``cached: true`` -- so
+the per-group reconciliation contract holds on warm-cache runs too.
 
 A ``scenario_end`` closing a cut-off scenario carries the optional
 ``status`` field (``"timeout"``/``"error"``) with ``deadlock_free: null``
@@ -128,6 +138,8 @@ EVENT_FIELDS: Dict[str, tuple] = {
     "group_error": ("group", "reason"),
     "group_retry": ("group", "attempt", "reason"),
     "checkpoint": ("action", "group"),
+    "store_lookup": ("group", "key", "hit"),
+    "store_write": ("group", "written"),
 }
 
 #: Default solver phase-sampling cadence (conflicts between

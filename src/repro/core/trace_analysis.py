@@ -46,12 +46,24 @@ def analyze_summary(events: Sequence[Dict[str, object]]) -> Dict[str, object]:
     group_scenarios: Dict[str, int] = {}
     group_stats: Dict[str, Dict[str, int]] = {}
     scenarios: List[Dict[str, object]] = []
+    store: Dict[str, int] = {"lookups": 0, "hits": 0, "misses": 0,
+                             "writes": 0, "writes_skipped": 0,
+                             "cached_groups": 0, "cached_scenarios": 0}
+    saw_store_events = False
     label = ""
     for event in events:
         ev = str(event.get("ev"))
         event_counts[ev] = event_counts.get(ev, 0) + 1
         if ev == "trace_begin":
             label = str(event.get("label", ""))
+        elif ev == "store_lookup":
+            saw_store_events = True
+            store["lookups"] += 1
+            store["hits" if event.get("hit") else "misses"] += 1
+        elif ev == "store_write":
+            saw_store_events = True
+            store["writes" if event.get("written")
+                  else "writes_skipped"] += 1
         elif ev == "scenario_end":
             group = str(event.get("group"))
             solver = dict(event.get("solver") or {})
@@ -59,6 +71,8 @@ def analyze_summary(events: Sequence[Dict[str, object]]) -> Dict[str, object]:
             for key, value in solver.items():
                 sums[key] = sums.get(key, 0) + int(value)
             group_scenarios[group] = group_scenarios.get(group, 0) + 1
+            if event.get("cached"):
+                store["cached_scenarios"] += 1
             scenarios.append({
                 "scenario": event.get("scenario"),
                 "group": group,
@@ -71,6 +85,8 @@ def analyze_summary(events: Sequence[Dict[str, object]]) -> Dict[str, object]:
         elif ev == "session_summary":
             group_stats[str(event.get("group"))] = dict(
                 event.get("stats") or {})
+            if event.get("cached"):
+                store["cached_groups"] += 1
 
     groups: List[Dict[str, object]] = []
     totals: Dict[str, int] = {}
@@ -101,7 +117,7 @@ def analyze_summary(events: Sequence[Dict[str, object]]) -> Dict[str, object]:
     work_share = {key: (int(totals.get(key, 0)) / total_work
                         if total_work else 0.0)
                   for key in WORK_KEYS}
-    return {
+    summary: Dict[str, object] = {
         "label": label,
         "events": len(events),
         "event_counts": dict(sorted(event_counts.items())),
@@ -111,6 +127,12 @@ def analyze_summary(events: Sequence[Dict[str, object]]) -> Dict[str, object]:
         "scenarios": sorted(scenarios, key=lambda s: -int(s["work"])),
         "reconciled": reconciled,
     }
+    if saw_store_events or store["cached_groups"]:
+        # Verdict-store activity (warm-cache runs): replayed groups keep
+        # their spans (with ``cached: true``), so the reconciliation above
+        # covers cached runs too; this block adds the hit/miss accounting.
+        summary["store"] = store
+    return summary
 
 
 def format_summary(summary: Dict[str, object]) -> str:
@@ -134,6 +156,16 @@ def format_summary(summary: Dict[str, object]) -> str:
             f"{totals.get('restarts', 0)} restarts")
         lines.append("work share: " + ", ".join(
             f"{key} {share[key] * 100:.1f}%" for key in WORK_KEYS))
+    store = summary.get("store")
+    if store:
+        lines.append(
+            f"verdict store: {store['hits']} hits / "
+            f"{store['misses']} misses ({store['lookups']} lookups), "
+            f"{store['writes']} writes"
+            + (f" ({store['writes_skipped']} skipped)"
+               if store.get("writes_skipped") else "")
+            + f", {store['cached_groups']} groups / "
+              f"{store['cached_scenarios']} scenarios replayed from cache")
     rows = [[group["group"], group["scenarios"],
              group["stats"].get("solves", 0),
              group["stats"].get("conflicts", 0),

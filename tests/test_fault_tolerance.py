@@ -484,6 +484,32 @@ class TestFailureReporting:
             == run_portfolio(scenarios).comparable_dict()
         assert merged.recovery["crash_retries"] == 0
 
+    def test_merge_pins_the_schema_4_status_and_recovery_blocks(self):
+        """Merging shard reports must preserve the schema-4 failure
+        surface exactly: per-scenario ``status``/``error`` fields from a
+        faulted shard, and the merged ``recovery`` block's pinned key
+        set.  Bump the report schema when changing either shape."""
+        scenarios = small_scenarios()
+        # The plan names ring-4, so whichever shard owns it produces the
+        # timeout verdict; the other shard's plan never fires.
+        shards = [run_portfolio(scenarios, shard=(index, 2),
+                                _fault_plan="ring-4=timeout")
+                  for index in range(2)]
+        merged = merge_shard_reports(shards)
+        payload = merged.to_json_dict()
+        assert payload["schema"] == 4
+        assert set(payload["recovery"]) == {
+            "crash_retries", "degraded_serial",
+            "group_attempts", "replayed_groups"}
+        shard_entries = {entry["scenario"]: entry
+                         for report in shards
+                         for entry in report.to_json_dict()["scenarios"]}
+        statuses = set()
+        for entry in payload["scenarios"]:
+            assert entry == shard_entries[entry["scenario"]]
+            statuses.add(entry["status"])
+        assert "timeout" in statuses  # the fault survived the merge
+
     def test_verdict_json_round_trip_preserves_failures(self):
         report = run_portfolio(small_scenarios(), _fault_plan="ring-4=raise")
         for verdict in report.verdicts:

@@ -249,6 +249,27 @@ class TestReportSchema:
         assert payload["shard"] is None
         assert payload["cache"].keys() == {"hits", "misses"}
 
+    def test_store_block_is_conditional(self, tmp_path):
+        """Store-attached runs add exactly one key -- ``store`` -- and
+        store-less payloads keep the pinned schema-4 key set bit for bit."""
+        from repro.core.store import STORE_COUNTERS
+
+        scenarios = standard_portfolio(mesh_sizes=(3,), ring_sizes=(4,))
+        plain = run_portfolio(scenarios).to_json_dict()
+        stored = run_portfolio(scenarios,
+                               store=str(tmp_path / "store")).to_json_dict()
+        assert "store" not in plain
+        assert set(stored) == set(plain) | {"store"}
+        assert set(stored["store"]) \
+            == {"mode", "replayed_groups", *STORE_COUNTERS}
+        assert stored["store"]["mode"] == "rw"
+
+    def test_comparable_dict_strips_the_store_block(self, tmp_path):
+        scenarios = standard_portfolio(mesh_sizes=(3,), ring_sizes=())
+        report = run_portfolio(scenarios, store=str(tmp_path / "store"))
+        assert report.store_stats
+        assert "store" not in report.comparable_dict()
+
     def test_schema_4_embeds_the_originating_spec(self):
         from repro.core.spec import ScenarioSpec
 

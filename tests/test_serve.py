@@ -1,0 +1,343 @@
+"""Resilience matrix for the ``repro serve`` front end.
+
+The server's claims -- strict request validation, torn-tail-tolerant
+journal recovery, crash retry with deterministic backoff, a graceful
+SIGTERM drain that interrupts rather than loses in-flight work, and a
+restart that resumes whatever the previous server never finished -- are
+each exercised here.  Fast paths run in-process with a stubbed
+``job_command``; the end-to-end paths drive a real ``repro serve``
+subprocess over its Unix socket, including a SIGKILLed server whose
+successor must complete the orphaned job from its journal.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.core.serve import (
+    REQUEST_FIELDS,
+    SERVE_SCHEMA,
+    ReproServer,
+    serve_request,
+    validate_request,
+)
+from tests.test_fault_tolerance import SMALL_MATRIX
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def wait_until(predicate, timeout=30.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Request validation
+# ---------------------------------------------------------------------------
+
+class TestValidateRequest:
+    def test_accepts_a_full_request(self):
+        assert validate_request({
+            "matrix": ["mesh:3x3, routing=xy"], "cross_check": True,
+            "jobs": 2, "timeout": 5.0, "deadline": 30}) is None
+
+    def test_accepts_a_minimal_request(self):
+        assert validate_request({"matrix": ["ring:4"]}) is None
+
+    @pytest.mark.parametrize("request_payload, fragment", [
+        ("not an object", "must be an object"),
+        ({}, "non-empty list"),
+        ({"matrix": []}, "non-empty list"),
+        ({"matrix": "ring:4"}, "non-empty list"),
+        ({"matrix": ["ring:4", "  "]}, "non-empty list"),
+        ({"matrix": ["ring:4"], "martix": ["x"]}, "martix"),
+        ({"matrix": ["ring:4"], "jobs": "two"}, "jobs"),
+        ({"matrix": ["ring:4"], "cross_check": 1}, "cross_check"),
+        ({"matrix": ["ring:4"], "deadline": "soon"}, "deadline"),
+    ])
+    def test_rejects_with_a_reason(self, request_payload, fragment):
+        reason = validate_request(request_payload)
+        assert reason is not None and fragment in reason
+
+    def test_field_vocabulary_is_pinned(self):
+        assert REQUEST_FIELDS == {"matrix", "cross_check", "jobs",
+                                  "timeout", "deadline"}
+
+
+# ---------------------------------------------------------------------------
+# Journal recovery (in-process)
+# ---------------------------------------------------------------------------
+
+def make_server(tmp_path, **kwargs):
+    return ReproServer(store_dir=str(tmp_path / "store"),
+                       socket_path=str(tmp_path / "serve.sock"),
+                       work_dir=str(tmp_path / "work"), **kwargs)
+
+
+class TestJournalRecovery:
+    def test_restart_requeues_only_unfinished_jobs(self, tmp_path):
+        first = make_server(tmp_path)
+        done_job = first.submit({"matrix": ["ring:4"]})
+        pending = first.submit({"matrix": ["mesh:3x3, routing=xy"]})
+        done_job.attempts = 1
+        first._finish(done_job, "done")
+
+        second = make_server(tmp_path)
+        requeued = second.recover()
+        assert requeued == [pending.id]
+        assert second.jobs[done_job.id].status == "done"
+        assert second.jobs[done_job.id].attempts == 1
+        assert second.jobs[pending.id].status == "queued"
+        # Ids continue after the recovered ones -- never reused.
+        assert second.submit({"matrix": ["ring:4"]}).id == "job-000003"
+
+    def test_recovery_tolerates_a_torn_journal_tail(self, tmp_path):
+        server = make_server(tmp_path)
+        job = server.submit({"matrix": ["ring:4"]})
+        with open(server.journal_path, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "done", "job": "job-0000')  # crash cut
+        second = make_server(tmp_path)
+        assert second.recover() == [job.id]
+
+    def test_journal_records_carry_the_schema(self, tmp_path):
+        server = make_server(tmp_path)
+        server.submit({"matrix": ["ring:4"]})
+        with open(server.journal_path, encoding="utf-8") as handle:
+            records = [json.loads(line) for line in handle]
+        assert records and all(r["schema"] == SERVE_SCHEMA for r in records)
+
+
+# ---------------------------------------------------------------------------
+# Crash retry and drain (in-process, stubbed child command)
+# ---------------------------------------------------------------------------
+
+class StubServer(ReproServer):
+    """A server whose child crashes ``crashes`` times, then reports."""
+
+    def __init__(self, *args, crashes=0, child_sleep=0.0, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.crashes = crashes
+        self.child_sleep = child_sleep
+
+    def job_command(self, job):
+        marker = os.path.join(job.dir, "crashes-left")
+        script = (
+            "import json, os, sys, time\n"
+            "marker, report = sys.argv[1], sys.argv[2]\n"
+            f"time.sleep({self.child_sleep!r})\n"
+            "left = int(open(marker).read()) if os.path.exists(marker) "
+            f"else {self.crashes}\n"
+            "if left > 0:\n"
+            "    open(marker, 'w').write(str(left - 1))\n"
+            "    sys.exit(70)\n"
+            "json.dump({'schema': 4, 'stub': True}, open(report, 'w'))\n"
+        )
+        return [sys.executable, "-c", script, marker, job.report_path]
+
+
+def run_in_thread(server):
+    thread = threading.Thread(target=server.run, daemon=True)
+    thread.start()
+    assert wait_until(lambda: os.path.exists(server.socket_path), 10.0)
+    return thread
+
+
+class TestCrashRetry:
+    def test_crashed_child_is_retried_until_it_reports(self, tmp_path):
+        server = StubServer(str(tmp_path / "store"),
+                            str(tmp_path / "serve.sock"),
+                            str(tmp_path / "work"),
+                            crashes=2, max_retries=2, retry_backoff=0.01,
+                            poll_interval=0.01)
+        thread = run_in_thread(server)
+        job = server.submit({"matrix": ["ring:4"]})
+        assert server.wait_for(job.id, timeout=30.0) == "done"
+        assert job.attempts == 3
+        assert server.result(job.id) == {"schema": 4, "stub": True}
+        server.request_stop()
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+
+    def test_retries_are_bounded_and_the_failure_is_structured(
+            self, tmp_path):
+        server = StubServer(str(tmp_path / "store"),
+                            str(tmp_path / "serve.sock"),
+                            str(tmp_path / "work"),
+                            crashes=99, max_retries=1, retry_backoff=0.01,
+                            poll_interval=0.01)
+        thread = run_in_thread(server)
+        job = server.submit({"matrix": ["ring:4"]})
+        assert server.wait_for(job.id, timeout=30.0) == "failed"
+        assert job.attempts == 2  # first try + max_retries
+        assert "no parseable report" in job.error
+        with pytest.raises(RuntimeError):
+            server.result(job.id)
+        server.request_stop()
+        thread.join(timeout=10.0)
+
+    def test_drain_interrupts_a_long_job_and_keeps_its_state(self, tmp_path):
+        server = StubServer(str(tmp_path / "store"),
+                            str(tmp_path / "serve.sock"),
+                            str(tmp_path / "work"),
+                            child_sleep=60.0, drain_grace=0.2,
+                            poll_interval=0.01)
+        thread = run_in_thread(server)
+        job = server.submit({"matrix": ["ring:4"]})
+        assert wait_until(lambda: job.status == "running", 10.0)
+        server.request_stop()
+        thread.join(timeout=15.0)
+        assert not thread.is_alive()
+        assert job.status == "interrupted"
+        assert "checkpoint kept" in job.error
+        with open(server.journal_path, encoding="utf-8") as handle:
+            events = [json.loads(line) for line in handle if line.strip()]
+        assert events[-1]["event"] == "done"
+        assert events[-1]["status"] == "interrupted"
+
+    def test_draining_server_rejects_new_submissions(self, tmp_path):
+        server = make_server(tmp_path)
+        server.request_stop()
+        with pytest.raises(RuntimeError):
+            server.submit({"matrix": ["ring:4"]})
+
+
+# ---------------------------------------------------------------------------
+# Socket protocol (in-process server, stubbed child)
+# ---------------------------------------------------------------------------
+
+class TestProtocol:
+    def test_full_protocol_round_trip(self, tmp_path):
+        server = StubServer(str(tmp_path / "store"),
+                            str(tmp_path / "serve.sock"),
+                            str(tmp_path / "work"),
+                            retry_backoff=0.01, poll_interval=0.01)
+        thread = run_in_thread(server)
+        sock = server.socket_path
+        try:
+            assert serve_request(sock, {"op": "ping"}) \
+                == {"ok": True, "pong": "repro-serve", "schema": SERVE_SCHEMA}
+
+            bad = serve_request(sock, {"op": "submit",
+                                       "request": {"matrix": []}})
+            assert not bad["ok"] and "non-empty list" in bad["error"]
+
+            reply = serve_request(sock, {"op": "submit",
+                                         "request": {"matrix": ["ring:4"]}})
+            assert reply["ok"]
+            job_id = reply["job"]
+
+            waited = serve_request(sock, {"op": "wait", "job": job_id,
+                                          "timeout": 30.0})
+            assert waited == {"ok": True, "status": "done"}
+
+            result = serve_request(sock, {"op": "result", "job": job_id})
+            assert result["ok"] and result["report"]["schema"] == 4
+
+            status = serve_request(sock, {"op": "status"})
+            assert status["ok"]
+            assert status["jobs"][job_id]["status"] == "done"
+            assert status["queue_depth"] == 0
+            assert set(status["store"]) >= {"records", "quarantined",
+                                            "damaged", "hits", "misses"}
+
+            unknown = serve_request(sock, {"op": "frobnicate"})
+            assert not unknown["ok"] and "unknown op" in unknown["error"]
+
+            missing = serve_request(sock, {"op": "result", "job": "job-xxx"})
+            assert not missing["ok"]
+
+            down = serve_request(sock, {"op": "shutdown"})
+            assert down == {"ok": True, "draining": True}
+        finally:
+            server.request_stop()
+            thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        assert not os.path.exists(sock)  # socket cleaned up on drain
+
+
+# ---------------------------------------------------------------------------
+# End-to-end subprocess: real jobs, real signals
+# ---------------------------------------------------------------------------
+
+def spawn_server(tmp_path, name="serve"):
+    socket_path = str(tmp_path / f"{name}.sock")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--store", str(tmp_path / "store"),
+         "--socket", socket_path,
+         "--work-dir", str(tmp_path / "work"),
+         "--drain-grace", "10"],
+        cwd=REPO_ROOT, env=dict(os.environ, PYTHONPATH="src"),
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+
+    def up():
+        if not os.path.exists(socket_path):
+            return False
+        try:
+            return serve_request(socket_path, {"op": "ping"})["ok"]
+        except (OSError, ValueError):
+            return False
+
+    assert wait_until(up, 30.0), "server socket never came up"
+    return process, socket_path
+
+
+class TestServeEndToEnd:
+    def test_sigterm_drains_gracefully_after_real_work(self, tmp_path):
+        process, sock = spawn_server(tmp_path)
+        try:
+            reply = serve_request(sock, {
+                "op": "submit",
+                "request": {"matrix": [SMALL_MATRIX], "timeout": 60}})
+            assert reply["ok"]
+            waited = serve_request(sock, {"op": "wait", "job": reply["job"],
+                                          "timeout": 120.0}, timeout=130.0)
+            assert waited == {"ok": True, "status": "done"}
+            result = serve_request(sock, {"op": "result",
+                                          "job": reply["job"]})
+            assert result["report"]["schema"] == 4
+            assert result["report"]["summary"]["scenarios"] == 3
+            assert result["report"]["store"]["mode"] == "rw"
+            status = serve_request(sock, {"op": "status"})
+            assert status["store"]["records"] == 2
+        finally:
+            process.send_signal(signal.SIGTERM)
+            output, _ = process.communicate(timeout=60)
+        assert process.returncode == 0
+        assert "drained, exiting" in output
+
+    def test_sigkilled_server_resumes_the_orphan_from_its_journal(
+            self, tmp_path):
+        process, sock = spawn_server(tmp_path)
+        reply = serve_request(sock, {
+            "op": "submit",
+            "request": {"matrix": [SMALL_MATRIX], "timeout": 60}})
+        assert reply["ok"]
+        job_id = reply["job"]
+        # Kill the whole server process group mid-job: no drain, no
+        # journal 'done' record -- the textbook crashed coordinator.
+        process.kill()
+        process.wait(timeout=30)
+
+        successor, sock = spawn_server(tmp_path, name="serve2")
+        try:
+            waited = serve_request(sock, {"op": "wait", "job": job_id,
+                                          "timeout": 120.0}, timeout=130.0)
+            assert waited == {"ok": True, "status": "done"}
+            result = serve_request(sock, {"op": "result", "job": job_id})
+            assert result["report"]["summary"]["scenarios"] == 3
+        finally:
+            successor.send_signal(signal.SIGTERM)
+            output, _ = successor.communicate(timeout=60)
+        assert successor.returncode == 0
+        assert "drained, exiting" in output
